@@ -1,0 +1,468 @@
+package smartdrill
+
+// Benchmark harness: one testing.B benchmark per table/figure of the
+// paper's evaluation (Section 5), plus ablations of the design choices
+// called out in DESIGN.md. Regenerate the full measurement set with
+//
+//	go test -bench=. -benchmem
+//
+// and the printable experiment rows with cmd/figures. EXPERIMENTS.md
+// records measured-vs-paper values.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"smartdrill/internal/brs"
+	"smartdrill/internal/datagen"
+	"smartdrill/internal/drill"
+	"smartdrill/internal/rule"
+	"smartdrill/internal/sampling"
+	"smartdrill/internal/score"
+	"smartdrill/internal/storage"
+	"smartdrill/internal/table"
+	"smartdrill/internal/weight"
+	"smartdrill/internal/workload"
+)
+
+// Lazily generated shared datasets (generation excluded from timings).
+var (
+	storeOnce sync.Once
+	storeTab  *table.Table
+
+	marketingOnce sync.Once
+	marketingTab  *table.Table
+
+	censusOnce sync.Once
+	censusTab  *table.Table
+)
+
+const benchCensusN = 100000
+
+func benchStore() *table.Table {
+	storeOnce.Do(func() { storeTab = datagen.StoreSales(42) })
+	return storeTab
+}
+
+func benchMarketing() *table.Table {
+	marketingOnce.Do(func() {
+		full := datagen.Marketing(datagen.MarketingN, 7)
+		t, err := full.ProjectFirst(7)
+		if err != nil {
+			panic(err)
+		}
+		marketingTab = t
+	})
+	return marketingTab
+}
+
+func benchCensus() *table.Table {
+	censusOnce.Do(func() { censusTab = datagen.CensusProjected(benchCensusN, 7, 7) })
+	return censusTab
+}
+
+// BenchmarkTables1to3 reproduces the paper's running example end to end:
+// expand the trivial rule (Table 2), then the Walmart rule (Table 3).
+func BenchmarkTables1to3(b *testing.B) {
+	tab := benchStore()
+	walmart, err := tab.EncodeRule(map[string]string{"Store": "Walmart"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := New(tab, WithK(3))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := e.DrillDown(e.Root()); err != nil {
+			b.Fatal(err)
+		}
+		n := e.FindNode(walmart)
+		if n == nil {
+			b.Fatal("Walmart rule missing")
+		}
+		if err := e.DrillDown(n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig1ExpandEmpty measures the Figure 1 interaction: expanding
+// the empty rule on Marketing under Size weighting (k=4, mw=5).
+func BenchmarkFig1ExpandEmpty(b *testing.B) {
+	tab := benchMarketing()
+	for i := 0; i < b.N; i++ {
+		e, _ := New(tab, WithK(4), WithMaxWeight(5))
+		if err := e.DrillDown(e.Root()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2StarExpand measures the Figure 2 interaction: a star
+// drill-down on the Education column of a first-level rule.
+func BenchmarkFig2StarExpand(b *testing.B) {
+	tab := benchMarketing()
+	for i := 0; i < b.N; i++ {
+		e, _ := New(tab, WithK(4), WithMaxWeight(5))
+		if err := e.DrillDown(e.Root()); err != nil {
+			b.Fatal(err)
+		}
+		if err := e.DrillDownStar(e.Root().Children[1], "Education"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3RuleExpand measures the Figure 3 interaction: expanding a
+// first-level rule.
+func BenchmarkFig3RuleExpand(b *testing.B) {
+	tab := benchMarketing()
+	for i := 0; i < b.N; i++ {
+		e, _ := New(tab, WithK(4), WithMaxWeight(5))
+		if err := e.DrillDown(e.Root()); err != nil {
+			b.Fatal(err)
+		}
+		if err := e.DrillDown(e.Root().Children[2]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4 compares traditional drill-down on Age implemented
+// natively (GROUP BY) and as a degenerate smart drill-down.
+func BenchmarkFig4(b *testing.B) {
+	tab := benchMarketing()
+	age, err := tab.ColumnIndex("Age")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("baseline-groupby", func(b *testing.B) {
+		e, _ := New(tab, WithK(4))
+		for i := 0; i < b.N; i++ {
+			if _, err := e.TraditionalDrillDown(e.Root(), "Age"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("smart-columndrill", func(b *testing.B) {
+		k := tab.DistinctCount(age)
+		for i := 0; i < b.N; i++ {
+			s, err := drill.NewSession(tab, drill.Config{
+				K: k, MaxWeight: 1, Weighter: weight.ColumnDrill{Column: age},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := s.Expand(s.Root()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFig5MW sweeps the mw parameter (Figure 5): expansion time is
+// expected to grow roughly linearly with mw on both datasets and both
+// weighting functions. As in the paper, Marketing is explored directly
+// while Census drill-downs run on a minSS=5000 sample maintained by the
+// SampleHandler (the Create scan dominates its first expansion).
+func BenchmarkFig5MW(b *testing.B) {
+	cases := []struct {
+		dataset string
+		tab     func() *table.Table
+		memory  int // 0 = direct exploration
+		minSS   int
+	}{
+		{"Marketing", benchMarketing, 0, 0},
+		{"Census", benchCensus, 50000, 5000},
+	}
+	for _, c := range cases {
+		tab := c.tab()
+		weighters := []struct {
+			name string
+			w    weight.Weighter
+		}{
+			{"Size", weight.NewSize(tab.NumCols())},
+			{"Bits", weight.BitsFor(tab)},
+		}
+		for _, wt := range weighters {
+			for _, mw := range []float64{1, 5, 10, 20} {
+				b.Run(fmt.Sprintf("%s/%s/mw=%g", c.dataset, wt.name, mw), func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						s, err := drill.NewSession(tab, drill.Config{
+							K: 4, MaxWeight: mw, Weighter: wt.w,
+							SampleMemory: c.memory, MinSampleSize: c.minSS,
+							Seed: int64(i + 1),
+						})
+						if err != nil {
+							b.Fatal(err)
+						}
+						if err := s.Expand(s.Root()); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig6Bits measures the Figure 6 interaction (Bits weighting,
+// mw=20).
+func BenchmarkFig6Bits(b *testing.B) {
+	tab := benchMarketing()
+	w := weight.BitsFor(tab)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := brs.Run(tab, w, brs.Options{K: 4, MaxWeight: 20}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7SizeMinusOne measures the Figure 7 interaction.
+func BenchmarkFig7SizeMinusOne(b *testing.B) {
+	tab := benchMarketing()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := brs.Run(tab, weight.SizeMinusOne{}, brs.Options{K: 4, MaxWeight: 5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8MinSS sweeps minSS (Figure 8a): the first expansion pays a
+// Create scan plus BRS over a minSS-sized sample, so time grows with minSS
+// on top of the fixed scan cost.
+func BenchmarkFig8MinSS(b *testing.B) {
+	tab := benchCensus()
+	for _, minSS := range []int{500, 2000, 5000, 8000} {
+		b.Run(fmt.Sprintf("minSS=%d", minSS), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s, err := drill.NewSession(tab, drill.Config{
+					K: 4, MaxWeight: 5,
+					Weighter:      weight.NewSize(tab.NumCols()),
+					SampleMemory:  50000,
+					MinSampleSize: minSS,
+					Seed:          int64(i + 1),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := s.Expand(s.Root()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTableScaling verifies the Section 5.2.3 claim that runtime is
+// a·|T| + b·minSS: with minSS fixed, time grows linearly in table size.
+func BenchmarkTableScaling(b *testing.B) {
+	for _, n := range []int{20000, 50000, 100000} {
+		tab := datagen.CensusProjected(n, 7, 7)
+		b.Run(fmt.Sprintf("rows=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s, err := drill.NewSession(tab, drill.Config{
+					K: 4, MaxWeight: 5,
+					Weighter:      weight.NewSize(tab.NumCols()),
+					SampleMemory:  20000,
+					MinSampleSize: 2000,
+					Seed:          int64(i + 1),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := s.Expand(s.Root()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPruning quantifies the value of Algorithm 2's sub-rule
+// upper-bound pruning.
+func BenchmarkAblationPruning(b *testing.B) {
+	tab := benchMarketing()
+	w := weight.NewSize(tab.NumCols())
+	for _, disabled := range []bool{false, true} {
+		name := "on"
+		if disabled {
+			name = "off"
+		}
+		b.Run("pruning="+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := brs.Run(tab, w, brs.Options{K: 4, MaxWeight: 5, DisablePruning: disabled}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationAllocator compares the Problem 5 DP against the
+// Problem 6 convex relaxation on a realistic displayed tree.
+func BenchmarkAblationAllocator(b *testing.B) {
+	root := &sampling.TreeNode{Rule: rule.Trivial(7), Count: float64(benchCensusN)}
+	for i := 0; i < 4; i++ {
+		mid := &sampling.TreeNode{
+			Rule:  rule.Trivial(7).With(i%7, rule.Value(i)),
+			Count: float64(benchCensusN) / float64(2+i),
+		}
+		for j := 0; j < 3; j++ {
+			mid.Children = append(mid.Children, &sampling.TreeNode{
+				Rule:  mid.Rule.With((i+j+1)%7, rule.Value(j)),
+				Count: mid.Count / float64(2+j),
+			})
+		}
+		root.Children = append(root.Children, mid)
+	}
+	sampling.UniformLeafProbs(root)
+	b.Run("dp", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := sampling.AllocateDP(root, 50000, 5000); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("convex", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sampling.AllocateConvex(root, 50000, 5000, sampling.ConvexOptions{})
+		}
+	})
+}
+
+// BenchmarkAblationAccess compares the three SampleHandler mechanisms on
+// the same request: Find (resident sample), Combine (assembled from a
+// parent sample), Create (full scan).
+func BenchmarkAblationAccess(b *testing.B) {
+	tab := benchCensus()
+	sub, err := tab.EncodeRule(map[string]string{"attr00": "v00_00"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("find", func(b *testing.B) {
+		store := storage.NewStore(tab)
+		h, _ := sampling.NewHandler(store, 50000, 5000, sampling.NewTestRNG(1))
+		if _, err := h.GetSample(sub); err != nil { // warm: installs the sample
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			v, err := h.GetSample(sub)
+			if err != nil || v.Method != sampling.Find {
+				b.Fatalf("method %v err %v", v.Method, err)
+			}
+		}
+	})
+	b.Run("combine", func(b *testing.B) {
+		store := storage.NewStore(tab)
+		h, _ := sampling.NewHandler(store, 50000, 5000, sampling.NewTestRNG(1))
+		root := &sampling.TreeNode{Rule: rule.Trivial(7), Count: float64(tab.NumRows()), Prob: 1}
+		// Slack 8 builds a 40k-tuple trivial sample, so the sub-rule's
+		// covered share comfortably exceeds minSS and Combine serves it.
+		if _, err := h.Prefetch(root, sampling.PrefetchOptions{Slack: 8}); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			v, err := h.GetSample(sub)
+			if err != nil || v.Method != sampling.Combine {
+				b.Fatalf("method %v err %v", v.Method, err)
+			}
+		}
+	})
+	b.Run("create", func(b *testing.B) {
+		store := storage.NewStore(tab)
+		for i := 0; i < b.N; i++ {
+			h, _ := sampling.NewHandler(store, 50000, 5000, sampling.NewTestRNG(int64(i)))
+			v, err := h.GetSample(sub)
+			if err != nil || v.Method != sampling.Create {
+				b.Fatalf("method %v err %v", v.Method, err)
+			}
+		}
+	})
+}
+
+// BenchmarkWorkloadSession measures a 15-interaction simulated analyst
+// session on sampled Census under the four Section 4 configurations — the
+// end-to-end interactivity metric.
+func BenchmarkWorkloadSession(b *testing.B) {
+	tab := benchCensus()
+	configs := []struct {
+		name     string
+		prefetch bool
+		learned  bool
+	}{
+		{"sampling", false, false},
+		{"sampling+prefetch", true, false},
+		{"sampling+prefetch+learned", true, true},
+	}
+	for _, c := range configs {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := drill.Config{
+					K: 3, MaxWeight: 4,
+					Weighter:      weight.NewSize(tab.NumCols()),
+					SampleMemory:  50000,
+					MinSampleSize: 5000,
+					Prefetch:      c.prefetch,
+					Seed:          int64(i + 1),
+				}
+				if c.learned {
+					cfg.ProbModel = sampling.NewRankModel()
+				}
+				s, err := drill.NewSession(tab, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := workload.Run(s, tab, workload.Config{Steps: 15, Seed: int64(i + 7)}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationParallel measures BRS speedup from parallel passes.
+func BenchmarkAblationParallel(b *testing.B) {
+	tab := benchCensus()
+	w := weight.NewSize(tab.NumCols())
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := brs.Run(tab, w, brs.Options{K: 4, MaxWeight: 4, Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBRSSumAggregate measures the Section 6.3 Sum variant against
+// plain Count on the store dataset.
+func BenchmarkBRSSumAggregate(b *testing.B) {
+	tab := benchStore()
+	w := weight.NewSize(tab.NumCols())
+	b.Run("count", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := brs.Run(tab, w, brs.Options{K: 3, MaxWeight: 3}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sum", func(b *testing.B) {
+		m, err := tab.MeasureIndex("Sales")
+		if err != nil {
+			b.Fatal(err)
+		}
+		agg := score.SumAgg{Measure: m, Label: "Sales"}
+		for i := 0; i < b.N; i++ {
+			if _, _, err := brs.Run(tab, w, brs.Options{K: 3, MaxWeight: 3, Agg: agg}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

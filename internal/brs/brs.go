@@ -1,0 +1,602 @@
+// Package brs implements BRS (Best Rule Set), the paper's greedy algorithm
+// for Problem 3 (Section 3.4), together with the a-priori-style
+// find-best-marginal-rule procedure of Section 3.5 (Algorithm 2).
+//
+// Score is submodular (Lemma 3), so greedily adding the rule with the
+// largest marginal value k times yields a (1 − 1/e)-approximation — in fact
+// 1 − ((k−1)/k)^k — provided the max-weight parameter mw is at least the
+// weight of every rule in the optimal set. Each greedy step finds the best
+// marginal rule in level-wise passes over the table, pruning candidate
+// super-rules whose marginal value is upper-bounded below the best already
+// found.
+package brs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"smartdrill/internal/rule"
+	"smartdrill/internal/score"
+	"smartdrill/internal/table"
+	"smartdrill/internal/weight"
+)
+
+// Options configures a BRS run.
+type Options struct {
+	// K is the number of rules to return (the paper's k; its UI default is 3,
+	// the experiments use 4).
+	K int
+	// MaxWeight is the paper's mw parameter: BRS is guaranteed optimal (up
+	// to the greedy factor) if no optimal rule weighs more than mw, and runs
+	// faster for smaller values. Zero means "no bound" (mw = W of the full
+	// column set), trading speed for the guarantee.
+	MaxWeight float64
+	// Base restricts the search to super-rules of this rule, implementing
+	// rule drill-down after the table has been filtered to Base's coverage.
+	// Nil means the trivial rule.
+	Base rule.Rule
+	// Agg is the aggregated mass; nil means Count. Sum over a measure column
+	// implements the Section 6.3 extension.
+	Agg score.Aggregator
+	// DisablePruning turns off the sub-rule upper-bound pruning (ablation).
+	DisablePruning bool
+	// MaxCandidatesPerLevel caps the candidate set per pass as a memory
+	// safety valve; 0 means DefaultMaxCandidates. When the cap is hit the
+	// result may be suboptimal; Stats.CandidateCapHit records it.
+	MaxCandidatesPerLevel int
+	// Workers sets the number of goroutines used for table passes; 0 or 1
+	// runs serially. With the Count aggregate, parallel results are
+	// bit-identical to serial ones (all accumulators stay integral).
+	Workers int
+	// MinGainRatio (used by RunIncremental only) stops the stream once a
+	// rule's marginal value drops below this fraction of the first rule's
+	// — the anytime mode's guard against flooding the display with
+	// near-worthless rules. 0 disables the cutoff.
+	MinGainRatio float64
+}
+
+// DefaultMaxCandidates bounds per-level candidate growth when the caller
+// does not specify a cap.
+const DefaultMaxCandidates = 1 << 20
+
+// Result is one selected rule with its display statistics.
+type Result struct {
+	Rule   rule.Rule
+	Weight float64
+	// Count is the aggregate mass of all tuples covered by Rule in the
+	// table BRS ran on (the value shown to the analyst).
+	Count float64
+	// MCount is the marginal mass: tuples covered by Rule and by no
+	// higher-weight rule selected before it.
+	MCount float64
+}
+
+// Stats instruments a run for the performance experiments (Figure 5) and
+// the pruning ablation.
+type Stats struct {
+	Passes            int   // table passes across all greedy steps
+	CandidatesCounted int   // rules whose marginal value was measured
+	CandidatesPruned  int   // rules dropped by the upper-bound test
+	RowsScanned       int64 // total row visits
+	CandidateCapHit   bool  // a level hit MaxCandidatesPerLevel
+}
+
+// Run executes BRS on t and returns up to opts.K rules ordered by
+// descending weight (the display order mandated by Lemma 1), together with
+// run statistics. It returns fewer than K rules when no remaining rule has
+// positive marginal value.
+func Run(t *table.Table, w weight.Weighter, opts Options) ([]Result, Stats, error) {
+	if opts.K <= 0 {
+		return nil, Stats{}, fmt.Errorf("brs: K must be positive, got %d", opts.K)
+	}
+	base := opts.Base
+	if base == nil {
+		base = rule.Trivial(t.NumCols())
+	}
+	if len(base) != t.NumCols() {
+		return nil, Stats{}, fmt.Errorf("brs: base rule has %d columns, table has %d", len(base), t.NumCols())
+	}
+	agg := opts.Agg
+	if agg == nil {
+		agg = score.CountAgg{}
+	}
+	mw := opts.MaxWeight
+	if mw <= 0 {
+		mw = w.MaxWeight(t.NumCols())
+	}
+	maxCand := opts.MaxCandidatesPerLevel
+	if maxCand <= 0 {
+		maxCand = DefaultMaxCandidates
+	}
+
+	run := &runner{
+		t: t, w: w, agg: agg, mw: mw, base: base,
+		prune: !opts.DisablePruning, maxCand: maxCand, par: opts.Workers,
+	}
+	var selected []Result
+	for step := 0; step < opts.K; step++ {
+		best := run.findBestMarginal(resultsToRules(selected))
+		if best == nil || best.marginal <= 0 {
+			break
+		}
+		selected = append(selected, Result{
+			Rule:   best.r,
+			Weight: weight.WeightRule(w, best.r),
+			Count:  best.count,
+			MCount: 0, // recomputed below once ordering is final
+		})
+	}
+	// Order by descending weight and fill marginal counts in that order.
+	sort.SliceStable(selected, func(i, j int) bool {
+		if selected[i].Weight != selected[j].Weight {
+			return selected[i].Weight > selected[j].Weight
+		}
+		return selected[i].Rule.Key() < selected[j].Rule.Key()
+	})
+	rules := resultsToRules(selected)
+	mcs := score.MCounts(t, w, agg, rules)
+	for i := range selected {
+		selected[i].MCount = mcs[i]
+	}
+	return selected, run.stats, nil
+}
+
+func resultsToRules(rs []Result) []rule.Rule {
+	out := make([]rule.Rule, len(rs))
+	for i := range rs {
+		out[i] = rs[i].Rule
+	}
+	return out
+}
+
+// runner holds per-Run state shared by greedy steps.
+type runner struct {
+	t       *table.Table
+	w       weight.Weighter
+	agg     score.Aggregator
+	mw      float64
+	base    rule.Rule
+	prune   bool
+	maxCand int
+	par     int
+	stats   Stats
+}
+
+// cand is one candidate rule with accumulated statistics.
+type cand struct {
+	r        rule.Rule
+	key      string // cached r.Key(), used for dedup and stable ordering
+	weight   float64
+	count    float64 // aggregate mass covered
+	marginal float64 // marginal value vs the current selection
+}
+
+// findBestMarginal implements Algorithm 2: level-wise candidate counting
+// with sub-rule upper-bound pruning against threshold H.
+func (rn *runner) findBestMarginal(selected []rule.Rule) *cand {
+	t := rn.t
+	n := t.NumRows()
+	if n == 0 {
+		return nil
+	}
+
+	// One pass to fix wS[i]: weight of the best selected rule covering row
+	// i (W(RS) in Algorithm 2). Selected rules all derive from the same
+	// base, so this is O(|T|·|S|).
+	topW := make([]float64, n)
+	if len(selected) > 0 {
+		sw := make([]float64, len(selected))
+		for j, r := range selected {
+			sw[j] = weight.WeightRule(rn.w, r)
+		}
+		rn.parallelRows(n, func(lo, hi, _ int) {
+			for i := lo; i < hi; i++ {
+				for j, r := range selected {
+					if sw[j] > topW[i] && t.Covers(r, i) {
+						topW[i] = sw[j]
+					}
+				}
+			}
+		})
+		rn.stats.Passes++
+		rn.stats.RowsScanned += int64(n)
+	}
+
+	freeCols := rn.freeColumns()
+	if len(freeCols) == 0 {
+		return nil
+	}
+
+	counted := make(map[string]*cand) // C in Algorithm 2: all counted rules
+	var best *cand
+	H := 0.0
+
+	// Level 1: one pass counts every single-extension rule base+(c,v).
+	prev := rn.countLevelOne(freeCols, topW, counted)
+	for _, c := range prev {
+		if best == nil || c.marginal > best.marginal {
+			best = c
+		}
+	}
+	if best != nil {
+		H = best.marginal
+	}
+
+	// Levels 2..: generate super-rules of the previous level's candidates,
+	// prune by upper bound, count survivors in one pass.
+	for level := 2; level <= len(freeCols); level++ {
+		next := rn.generateCandidates(prev, counted)
+		if len(next) == 0 {
+			break
+		}
+		survivors := next[:0]
+		for _, c := range next {
+			if rn.prune && rn.upperBound(c, counted) < H {
+				rn.stats.CandidatesPruned++
+				continue
+			}
+			survivors = append(survivors, c)
+		}
+		if len(survivors) == 0 {
+			break
+		}
+		rn.countCandidates(survivors, topW)
+		for _, c := range survivors {
+			counted[c.key] = c
+			rn.stats.CandidatesCounted++
+			if best == nil || c.marginal > best.marginal {
+				best = c
+				H = c.marginal
+			}
+		}
+		prev = survivors
+	}
+	return best
+}
+
+// freeColumns lists columns not instantiated by the base rule.
+func (rn *runner) freeColumns() []int {
+	var cols []int
+	for c, v := range rn.base {
+		if v == rule.Star {
+			cols = append(cols, c)
+		}
+	}
+	return cols
+}
+
+// countLevelOne counts, in a single pass, every rule extending the base by
+// one (column, value) pair and returns the candidates. Column-major layout
+// lets us accumulate per (column, value-id) without hashing.
+func (rn *runner) countLevelOne(freeCols []int, topW []float64, counted map[string]*cand) []*cand {
+	t := rn.t
+	n := t.NumRows()
+
+	type colAcc struct {
+		col    int
+		weight float64
+		cnt    []float64
+		mv     []float64
+	}
+	accs := make([]colAcc, 0, len(freeCols))
+	baseMask := rn.base.Mask()
+	for _, c := range freeCols {
+		m := baseMask
+		m.Set(c)
+		wgt := rn.w.Weight(m)
+		if wgt > rn.mw {
+			continue // weight cap: super-rules only get heavier (monotone)
+		}
+		accs = append(accs, colAcc{
+			col:    c,
+			weight: wgt,
+			cnt:    make([]float64, t.DistinctCount(c)),
+			mv:     make([]float64, t.DistinctCount(c)),
+		})
+	}
+	if len(accs) == 0 {
+		return nil
+	}
+	// One accumulator set per worker; merged after the pass.
+	nw := rn.workers()
+	perWorker := make([][]colAcc, nw)
+	perWorker[0] = accs
+	for g := 1; g < nw; g++ {
+		cp := make([]colAcc, len(accs))
+		for a, acc := range accs {
+			cp[a] = colAcc{
+				col:    acc.col,
+				weight: acc.weight,
+				cnt:    make([]float64, len(acc.cnt)),
+				mv:     make([]float64, len(acc.mv)),
+			}
+		}
+		perWorker[g] = cp
+	}
+	rn.parallelRows(n, func(lo, hi, g int) {
+		mine := perWorker[g]
+		for i := lo; i < hi; i++ {
+			if !t.Covers(rn.base, i) {
+				continue
+			}
+			mass := rn.agg.Mass(t, i)
+			tw := topW[i]
+			for a := range mine {
+				acc := &mine[a]
+				v := t.Value(acc.col, i)
+				acc.cnt[v] += mass
+				if acc.weight > tw {
+					acc.mv[v] += (acc.weight - tw) * mass
+				}
+			}
+		}
+	})
+	for g := 1; g < nw; g++ {
+		for a := range accs {
+			for v := range accs[a].cnt {
+				accs[a].cnt[v] += perWorker[g][a].cnt[v]
+				accs[a].mv[v] += perWorker[g][a].mv[v]
+			}
+		}
+	}
+	rn.stats.Passes++
+	rn.stats.RowsScanned += int64(n)
+
+	var out []*cand
+	for a := range accs {
+		acc := &accs[a]
+		for v := range acc.cnt {
+			if acc.cnt[v] == 0 {
+				continue
+			}
+			r := rn.base.With(acc.col, rule.Value(v))
+			c := &cand{
+				r:        r,
+				key:      r.Key(),
+				weight:   acc.weight,
+				count:    acc.cnt[v],
+				marginal: acc.mv[v],
+			}
+			counted[c.key] = c
+			rn.stats.CandidatesCounted++
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// candIndex buckets candidate rules by the value they require in one
+// chosen anchor column (their first instantiated non-base column). During a
+// table pass, only the candidates whose anchor value matches the row are
+// checked for full coverage — turning the O(rows × candidates) inner loop
+// into O(rows × anchor-matches).
+type candIndex struct {
+	cols  []int     // anchor columns in use
+	byVal [][][]int // byVal[ci][valueID] = positions of candidates anchored at (cols[ci], valueID)
+}
+
+// buildCandIndex indexes cands by anchor column/value. Anchor choice: the
+// first instantiated column that the base leaves free (every non-base
+// candidate has one).
+func (rn *runner) buildCandIndex(cands []*cand) candIndex {
+	t := rn.t
+	var idx candIndex
+	slot := make(map[int]int) // column → position in idx.cols
+	for pos, c := range cands {
+		anchor := -1
+		for col, v := range c.r {
+			if v != rule.Star && rn.base[col] == rule.Star {
+				anchor = col
+				break
+			}
+		}
+		if anchor < 0 {
+			continue // candidate equals base; cannot happen at level ≥ 1
+		}
+		ci, ok := slot[anchor]
+		if !ok {
+			ci = len(idx.cols)
+			slot[anchor] = ci
+			idx.cols = append(idx.cols, anchor)
+			idx.byVal = append(idx.byVal, make([][]int, t.DistinctCount(anchor)))
+		}
+		v := c.r[anchor]
+		idx.byVal[ci][v] = append(idx.byVal[ci][v], pos)
+	}
+	return idx
+}
+
+// generateCandidates builds the next level: every one-column extension of a
+// previous-level candidate with a value that co-occurs in the data. Scanning
+// the table (rather than crossing dictionaries) guarantees every candidate
+// has nonzero support, the a-priori property.
+//
+// The pass is allocation-free: phase 1 marks, per (parent, star column),
+// the distinct extension values seen among covered rows in boolean arrays;
+// phase 2 materializes and deduplicates each distinct extension exactly
+// once. (A naive per-row rule construction spends most of its time hashing
+// rule keys.)
+func (rn *runner) generateCandidates(prev []*cand, counted map[string]*cand) []*cand {
+	t := rn.t
+	n := t.NumRows()
+	idx := rn.buildCandIndex(prev)
+
+	// Phase 1: seen[p][si][v] marks that parent p extends with value v in
+	// its si-th star column.
+	starCols := make([][]int, len(prev))
+	seen := make([][][]bool, len(prev))
+	for p, c := range prev {
+		for col, v := range c.r {
+			if v == rule.Star {
+				starCols[p] = append(starCols[p], col)
+				seen[p] = append(seen[p], make([]bool, t.DistinctCount(col)))
+			}
+		}
+	}
+	// Parallelize with one seen-array set per worker, OR-merged after the
+	// pass — but only while the extra memory stays modest.
+	nw := rn.workers()
+	totalBools := 0
+	for p := range seen {
+		for si := range seen[p] {
+			totalBools += len(seen[p][si])
+		}
+	}
+	const parallelSeenCap = 64 << 20
+	if nw > 1 && totalBools*(nw-1) > parallelSeenCap {
+		nw = 1
+	}
+	perWorker := make([][][][]bool, nw)
+	perWorker[0] = seen
+	for g := 1; g < nw; g++ {
+		cp := make([][][]bool, len(seen))
+		for p := range seen {
+			cp[p] = make([][]bool, len(seen[p]))
+			for si := range seen[p] {
+				cp[p][si] = make([]bool, len(seen[p][si]))
+			}
+		}
+		perWorker[g] = cp
+	}
+	scanRange := func(lo, hi int, mine [][][]bool) {
+		for i := lo; i < hi; i++ {
+			for ci, col := range idx.cols {
+				for _, p := range idx.byVal[ci][t.Value(col, i)] {
+					if !t.Covers(prev[p].r, i) {
+						continue
+					}
+					for si, sc := range starCols[p] {
+						mine[p][si][t.Value(sc, i)] = true
+					}
+				}
+			}
+		}
+	}
+	if nw == 1 {
+		scanRange(0, n, seen)
+	} else {
+		rn.parallelRows(n, func(lo, hi, g int) { scanRange(lo, hi, perWorker[g]) })
+	}
+	for g := 1; g < nw; g++ {
+		for p := range seen {
+			for si := range seen[p] {
+				for v, ok := range perWorker[g][p][si] {
+					if ok {
+						seen[p][si][v] = true
+					}
+				}
+			}
+		}
+	}
+	rn.stats.Passes++
+	rn.stats.RowsScanned += int64(n)
+
+	// Phase 2: materialize each distinct extension once.
+	dedup := make(map[string]*cand)
+	for p, c := range prev {
+		for si, sc := range starCols[p] {
+			for v, ok := range seen[p][si] {
+				if !ok {
+					continue
+				}
+				ext := c.r.With(sc, rule.Value(v))
+				key := ext.Key()
+				if _, dup := dedup[key]; dup {
+					continue
+				}
+				if _, already := counted[key]; already {
+					continue
+				}
+				wgt := rn.w.Weight(ext.Mask())
+				if wgt > rn.mw {
+					continue
+				}
+				dedup[key] = &cand{r: ext, key: key, weight: wgt}
+				if len(dedup) >= rn.maxCand {
+					rn.stats.CandidateCapHit = true
+					return sortedCands(dedup)
+				}
+			}
+		}
+	}
+	return sortedCands(dedup)
+}
+
+// sortedCands returns the deduplicated candidates in deterministic (key)
+// order so ties in marginal value resolve stably.
+func sortedCands(dedup map[string]*cand) []*cand {
+	out := make([]*cand, 0, len(dedup))
+	for _, c := range dedup {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
+	return out
+}
+
+// upperBound computes M from Algorithm 2 step 3.3.2: the tightest bound
+// min over counted sub-rules R' of MV(R') + Count(R')·(mw − W(R')) over the
+// candidate's immediate sub-rules. Any counted sub-rule bounds all its
+// super-rules' marginal values, because each tuple a super-rule covers is
+// covered by R' and can contribute at most mw − (mass already claimed).
+func (rn *runner) upperBound(c *cand, counted map[string]*cand) float64 {
+	bound := math.Inf(1)
+	for _, sub := range c.r.ImmediateSubRules() {
+		if sc, ok := counted[sub.Key()]; ok {
+			b := sc.marginal + sc.count*(rn.mw-sc.weight)
+			if b < bound {
+				bound = b
+			}
+		}
+	}
+	return bound
+}
+
+// countCandidates measures count and marginal value for each candidate in a
+// single pass, visiting only the candidates whose anchor value matches each
+// row (see candIndex).
+func (rn *runner) countCandidates(cands []*cand, topW []float64) {
+	t := rn.t
+	n := t.NumRows()
+	idx := rn.buildCandIndex(cands)
+	// Per-worker accumulators indexed by candidate position, merged after
+	// the pass.
+	nw := rn.workers()
+	cnt := make([][]float64, nw)
+	mv := make([][]float64, nw)
+	for g := 0; g < nw; g++ {
+		cnt[g] = make([]float64, len(cands))
+		mv[g] = make([]float64, len(cands))
+	}
+	rn.parallelRows(n, func(lo, hi, g int) {
+		myCnt, myMV := cnt[g], mv[g]
+		for i := lo; i < hi; i++ {
+			var mass float64
+			massSet := false
+			for ci, col := range idx.cols {
+				for _, pos := range idx.byVal[ci][t.Value(col, i)] {
+					c := cands[pos]
+					if !t.Covers(c.r, i) {
+						continue
+					}
+					if !massSet {
+						mass = rn.agg.Mass(t, i)
+						massSet = true
+					}
+					myCnt[pos] += mass
+					if c.weight > topW[i] {
+						myMV[pos] += (c.weight - topW[i]) * mass
+					}
+				}
+			}
+		}
+	})
+	for g := 0; g < nw; g++ {
+		for pos, c := range cands {
+			c.count += cnt[g][pos]
+			c.marginal += mv[g][pos]
+		}
+	}
+	rn.stats.Passes++
+	rn.stats.RowsScanned += int64(n)
+}

@@ -1,0 +1,359 @@
+package brs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"smartdrill/internal/baseline"
+	"smartdrill/internal/rule"
+	"smartdrill/internal/score"
+	"smartdrill/internal/table"
+	"smartdrill/internal/weight"
+)
+
+func randomTable(rng *rand.Rand, cols, vals, n int) *table.Table {
+	names := make([]string, cols)
+	for c := range names {
+		names[c] = string(rune('A' + c))
+	}
+	b := table.MustBuilder(names, nil)
+	row := make([]string, cols)
+	for i := 0; i < n; i++ {
+		for c := range row {
+			row[c] = string(rune('a' + rng.Intn(vals)))
+		}
+		b.MustAddRow(row)
+	}
+	return b.Build()
+}
+
+func rulesOf(results []Result) []rule.Rule {
+	out := make([]rule.Rule, len(results))
+	for i, r := range results {
+		out[i] = r.Rule
+	}
+	return out
+}
+
+func TestRunErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tab := randomTable(rng, 2, 2, 10)
+	w := weight.NewSize(2)
+	if _, _, err := Run(tab, w, Options{K: 0}); err == nil {
+		t.Error("K=0 must fail")
+	}
+	if _, _, err := Run(tab, w, Options{K: 1, Base: rule.Trivial(3)}); err == nil {
+		t.Error("base arity mismatch must fail")
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	b := table.MustBuilder([]string{"A"}, nil)
+	b.MustAddRow([]string{"x"})
+	tab := b.Build().Filter(rule.Rule{rule.Star}).Select(nil)
+	results, _, err := Run(tab, weight.NewSize(1), Options{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Fatalf("empty table returned %d rules", len(results))
+	}
+}
+
+func TestSingleStepMatchesExhaustiveBestMarginal(t *testing.T) {
+	// The a-priori pruning must never discard the true best marginal rule
+	// when mw bounds the optimum's weight. Compare every greedy step
+	// against brute force on random tables.
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 40; trial++ {
+		tab := randomTable(rng, 3, 3, 30)
+		w := weight.NewSize(3)
+		mw := 3.0
+		var selected []rule.Rule
+		for step := 0; step < 3; step++ {
+			results, _, err := Run(tab, w, Options{K: step + 1, MaxWeight: mw})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := score.SetScore(tab, w, score.CountAgg{}, rulesOf(results))
+
+			_, bestGain := baseline.BestMarginalExhaustive(tab, w, nil, selected, mw)
+			prev := score.SetScore(tab, w, score.CountAgg{}, selected)
+			want := prev + bestGain
+			if got < want-1e-9 {
+				t.Fatalf("trial %d step %d: greedy score %g < exhaustive greedy %g",
+					trial, step, got, want)
+			}
+			selected = rulesOf(results)
+		}
+	}
+}
+
+func TestApproximationRatioVsOptimal(t *testing.T) {
+	// BRS must achieve ≥ (1 − ((k−1)/k)^k) of the true optimum (the greedy
+	// guarantee for submodular maximization).
+	rng := rand.New(rand.NewSource(3))
+	const k = 2
+	ratioBound := 1 - math.Pow(float64(k-1)/float64(k), float64(k))
+	for trial := 0; trial < 25; trial++ {
+		tab := randomTable(rng, 3, 2, 20)
+		w := weight.NewSize(3)
+		results, _, err := Run(tab, w, Options{K: k, MaxWeight: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := score.SetScore(tab, w, score.CountAgg{}, rulesOf(results))
+		_, opt, err := baseline.ExhaustiveBest(tab, w, nil, k, 100000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opt == 0 {
+			continue
+		}
+		if got < ratioBound*opt-1e-9 {
+			t.Fatalf("trial %d: BRS %g < %.3f × OPT %g", trial, got, ratioBound, opt)
+		}
+	}
+}
+
+func TestResultsOrderedByWeightDesc(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	tab := randomTable(rng, 4, 3, 60)
+	results, _, err := Run(tab, weight.NewSize(4), Options{K: 5, MaxWeight: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i].Weight > results[i-1].Weight {
+			t.Fatalf("results not weight-descending: %v", results)
+		}
+	}
+}
+
+func TestCountsAndMCountsConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tab := randomTable(rng, 3, 3, 50)
+	w := weight.NewSize(3)
+	results, _, err := Run(tab, w, Options{K: 4, MaxWeight: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mcSum float64
+	for _, r := range results {
+		if got := float64(tab.Count(r.Rule)); got != r.Count {
+			t.Fatalf("displayed count %g != exact %g for %v", r.Count, got, r.Rule)
+		}
+		if r.MCount > r.Count {
+			t.Fatalf("MCount %g > Count %g", r.MCount, r.Count)
+		}
+		mcSum += r.MCount
+	}
+	if mcSum > float64(tab.NumRows()) {
+		t.Fatalf("ΣMCount %g > table size %d", mcSum, tab.NumRows())
+	}
+	// MCounts must equal the exact marginal counts in display order.
+	mcs := score.MCounts(tab, w, score.CountAgg{}, rulesOf(results))
+	for i, r := range results {
+		if mcs[i] != r.MCount {
+			t.Fatalf("MCount[%d] = %g, want %g", i, r.MCount, mcs[i])
+		}
+	}
+}
+
+func TestBaseRestrictsToSuperRules(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	tab := randomTable(rng, 4, 3, 80)
+	base := rule.Trivial(4).With(0, tab.Value(0, 0))
+	sub := tab.Filter(base)
+	results, _, err := Run(sub, weight.NewSize(4), Options{K: 3, MaxWeight: 4, Base: base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 {
+		t.Fatal("expected results under base rule")
+	}
+	for _, r := range results {
+		if !r.Rule.SuperRuleOf(base) {
+			t.Fatalf("%v is not a super-rule of base %v", r.Rule, base)
+		}
+		if r.Rule.Equal(base) {
+			t.Fatal("base itself must not be returned (zero marginal)")
+		}
+	}
+}
+
+func TestStarConstraintForcesColumn(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tab := randomTable(rng, 4, 3, 80)
+	const col = 2
+	w := weight.StarConstraint{Inner: weight.NewSize(4), Column: col}
+	results, _, err := Run(tab, w, Options{K: 3, MaxWeight: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 {
+		t.Fatal("expected results")
+	}
+	for _, r := range results {
+		if r.Rule[col] == rule.Star {
+			t.Fatalf("star drill-down returned %v without column %d", r.Rule, col)
+		}
+	}
+}
+
+func TestSumAggregate(t *testing.T) {
+	b := table.MustBuilder([]string{"A", "B"}, []string{"M"})
+	// Value "heavy" is rare but carries huge mass; Count would ignore it,
+	// Sum must surface it.
+	for i := 0; i < 50; i++ {
+		b.MustAddRow([]string{"common", "x"}, 1)
+	}
+	for i := 0; i < 3; i++ {
+		b.MustAddRow([]string{"heavy", "y"}, 1000)
+	}
+	tab := b.Build()
+	w := weight.NewSize(2)
+	agg := score.SumAgg{Measure: 0}
+	results, _, err := Run(tab, w, Options{K: 1, MaxWeight: 2, Agg: agg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("got %d results", len(results))
+	}
+	cells := tab.DecodeRule(results[0].Rule)
+	if cells[0] != "heavy" && cells[1] != "y" {
+		t.Fatalf("Sum aggregate should pick the heavy rule, got %v with mass %g",
+			cells, results[0].Count)
+	}
+	if results[0].Count != 3000 {
+		t.Fatalf("Sum count = %g, want 3000", results[0].Count)
+	}
+}
+
+func TestPruningMatchesUnpruned(t *testing.T) {
+	// Pruning is a pure optimization: results must match the unpruned run.
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 20; trial++ {
+		tab := randomTable(rng, 4, 3, 60)
+		w := weight.NewSize(4)
+		pruned, ps, err := Run(tab, w, Options{K: 3, MaxWeight: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		unpruned, us, err := Run(tab, w, Options{K: 3, MaxWeight: 4, DisablePruning: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp := score.SetScore(tab, w, score.CountAgg{}, rulesOf(pruned))
+		su := score.SetScore(tab, w, score.CountAgg{}, rulesOf(unpruned))
+		if math.Abs(sp-su) > 1e-9 {
+			t.Fatalf("trial %d: pruned score %g != unpruned %g", trial, sp, su)
+		}
+		if ps.CandidatesCounted > us.CandidatesCounted {
+			t.Fatalf("pruning counted more candidates (%d) than unpruned (%d)",
+				ps.CandidatesCounted, us.CandidatesCounted)
+		}
+	}
+}
+
+func TestLowMaxWeightNeverBeatsHighMaxWeight(t *testing.T) {
+	// Smaller mw may be suboptimal but can never *exceed* the score found
+	// with a sufficient mw, and all returned rules must respect the cap.
+	rng := rand.New(rand.NewSource(9))
+	tab := randomTable(rng, 4, 2, 60)
+	w := weight.NewSize(4)
+	full, _, _ := Run(tab, w, Options{K: 3, MaxWeight: 4})
+	low, _, _ := Run(tab, w, Options{K: 3, MaxWeight: 1})
+	sf := score.SetScore(tab, w, score.CountAgg{}, rulesOf(full))
+	sl := score.SetScore(tab, w, score.CountAgg{}, rulesOf(low))
+	if sl > sf+1e-9 {
+		t.Fatalf("mw=1 score %g > mw=4 score %g", sl, sf)
+	}
+	for _, r := range low {
+		if r.Weight > 1 {
+			t.Fatalf("rule %v exceeds mw=1 with weight %g", r.Rule, r.Weight)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	tab := randomTable(rng, 4, 3, 100)
+	w := weight.BitsFor(tab)
+	a, _, _ := Run(tab, w, Options{K: 4, MaxWeight: 12})
+	b, _, _ := Run(tab, w, Options{K: 4, MaxWeight: 12})
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic result count")
+	}
+	for i := range a {
+		if !a[i].Rule.Equal(b[i].Rule) {
+			t.Fatalf("nondeterministic rule %d: %v vs %v", i, a[i].Rule, b[i].Rule)
+		}
+	}
+}
+
+func TestKLargerThanRuleSpace(t *testing.T) {
+	b := table.MustBuilder([]string{"A"}, nil)
+	b.MustAddRow([]string{"x"})
+	b.MustAddRow([]string{"x"})
+	b.MustAddRow([]string{"y"})
+	tab := b.Build()
+	results, _, err := Run(tab, weight.NewSize(1), Options{K: 10, MaxWeight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only two rules have positive marginal value: (x) and (y).
+	if len(results) != 2 {
+		t.Fatalf("got %d rules, want 2", len(results))
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tab := randomTable(rng, 3, 3, 50)
+	_, stats, err := Run(tab, weight.NewSize(3), Options{K: 2, MaxWeight: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Passes == 0 || stats.CandidatesCounted == 0 || stats.RowsScanned == 0 {
+		t.Fatalf("stats not recorded: %+v", stats)
+	}
+}
+
+func TestCandidateCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	tab := randomTable(rng, 5, 4, 200)
+	_, stats, err := Run(tab, weight.NewSize(5), Options{K: 2, MaxWeight: 5, MaxCandidatesPerLevel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.CandidateCapHit {
+		t.Fatal("expected the candidate cap to trip")
+	}
+}
+
+func TestBitsWeightingEndToEnd(t *testing.T) {
+	// Under Bits weighting, instantiating a high-cardinality column must
+	// beat a binary column with the same count.
+	b := table.MustBuilder([]string{"Binary", "Wide"}, nil)
+	for i := 0; i < 40; i++ {
+		b.MustAddRow([]string{"yes", "w0"})
+	}
+	for i := 0; i < 60; i++ {
+		b.MustAddRow([]string{"no", string(rune('a' + i%9))})
+	}
+	tab := b.Build()
+	w := weight.BitsFor(tab)
+	results, _, err := Run(tab, w, Options{K: 1, MaxWeight: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := tab.DecodeRule(results[0].Rule)
+	// (yes, w0) covers 40 tuples at weight 1+4=5 → 200; (no, ?) covers 60
+	// at weight 1 → 60; (?, w0) covers 40 at weight 4 → 160.
+	if cells[0] != "yes" || cells[1] != "w0" {
+		t.Fatalf("Bits should pick the double-column rule, got %v", cells)
+	}
+}

@@ -1,0 +1,99 @@
+package brs
+
+import (
+	"fmt"
+	"time"
+
+	"smartdrill/internal/rule"
+	"smartdrill/internal/score"
+	"smartdrill/internal/table"
+	"smartdrill/internal/weight"
+)
+
+// Incremental operation (Section 6.1): BRS is greedy, so the best rule
+// list of size k+1 extends the best list of size k by one rule. Instead of
+// fixing k up front, a caller can stream rules as they are found and stop
+// on its own criterion — the paper suggests stopping on a new user command
+// or a time limit and displaying whatever has been found.
+
+// Yield receives each selected rule in greedy selection order (not display
+// order) immediately after its greedy step completes. Returning false
+// stops the search.
+type Yield func(Result) bool
+
+// RunIncremental runs greedy steps until yield returns false, the optional
+// deadline passes, maxRules rules have been emitted (0 = unbounded), no
+// rule adds positive marginal value, or the marginal value falls below
+// MinGainRatio of the first rule's. The Result passed to yield carries the
+// rule's Count; MCount is the marginal mass at selection time.
+func RunIncremental(t *table.Table, w weight.Weighter, opts Options, maxRules int, deadline time.Time, yield Yield) (Stats, error) {
+	if opts.K <= 0 {
+		opts.K = 1 // K is unused by the incremental driver but validated by shared code paths
+	}
+	base := opts.Base
+	if base == nil {
+		base = rule.Trivial(t.NumCols())
+	}
+	if len(base) != t.NumCols() {
+		return Stats{}, errBaseArity(len(base), t.NumCols())
+	}
+	agg := opts.Agg
+	if agg == nil {
+		agg = score.CountAgg{}
+	}
+	mw := opts.MaxWeight
+	if mw <= 0 {
+		mw = w.MaxWeight(t.NumCols())
+	}
+	maxCand := opts.MaxCandidatesPerLevel
+	if maxCand <= 0 {
+		maxCand = DefaultMaxCandidates
+	}
+	run := &runner{
+		t: t, w: w, agg: agg, mw: mw, base: base,
+		prune: !opts.DisablePruning, maxCand: maxCand, par: opts.Workers,
+	}
+	var selected []rule.Rule
+	firstGain := 0.0
+	for step := 0; maxRules <= 0 || step < maxRules; step++ {
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			break
+		}
+		best := run.findBestMarginal(selected)
+		if best == nil || best.marginal <= 0 {
+			break
+		}
+		if step == 0 {
+			firstGain = best.marginal
+		} else if opts.MinGainRatio > 0 && best.marginal < opts.MinGainRatio*firstGain {
+			break // diminishing returns: stop flooding the display
+		}
+		selected = append(selected, best.r)
+		ok := yield(Result{
+			Rule:   best.r,
+			Weight: weight.WeightRule(w, best.r),
+			Count:  best.count,
+			MCount: best.marginal / weightOrOne(weight.WeightRule(w, best.r)),
+		})
+		if !ok {
+			break
+		}
+	}
+	return run.stats, nil
+}
+
+// weightOrOne guards the MCount back-calculation (marginal = Σ (W−wS) per
+// tuple; when nothing was previously selected this is W·MCount, so divide
+// by W). For multi-step selections the quotient is only an upper bound on
+// the true marginal count; callers needing exact MCounts should use
+// score.MCounts on the final list, as Run does.
+func weightOrOne(w float64) float64 {
+	if w <= 0 {
+		return 1
+	}
+	return w
+}
+
+func errBaseArity(got, want int) error {
+	return fmt.Errorf("brs: base rule has %d columns, table has %d", got, want)
+}

@@ -1,0 +1,114 @@
+package brs
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"smartdrill/internal/rule"
+	"smartdrill/internal/table"
+	"smartdrill/internal/weight"
+)
+
+func TestRunIncrementalMatchesRunPrefix(t *testing.T) {
+	// The incremental stream must equal the greedy selection order of Run:
+	// greedy is prefix-stable (the k-rule answer extends the (k−1)-rule
+	// answer), the property Section 6.1 builds on.
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 10; trial++ {
+		tab := randomTable(rng, 4, 3, 80)
+		w := weight.NewSize(4)
+
+		var streamed []Result
+		_, err := RunIncremental(tab, w, Options{MaxWeight: 4}, 4, time.Time{},
+			func(r Result) bool {
+				streamed = append(streamed, r)
+				return true
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, _, err := Run(tab, w, Options{K: 4, MaxWeight: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(streamed) != len(full) {
+			t.Fatalf("trial %d: streamed %d rules, Run returned %d", trial, len(streamed), len(full))
+		}
+		// Same rule sets (Run re-orders by weight; compare as sets).
+		want := map[string]bool{}
+		for _, r := range full {
+			want[r.Rule.Key()] = true
+		}
+		for _, r := range streamed {
+			if !want[r.Rule.Key()] {
+				t.Fatalf("trial %d: streamed rule %v not in Run result", trial, r.Rule)
+			}
+		}
+	}
+}
+
+func TestRunIncrementalStopEarly(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	tab := randomTable(rng, 4, 3, 100)
+	calls := 0
+	_, err := RunIncremental(tab, weight.NewSize(4), Options{MaxWeight: 4}, 0, time.Time{},
+		func(Result) bool {
+			calls++
+			return calls < 2
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Fatalf("yield called %d times, want 2 (stopped by callback)", calls)
+	}
+}
+
+func TestRunIncrementalDeadline(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	tab := randomTable(rng, 4, 3, 100)
+	// A deadline in the past stops before the first greedy step.
+	calls := 0
+	_, err := RunIncremental(tab, weight.NewSize(4), Options{MaxWeight: 4}, 0,
+		time.Now().Add(-time.Second),
+		func(Result) bool { calls++; return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 0 {
+		t.Fatalf("deadline ignored: %d yields", calls)
+	}
+}
+
+func TestRunIncrementalExhaustsRuleSpace(t *testing.T) {
+	// With unbounded maxRules the stream ends when no rule has positive
+	// marginal value.
+	b := newTinyTable()
+	calls := 0
+	_, err := RunIncremental(b, weight.NewSize(1), Options{MaxWeight: 1}, 0, time.Time{},
+		func(Result) bool { calls++; return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 { // values "x" and "y"
+		t.Fatalf("streamed %d rules, want 2", calls)
+	}
+}
+
+func TestRunIncrementalBaseArity(t *testing.T) {
+	b := newTinyTable()
+	_, err := RunIncremental(b, weight.NewSize(1), Options{Base: rule.Trivial(3)}, 0, time.Time{},
+		func(Result) bool { return true })
+	if err == nil {
+		t.Fatal("arity mismatch must fail")
+	}
+}
+
+func newTinyTable() *table.Table {
+	bld := table.MustBuilder([]string{"A"}, nil)
+	bld.MustAddRow([]string{"x"})
+	bld.MustAddRow([]string{"x"})
+	bld.MustAddRow([]string{"y"})
+	return bld.Build()
+}

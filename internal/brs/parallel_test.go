@@ -1,0 +1,102 @@
+package brs
+
+import (
+	"math/rand"
+	"testing"
+
+	"smartdrill/internal/score"
+	"smartdrill/internal/weight"
+)
+
+// TestParallelMatchesSerial verifies that parallel runs produce exactly
+// the same rules, counts, and marginals as serial runs — the Count
+// aggregate keeps all accumulators integral, so results are bit-identical.
+func TestParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 15; trial++ {
+		tab := randomTable(rng, 5, 4, 500)
+		w := weight.BitsFor(tab)
+		serial, _, err := Run(tab, w, Options{K: 4, MaxWeight: 12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4, 11} {
+			par, _, err := Run(tab, w, Options{K: 4, MaxWeight: 12, Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(par) != len(serial) {
+				t.Fatalf("trial %d workers=%d: %d rules vs serial %d",
+					trial, workers, len(par), len(serial))
+			}
+			for i := range serial {
+				if !par[i].Rule.Equal(serial[i].Rule) {
+					t.Fatalf("trial %d workers=%d: rule %d differs: %v vs %v",
+						trial, workers, i, par[i].Rule, serial[i].Rule)
+				}
+				if par[i].Count != serial[i].Count || par[i].MCount != serial[i].MCount {
+					t.Fatalf("trial %d workers=%d: stats differ for %v: (%g,%g) vs (%g,%g)",
+						trial, workers, par[i].Rule,
+						par[i].Count, par[i].MCount, serial[i].Count, serial[i].MCount)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelWithSelection exercises the topW pass (non-empty selection)
+// and the Sum aggregate under parallelism.
+func TestParallelWithSelection(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	tab := randomTable(rng, 4, 3, 300)
+	w := weight.NewSize(4)
+	serial, _, err := Run(tab, w, Options{K: 5, MaxWeight: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, _, err := Run(tab, w, Options{K: 5, MaxWeight: 4, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := score.SetScore(tab, w, score.CountAgg{}, rulesOf(serial))
+	sp := score.SetScore(tab, w, score.CountAgg{}, rulesOf(par))
+	if ss != sp {
+		t.Fatalf("parallel score %g != serial %g", sp, ss)
+	}
+}
+
+func TestParallelRowsCoversAllRows(t *testing.T) {
+	rn := &runner{par: 4}
+	for _, n := range []int{0, 1, 7, 64, 1000} {
+		visited := make([]int32, n)
+		rn.parallelRows(n, func(lo, hi, g int) {
+			for i := lo; i < hi; i++ {
+				visited[i]++
+			}
+		})
+		for i, v := range visited {
+			if v != 1 {
+				t.Fatalf("n=%d: row %d visited %d times", n, i, v)
+			}
+		}
+	}
+}
+
+func TestWorkersClamped(t *testing.T) {
+	rn := &runner{par: 1 << 20}
+	if got := rn.workers(); got != MaxWorkers {
+		t.Fatalf("workers = %d, want cap %d", got, MaxWorkers)
+	}
+	rn.par = 0
+	if rn.workers() != 1 {
+		t.Fatal("0 workers must mean serial")
+	}
+	rn.par = -3
+	if rn.workers() != 1 {
+		t.Fatal("negative workers must mean serial")
+	}
+	rn.par = 5
+	if rn.workers() != 5 {
+		t.Fatal("explicit worker counts must be honored")
+	}
+}

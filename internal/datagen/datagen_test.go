@@ -1,0 +1,205 @@
+package datagen
+
+import (
+	"math/rand"
+	"testing"
+
+	"smartdrill/internal/rule"
+)
+
+func TestStoreSalesShape(t *testing.T) {
+	tab := StoreSales(42)
+	if tab.NumRows() != 6000 {
+		t.Fatalf("rows = %d, want 6000", tab.NumRows())
+	}
+	if tab.NumCols() != 3 {
+		t.Fatalf("cols = %d, want 3", tab.NumCols())
+	}
+	if len(tab.MeasureNames()) != 1 || tab.MeasureNames()[0] != "Sales" {
+		t.Fatalf("measures = %v", tab.MeasureNames())
+	}
+}
+
+func TestStoreSalesPlantedCounts(t *testing.T) {
+	tab := StoreSales(42)
+	cases := []struct {
+		pattern map[string]string
+		want    int
+	}{
+		{map[string]string{"Store": "Walmart"}, 1000},
+		{map[string]string{"Store": "Target", "Product": "bicycles"}, 200},
+		{map[string]string{"Product": "comforters", "Region": "MA-3"}, 600},
+		{map[string]string{"Store": "Walmart", "Product": "cookies"}, 200},
+		{map[string]string{"Store": "Walmart", "Region": "CA-1"}, 150},
+		{map[string]string{"Store": "Walmart", "Region": "WA-5"}, 130},
+	}
+	for _, c := range cases {
+		r, err := tab.EncodeRule(c.pattern)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := tab.Count(r); got != c.want {
+			t.Errorf("Count(%v) = %d, want %d", c.pattern, got, c.want)
+		}
+	}
+}
+
+func TestStoreSalesNoiseBounded(t *testing.T) {
+	// No noise value may rival the planted groups, or the drill-down would
+	// not reproduce the paper's tables.
+	tab := StoreSales(42)
+	for c := 0; c < tab.NumCols(); c++ {
+		for v := 0; v < tab.DistinctCount(c); v++ {
+			val := tab.Dict(c).Decode(rule.Value(v))
+			switch val {
+			case "Walmart", "Target", "bicycles", "comforters", "cookies", "MA-3", "CA-1", "WA-5":
+				continue
+			}
+			r := rule.Trivial(3).With(c, rule.Value(v))
+			if got := tab.Count(r); got >= 200 {
+				t.Errorf("noise value %q count %d rivals planted groups", val, got)
+			}
+		}
+	}
+}
+
+func TestStoreSalesDeterministic(t *testing.T) {
+	a, b := StoreSales(9), StoreSales(9)
+	if a.NumRows() != b.NumRows() {
+		t.Fatal("nondeterministic row count")
+	}
+	for i := 0; i < 100; i++ {
+		for c := 0; c < a.NumCols(); c++ {
+			if a.Value(c, i) != b.Value(c, i) {
+				t.Fatalf("row %d differs between same-seed generations", i)
+			}
+		}
+	}
+}
+
+func TestMarketingShape(t *testing.T) {
+	tab := Marketing(2000, 3)
+	if tab.NumRows() != 2000 {
+		t.Fatalf("rows = %d", tab.NumRows())
+	}
+	if tab.NumCols() != 14 {
+		t.Fatalf("cols = %d, want 14", tab.NumCols())
+	}
+	for c := 0; c < tab.NumCols(); c++ {
+		if got := tab.DistinctCount(c); got > 10 {
+			t.Errorf("column %s has %d distinct values, paper says ≤10",
+				tab.ColumnNames()[c], got)
+		}
+	}
+}
+
+func TestMarketingCorrelations(t *testing.T) {
+	tab := Marketing(8000, 3)
+	// Young respondents (18-24) must skew single: the generator's marital
+	// correlation is what makes multi-column rules interesting.
+	young, err := tab.EncodeRule(map[string]string{"Age": "18-24"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	youngSingle, err := tab.EncodeRule(map[string]string{"Age": "18-24", "Marital": "Single"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ny, nys := tab.Count(young), tab.Count(youngSingle)
+	if ny == 0 {
+		t.Fatal("no young tuples")
+	}
+	if frac := float64(nys) / float64(ny); frac < 0.6 {
+		t.Errorf("P(single | 18-24) = %.2f, want ≥ 0.6 by construction", frac)
+	}
+	// Married respondents skew dual-income.
+	married, _ := tab.EncodeRule(map[string]string{"Marital": "Married"})
+	marriedDual, _ := tab.EncodeRule(map[string]string{"Marital": "Married", "DualIncome": "Yes"})
+	if frac := float64(tab.Count(marriedDual)) / float64(tab.Count(married)); frac < 0.5 {
+		t.Errorf("P(dual | married) = %.2f, want ≥ 0.5", frac)
+	}
+}
+
+func TestCensusShape(t *testing.T) {
+	tab := Census(500, 5)
+	if tab.NumCols() != CensusColumnCount {
+		t.Fatalf("cols = %d, want %d", tab.NumCols(), CensusColumnCount)
+	}
+	if tab.NumRows() != 500 {
+		t.Fatalf("rows = %d", tab.NumRows())
+	}
+	for c := 0; c < tab.NumCols(); c++ {
+		if got, want := tab.DistinctCount(c), 2+c%9; got > want {
+			t.Errorf("column %d: %d distinct values, want ≤ %d", c, got, want)
+		}
+	}
+}
+
+func TestCensusProjectedMatchesPrefix(t *testing.T) {
+	// CensusProjected must generate the identical prefix distribution as
+	// Census for the same seed (same RNG stream per row).
+	full := Census(300, 8)
+	proj := CensusProjected(300, 7, 8)
+	if proj.NumCols() != 7 {
+		t.Fatalf("projected cols = %d", proj.NumCols())
+	}
+	for i := 0; i < 300; i++ {
+		for c := 0; c < 7; c++ {
+			a := full.Dict(c).Decode(full.Value(c, i))
+			b := proj.Dict(c).Decode(proj.Value(c, i))
+			if a != b {
+				t.Fatalf("row %d col %d: %q vs %q", i, c, a, b)
+			}
+		}
+	}
+}
+
+func TestCensusBlockCorrelation(t *testing.T) {
+	tab := Census(5000, 2)
+	// Columns 0 (leader) and 1 follow each other 60% of the time modulo
+	// cardinality; measure the match rate of idx(col1) == idx(col0)%3.
+	match := 0
+	for i := 0; i < tab.NumRows(); i++ {
+		lead := int(tab.Value(0, i))
+		if int(tab.Value(1, i))%3 == lead%3 {
+			match++
+		}
+	}
+	frac := float64(match) / float64(tab.NumRows())
+	if frac < 0.55 {
+		t.Errorf("block correlation %.2f too weak, want ≥ 0.55", frac)
+	}
+}
+
+func TestDistSampling(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := newDist([]string{"a", "b"}, []float64{9, 1})
+	counts := map[string]int{}
+	for i := 0; i < 10000; i++ {
+		counts[d.sample(rng)]++
+	}
+	if counts["a"] < 8500 || counts["a"] > 9500 {
+		t.Fatalf("skewed dist sampled a %d times / 10000, want ≈9000", counts["a"])
+	}
+}
+
+func TestZipfWeights(t *testing.T) {
+	w := zipfWeights(4, 1)
+	if w[0] != 1 || w[1] != 0.5 || w[3] != 0.25 {
+		t.Fatalf("zipf weights = %v", w)
+	}
+	for i := 1; i < len(w); i++ {
+		if w[i] > w[i-1] {
+			t.Fatal("zipf weights must be non-increasing")
+		}
+	}
+}
+
+func TestNewDistValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched values/weights must panic")
+		}
+	}()
+	newDist([]string{"a"}, []float64{1, 2})
+}

@@ -1,0 +1,160 @@
+package datagen
+
+import (
+	"math/rand"
+
+	"smartdrill/internal/table"
+)
+
+// MarketingColumns are the 14 demographic attributes of the paper's
+// Marketing dataset, in the paper's order (Section 5, "Datasets").
+var MarketingColumns = []string{
+	"Income", "Gender", "Marital", "Age", "Education", "Occupation",
+	"TimeInBay", "DualIncome", "Persons", "PersonsUnder18",
+	"Householder", "HomeType", "Ethnicity", "Language",
+}
+
+// Marketing generates a synthetic stand-in for the paper's Marketing survey
+// dataset: n rows over the 14 columns above, each with ≤ 10 distinct
+// values, skewed marginals, and demographic-style correlations (marital
+// status depends on age, occupation on education, income on occupation,
+// household composition on marital status, home type on income). The
+// paper's experiments use n = 9409 and the first 7 columns; use
+// MarketingN for the former and Table.Project for the latter.
+func Marketing(n int, seed int64) *table.Table {
+	rng := rand.New(rand.NewSource(seed))
+	b := table.MustBuilder(MarketingColumns, nil)
+
+	gender := newDist([]string{"Female", "Male"}, []float64{0.52, 0.48})
+	age := newDist(
+		[]string{"18-24", "25-34", "35-44", "45-54", "55-64", "65+"},
+		[]float64{0.18, 0.27, 0.22, 0.14, 0.10, 0.09})
+	timeInBay := newDist(
+		[]string{">10 years", "4-6 years", "7-10 years", "1-3 years", "<1 year"},
+		[]float64{0.58, 0.12, 0.12, 0.11, 0.07})
+	education := newDist(
+		[]string{"College grad", "Some college", "HS grad", "Grad study", "Some HS", "<HS"},
+		[]float64{0.30, 0.25, 0.20, 0.13, 0.08, 0.04})
+	language := newDist(
+		[]string{"English", "Spanish", "Other"},
+		[]float64{0.87, 0.08, 0.05})
+	ethnicity := newDist(
+		[]string{"White", "Asian", "Hispanic", "Black", "Other"},
+		[]float64{0.62, 0.15, 0.12, 0.08, 0.03})
+
+	// maritalFor correlates marital status with the age bucket index:
+	// younger respondents skew single, older skew married/widowed.
+	maritalFor := func(ageIdx int) dist {
+		vals := []string{"Married", "Single", "Living together", "Divorced", "Widowed"}
+		switch {
+		case ageIdx == 0:
+			return newDist(vals, []float64{0.08, 0.72, 0.14, 0.04, 0.02})
+		case ageIdx == 1:
+			return newDist(vals, []float64{0.38, 0.40, 0.14, 0.07, 0.01})
+		case ageIdx <= 3:
+			return newDist(vals, []float64{0.58, 0.15, 0.07, 0.17, 0.03})
+		default:
+			return newDist(vals, []float64{0.55, 0.07, 0.03, 0.17, 0.18})
+		}
+	}
+	// occupationFor correlates occupation with education index.
+	occupationFor := func(eduIdx int) dist {
+		vals := []string{"Professional", "Clerical", "Sales", "Laborer", "Homemaker",
+			"Student", "Military", "Retired", "Unemployed"}
+		switch {
+		case eduIdx <= 1: // college grad / grad study side
+			return newDist(vals, []float64{0.47, 0.15, 0.12, 0.04, 0.06, 0.08, 0.01, 0.05, 0.02})
+		case eduIdx <= 3:
+			return newDist(vals, []float64{0.22, 0.22, 0.15, 0.12, 0.09, 0.09, 0.02, 0.06, 0.03})
+		default:
+			return newDist(vals, []float64{0.05, 0.14, 0.12, 0.33, 0.12, 0.05, 0.02, 0.09, 0.08})
+		}
+	}
+	// incomeFor correlates income with occupation index.
+	incomeFor := func(occIdx int) dist {
+		vals := []string{"<10k", "10-15k", "15-20k", "20-25k", "25-30k",
+			"30-40k", "40-50k", "50-75k", "75k+"}
+		switch {
+		case occIdx == 0: // professional
+			return newDist(vals, []float64{0.01, 0.02, 0.03, 0.05, 0.07, 0.15, 0.18, 0.27, 0.22})
+		case occIdx <= 2:
+			return newDist(vals, []float64{0.05, 0.07, 0.10, 0.13, 0.14, 0.18, 0.14, 0.13, 0.06})
+		case occIdx == 7: // retired
+			return newDist(vals, []float64{0.15, 0.17, 0.15, 0.13, 0.11, 0.12, 0.08, 0.06, 0.03})
+		default:
+			return newDist(vals, []float64{0.14, 0.15, 0.15, 0.14, 0.12, 0.13, 0.08, 0.06, 0.03})
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		g := gender.sample(rng)
+		ageIdx := age.sampleIdx(rng)
+		ageV := age.values[ageIdx]
+		marital := maritalFor(ageIdx).sample(rng)
+		eduIdx := education.sampleIdx(rng)
+		eduV := education.values[eduIdx]
+		occIdx := occupationFor(eduIdx).sampleIdx(rng)
+		occV := occupationFor(eduIdx).values[occIdx]
+		income := incomeFor(occIdx).sample(rng)
+		tib := timeInBay.sample(rng)
+
+		dual := "No"
+		if marital == "Married" && rng.Float64() < 0.62 {
+			dual = "Yes"
+		}
+		persons := "1"
+		under18 := "0"
+		switch marital {
+		case "Married":
+			persons = []string{"2", "3", "4", "5+"}[weightedIdx(rng, []float64{0.35, 0.27, 0.25, 0.13})]
+			under18 = []string{"0", "1", "2", "3+"}[weightedIdx(rng, []float64{0.42, 0.25, 0.24, 0.09})]
+		case "Living together":
+			persons = []string{"2", "3", "4"}[weightedIdx(rng, []float64{0.62, 0.25, 0.13})]
+			under18 = []string{"0", "1", "2"}[weightedIdx(rng, []float64{0.70, 0.20, 0.10})]
+		default:
+			persons = []string{"1", "2", "3"}[weightedIdx(rng, []float64{0.60, 0.28, 0.12})]
+			under18 = []string{"0", "1"}[weightedIdx(rng, []float64{0.85, 0.15})]
+		}
+		householder := "Rent"
+		if marital == "Married" || income == "50-75k" || income == "75k+" {
+			if rng.Float64() < 0.67 {
+				householder = "Own"
+			}
+		} else if rng.Float64() < 0.25 {
+			householder = "Own"
+		} else if rng.Float64() < 0.10 {
+			householder = "Family"
+		}
+		home := "Apartment"
+		if householder == "Own" {
+			home = []string{"House", "Condo", "Townhouse"}[weightedIdx(rng, []float64{0.72, 0.16, 0.12})]
+		} else if rng.Float64() < 0.20 {
+			home = "House"
+		}
+
+		b.MustAddRow([]string{
+			income, g, marital, ageV, eduV, occV, tib, dual,
+			persons, under18, householder, home,
+			ethnicity.sample(rng), language.sample(rng),
+		})
+	}
+	return b.Build()
+}
+
+// MarketingN is the paper's dataset size.
+const MarketingN = 9409
+
+func weightedIdx(rng *rand.Rand, weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	u := rng.Float64() * total
+	for i, w := range weights {
+		u -= w
+		if u <= 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

@@ -1,0 +1,64 @@
+package datagen
+
+import (
+	"math/rand"
+
+	"smartdrill/internal/table"
+)
+
+// StoreSales builds the department-store table of the paper's running
+// example (Section 1): 6000 tuples over Store / Product / Region with a
+// Sales measure. The example's noteworthy groups are planted with the exact
+// counts of Tables 2–3:
+//
+//	(Target, bicycles, ?)    200 tuples
+//	(?, comforters, MA-3)    600 tuples
+//	(Walmart, ?, ?)         1000 tuples, containing
+//	    (Walmart, cookies, ?)  200
+//	    (Walmart, ?, CA-1)     150
+//	    (Walmart, ?, WA-5)     130
+//
+// The remaining tuples are uniform noise spread thinly enough (≤ ~120 per
+// single value, ≤ ~12 per value pair) that the planted groups are the
+// optimal rules, so a smart drill-down session reproduces the paper's
+// Tables 1–3 exactly.
+func StoreSales(seed int64) *table.Table {
+	rng := rand.New(rand.NewSource(seed))
+	b := table.MustBuilder([]string{"Store", "Product", "Region"}, []string{"Sales"})
+
+	sales := func(lo, hi float64) float64 { return lo + rng.Float64()*(hi-lo) }
+
+	// Planted groups. Within each, the unconstrained attributes are drawn
+	// from wide noise pools so they do not form competing rules.
+	noiseStores := labels("store", 40)
+	noiseProducts := labels("product", 50)
+	noiseRegions := labels("region", 60)
+	pickNoise := func(pool []string) string { return pool[rng.Intn(len(pool))] }
+
+	for i := 0; i < 200; i++ { // Target sells bicycles everywhere
+		b.MustAddRow([]string{"Target", "bicycles", pickNoise(noiseRegions)}, sales(50, 500))
+	}
+	for i := 0; i < 600; i++ { // comforters sell well in MA-3 across stores
+		b.MustAddRow([]string{pickNoise(noiseStores), "comforters", "MA-3"}, sales(20, 200))
+	}
+	// Walmart: 1000 tuples total with planted sub-structure.
+	for i := 0; i < 200; i++ {
+		b.MustAddRow([]string{"Walmart", "cookies", pickNoise(noiseRegions)}, sales(5, 50))
+	}
+	for i := 0; i < 150; i++ {
+		b.MustAddRow([]string{"Walmart", pickNoise(noiseProducts), "CA-1"}, sales(10, 300))
+	}
+	for i := 0; i < 130; i++ {
+		b.MustAddRow([]string{"Walmart", pickNoise(noiseProducts), "WA-5"}, sales(10, 300))
+	}
+	for i := 0; i < 520; i++ { // remaining Walmart tuples: diffuse
+		b.MustAddRow([]string{"Walmart", pickNoise(noiseProducts), pickNoise(noiseRegions)}, sales(10, 300))
+	}
+	// Uniform noise filler to reach 6000 rows. 4200 rows over 40×50×60
+	// combinations: expected ~105 per store, ~84 per product, ~70 per
+	// region, ~2 per pair — far below every planted count.
+	for i := 0; i < 4200; i++ {
+		b.MustAddRow([]string{pickNoise(noiseStores), pickNoise(noiseProducts), pickNoise(noiseRegions)}, sales(5, 400))
+	}
+	return b.Build()
+}

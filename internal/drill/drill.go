@@ -1,0 +1,323 @@
+// Package drill implements the interactive smart drill-down session of
+// Section 2.3: a displayed tree of rules the analyst expands (by clicking a
+// rule or a star within a rule) and collapses (roll-up). Expansions run BRS
+// on either the full table or — for large tables — a uniform sample served
+// by the SampleHandler, scaling displayed counts back to table estimates.
+package drill
+
+import (
+	"fmt"
+	"math"
+
+	"smartdrill/internal/brs"
+	"smartdrill/internal/rule"
+	"smartdrill/internal/sampling"
+	"smartdrill/internal/score"
+	"smartdrill/internal/storage"
+	"smartdrill/internal/table"
+	"smartdrill/internal/weight"
+)
+
+// Config parameterizes a session. Zero values get paper defaults.
+type Config struct {
+	// K is the number of rules per expansion (paper default 3; the
+	// experiments use 4).
+	K int
+	// MaxWeight is BRS's mw parameter; 0 lets each expansion estimate it
+	// (EstimateMaxWeight) or fall back to the weighter's bound.
+	MaxWeight float64
+	// Weighter scores rules; nil means Size weighting.
+	Weighter weight.Weighter
+	// Agg is the displayed aggregate; nil means Count.
+	Agg score.Aggregator
+	// SampleMemory (M) and MinSampleSize (minSS) enable the SampleHandler
+	// when both are positive and the table is larger than MinSampleSize;
+	// otherwise expansions scan the table directly.
+	SampleMemory  int
+	MinSampleSize int
+	// Prefetch rebuilds samples for likely next drill-downs after each
+	// expansion (Section 4.3) and upgrades displayed counts to exact.
+	Prefetch bool
+	// Seed makes sampling deterministic; 0 means seed 1.
+	Seed int64
+	// Workers parallelizes BRS table passes across goroutines; 0 runs
+	// serially. Results are identical under the Count aggregate.
+	Workers int
+	// ProbModel predicts which displayed rule the analyst drills next,
+	// steering prefetch memory allocation (Section 4.1). Nil means the
+	// uniform distribution. drill sessions feed the model their own
+	// history automatically.
+	ProbModel sampling.ProbModel
+}
+
+// Node is one displayed rule. Count is the displayed aggregate (estimated
+// when served from a sample; Exact reports which).
+type Node struct {
+	Rule     rule.Rule
+	Weight   float64
+	Count    float64
+	Exact    bool
+	Children []*Node
+
+	// CILow and CIHigh bound the true count at 95% confidence when Count
+	// is a sample estimate (Exact false, Count aggregate); both equal
+	// Count when it is exact.
+	CILow, CIHigh float64
+
+	parent *Node
+}
+
+// Expanded reports whether the node currently shows children.
+func (n *Node) Expanded() bool { return len(n.Children) > 0 }
+
+// Session is an interactive drill-down over one table.
+type Session struct {
+	tab     *table.Table
+	store   *storage.Store
+	handler *sampling.Handler
+	cfg     Config
+	root    *Node
+
+	// LastMethod records how the most recent expansion obtained its
+	// tuples: "direct" or a sampling.Method name.
+	LastMethod string
+	// LastStats holds the BRS statistics of the most recent expansion.
+	LastStats brs.Stats
+}
+
+// NewSession starts a session on t. The root node is the trivial rule with
+// the exact table count, as in Table 1 of the paper.
+func NewSession(t *table.Table, cfg Config) (*Session, error) {
+	if cfg.K <= 0 {
+		cfg.K = 3
+	}
+	if cfg.Weighter == nil {
+		cfg.Weighter = weight.NewSize(t.NumCols())
+	}
+	if cfg.Agg == nil {
+		cfg.Agg = score.CountAgg{}
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	s := &Session{
+		tab:   t,
+		store: storage.NewStore(t),
+		cfg:   cfg,
+	}
+	if cfg.SampleMemory > 0 && cfg.MinSampleSize > 0 && t.NumRows() > cfg.MinSampleSize {
+		h, err := sampling.NewHandler(s.store, cfg.SampleMemory, cfg.MinSampleSize, sampling.NewTestRNG(cfg.Seed))
+		if err != nil {
+			return nil, err
+		}
+		s.handler = h
+	}
+	var rootCount float64
+	for i := 0; i < t.NumRows(); i++ {
+		rootCount += cfg.Agg.Mass(t, i)
+	}
+	s.root = &Node{
+		Rule:   rule.Trivial(t.NumCols()),
+		Weight: 0,
+		Count:  rootCount,
+		Exact:  true,
+	}
+	return s, nil
+}
+
+// Root returns the displayed tree's root.
+func (s *Session) Root() *Node { return s.root }
+
+// Store exposes the scan-accounting store (for experiment reporting).
+func (s *Session) Store() *storage.Store { return s.store }
+
+// Handler exposes the sample handler, or nil when expansions are direct.
+func (s *Session) Handler() *sampling.Handler { return s.handler }
+
+// Expand performs a rule drill-down on n (Problem 1, rule variant): n's
+// children become the best rule list of super-rules of n.Rule. Expanding an
+// already-expanded node first collapses it, matching the paper's toggle UI.
+func (s *Session) Expand(n *Node) error {
+	return s.expand(n, s.cfg.Weighter)
+}
+
+// ExpandStar performs a star drill-down on column c of n (Problem 1, star
+// variant): every returned rule instantiates column c, achieved by zeroing
+// the weight of rules leaving c starred (Section 3.1 reduction).
+func (s *Session) ExpandStar(n *Node, c int) error {
+	if c < 0 || c >= s.tab.NumCols() {
+		return fmt.Errorf("drill: column %d out of range [0,%d)", c, s.tab.NumCols())
+	}
+	if n.Rule[c] != rule.Star {
+		return fmt.Errorf("drill: column %d of rule is already instantiated", c)
+	}
+	return s.expand(n, weight.StarConstraint{Inner: s.cfg.Weighter, Column: c})
+}
+
+// Collapse removes n's children — the roll-up of Section 2.3.
+func (s *Session) Collapse(n *Node) { n.Children = nil }
+
+func (s *Session) expand(n *Node, w weight.Weighter) error {
+	if n.Expanded() {
+		s.Collapse(n)
+	}
+	s.observeDrill(n)
+
+	// Obtain tuples covered by n.Rule: a sample for large tables, the
+	// filtered table otherwise.
+	var (
+		view  *table.Table
+		scale float64
+		exact bool
+	)
+	if s.handler != nil {
+		v, err := s.handler.GetSample(n.Rule)
+		if err != nil {
+			return err
+		}
+		view, scale = v.Tab, v.Scale
+		exact = scale == 1
+		s.LastMethod = v.Method.String()
+	} else {
+		if n.Rule.IsTrivial() {
+			view = s.tab
+		} else {
+			view = s.tab.Filter(n.Rule)
+		}
+		scale, exact = 1, true
+		s.LastMethod = "direct"
+	}
+
+	mw := s.cfg.MaxWeight
+	if mw <= 0 {
+		mw = EstimateMaxWeight(view, w, s.cfg.K, s.cfg.Seed)
+	}
+	results, stats, err := brs.Run(view, w, brs.Options{
+		K:         s.cfg.K,
+		MaxWeight: mw,
+		Base:      n.Rule,
+		Agg:       s.cfg.Agg,
+		Workers:   s.cfg.Workers,
+	})
+	if err != nil {
+		return err
+	}
+	s.LastStats = stats
+
+	n.Children = make([]*Node, 0, len(results))
+	_, isCount := s.cfg.Agg.(score.CountAgg)
+	for _, r := range results {
+		child := &Node{
+			Rule:   r.Rule,
+			Weight: r.Weight,
+			Count:  r.Count * scale,
+			Exact:  exact,
+			parent: n,
+		}
+		child.CILow, child.CIHigh = child.Count, child.Count
+		if !exact && isCount && scale > 0 {
+			child.CILow, child.CIHigh = sampling.CountInterval(int(r.Count), 1/scale, 1.96)
+		}
+		n.Children = append(n.Children, child)
+	}
+
+	if s.handler != nil && s.cfg.Prefetch {
+		s.prefetch()
+	}
+	return nil
+}
+
+// prefetch rebuilds samples for the displayed tree's likely next
+// drill-downs and upgrades displayed counts to exact values learned during
+// the prefetching scan.
+func (s *Session) prefetch() {
+	troot := s.buildTree(s.root, nil)
+	if s.cfg.ProbModel != nil {
+		s.cfg.ProbModel.Assign(troot)
+	} else {
+		sampling.UniformLeafProbs(troot)
+	}
+	if _, err := s.handler.Prefetch(troot, sampling.PrefetchOptions{}); err != nil {
+		return // prefetching is best-effort; the next expand will Create
+	}
+	// Samples created by the prefetch carry exact coverage counts; reflect
+	// them in the display (the paper's background count refinement).
+	for _, smp := range s.handler.Samples() {
+		if node := s.findNode(s.root, smp.Filter); node != nil && !node.Exact {
+			node.Count = float64(smp.ExactCount)
+			node.CILow, node.CIHigh = node.Count, node.Count
+			node.Exact = true
+		}
+	}
+}
+
+// observeDrill feeds the probability model the rank and depth of a drill.
+func (s *Session) observeDrill(n *Node) {
+	model, ok := s.cfg.ProbModel.(*sampling.RankModel)
+	if !ok || n.parent == nil {
+		return
+	}
+	rank := 0
+	for i, c := range n.parent.Children {
+		if c == n {
+			rank = i
+			break
+		}
+	}
+	depth := 0
+	for p := n; p.parent != nil; p = p.parent {
+		depth++
+	}
+	model.Observe(rank, depth)
+}
+
+func (s *Session) buildTree(n *Node, parent *sampling.TreeNode) *sampling.TreeNode {
+	tn := &sampling.TreeNode{Rule: n.Rule, Count: n.Count}
+	if n == s.root {
+		tn.Count = float64(s.tab.NumRows())
+	}
+	for _, c := range n.Children {
+		tn.Children = append(tn.Children, s.buildTree(c, tn))
+	}
+	return tn
+}
+
+func (s *Session) findNode(n *Node, r rule.Rule) *Node {
+	if n.Rule.Equal(r) {
+		return n
+	}
+	for _, c := range n.Children {
+		if found := s.findNode(c, r); found != nil {
+			return found
+		}
+	}
+	return nil
+}
+
+// EstimateMaxWeight implements the Section 6.1 heuristic for mw: run BRS on
+// a small sample with an unbounded mw, observe the maximum selected weight
+// x, and return 2x to absorb sampling error.
+func EstimateMaxWeight(t *table.Table, w weight.Weighter, k int, seed int64) float64 {
+	const probeSize = 2000
+	probe := t
+	if t.NumRows() > probeSize {
+		rng := sampling.NewTestRNG(seed)
+		rows := make([]int, probeSize)
+		for i := range rows {
+			rows[i] = rng.Intn(t.NumRows())
+		}
+		probe = t.Select(rows)
+	}
+	results, _, err := brs.Run(probe, w, brs.Options{K: k, MaxWeight: w.MaxWeight(t.NumCols())})
+	if err != nil || len(results) == 0 {
+		return w.MaxWeight(t.NumCols())
+	}
+	maxW := 0.0
+	for _, r := range results {
+		maxW = math.Max(maxW, r.Weight)
+	}
+	if maxW == 0 {
+		return w.MaxWeight(t.NumCols())
+	}
+	return 2 * maxW
+}

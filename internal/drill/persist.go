@@ -1,0 +1,122 @@
+package drill
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"smartdrill/internal/rule"
+)
+
+// Session persistence: an analyst's drill-down tree is cheap to serialize
+// (rules + display statistics) and restoring it against the same table
+// resumes the exploration where it stopped. Samples are deliberately not
+// persisted — they are rebuilt on demand, keeping snapshots tiny and
+// avoiding stale estimates.
+
+// snapshotNode is the JSON form of a displayed node. Rules are stored as
+// decoded strings (with "?" wildcards) so snapshots remain readable and
+// survive dictionary-id reassignment across table reloads.
+type snapshotNode struct {
+	Values   []string       `json:"values"`
+	Weight   float64        `json:"weight"`
+	Count    float64        `json:"count"`
+	Exact    bool           `json:"exact"`
+	CILow    float64        `json:"ciLow,omitempty"`
+	CIHigh   float64        `json:"ciHigh,omitempty"`
+	Children []snapshotNode `json:"children,omitempty"`
+}
+
+type snapshot struct {
+	Columns []string     `json:"columns"`
+	Root    snapshotNode `json:"root"`
+}
+
+// Save writes the displayed tree as JSON.
+func (s *Session) Save(w io.Writer) error {
+	snap := snapshot{
+		Columns: append([]string{}, s.tab.ColumnNames()...),
+		Root:    s.snapshotOf(s.root),
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
+}
+
+func (s *Session) snapshotOf(n *Node) snapshotNode {
+	out := snapshotNode{
+		Values: s.tab.DecodeRule(n.Rule),
+		Weight: n.Weight,
+		Count:  n.Count,
+		Exact:  n.Exact,
+		CILow:  n.CILow,
+		CIHigh: n.CIHigh,
+	}
+	for _, c := range n.Children {
+		out.Children = append(out.Children, s.snapshotOf(c))
+	}
+	return out
+}
+
+// Load replaces the displayed tree with a previously saved one. The
+// session's table must have the same column names; rule values absent from
+// the current table are rejected (the snapshot describes different data).
+func (s *Session) Load(r io.Reader) error {
+	var snap snapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("drill: decoding snapshot: %w", err)
+	}
+	cols := s.tab.ColumnNames()
+	if len(snap.Columns) != len(cols) {
+		return fmt.Errorf("drill: snapshot has %d columns, table has %d", len(snap.Columns), len(cols))
+	}
+	for i := range cols {
+		if snap.Columns[i] != cols[i] {
+			return fmt.Errorf("drill: snapshot column %d is %q, table has %q", i, snap.Columns[i], cols[i])
+		}
+	}
+	root, err := s.restore(snap.Root, nil)
+	if err != nil {
+		return err
+	}
+	if !root.Rule.IsTrivial() {
+		return fmt.Errorf("drill: snapshot root is not the trivial rule")
+	}
+	s.root = root
+	return nil
+}
+
+func (s *Session) restore(sn snapshotNode, parent *Node) (*Node, error) {
+	if len(sn.Values) != s.tab.NumCols() {
+		return nil, fmt.Errorf("drill: snapshot rule has %d values, table has %d columns",
+			len(sn.Values), s.tab.NumCols())
+	}
+	r := rule.Trivial(s.tab.NumCols())
+	for c, v := range sn.Values {
+		if v == "?" {
+			continue
+		}
+		id, ok := s.tab.Dict(c).Lookup(v)
+		if !ok {
+			return nil, fmt.Errorf("drill: snapshot value %q not in column %q", v, s.tab.ColumnNames()[c])
+		}
+		r[c] = id
+	}
+	n := &Node{
+		Rule:   r,
+		Weight: sn.Weight,
+		Count:  sn.Count,
+		Exact:  sn.Exact,
+		CILow:  sn.CILow,
+		CIHigh: sn.CIHigh,
+		parent: parent,
+	}
+	for _, c := range sn.Children {
+		child, err := s.restore(c, n)
+		if err != nil {
+			return nil, err
+		}
+		n.Children = append(n.Children, child)
+	}
+	return n, nil
+}

@@ -1,0 +1,90 @@
+package drill
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"smartdrill/internal/datagen"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	tab := datagen.StoreSales(42)
+	s, err := NewSession(tab, Config{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Expand(s.Root()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Expand(s.Root().Children[2]); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Render()
+
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restore into a fresh session over the same data.
+	s2, err := NewSession(tab, Config{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	after := s2.Render()
+	if before != after {
+		t.Fatalf("render changed across save/load:\n--- before\n%s\n--- after\n%s", before, after)
+	}
+	// The restored tree is live: collapsing and re-expanding still works.
+	s2.Collapse(s2.Root())
+	if err := s2.Expand(s2.Root()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadRejectsSchemaMismatch(t *testing.T) {
+	tab := datagen.StoreSales(42)
+	s, _ := NewSession(tab, Config{K: 3})
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	other := datagen.Marketing(500, 1)
+	s2, _ := NewSession(other, Config{K: 3})
+	if err := s2.Load(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("loading a snapshot from a different schema must fail")
+	}
+}
+
+func TestLoadRejectsUnknownValue(t *testing.T) {
+	tab := datagen.StoreSales(42)
+	s, _ := NewSession(tab, Config{K: 3})
+	snapshot := `{
+  "columns": ["Store", "Product", "Region"],
+  "root": {
+    "values": ["?", "?", "?"], "weight": 0, "count": 6000, "exact": true,
+    "children": [
+      {"values": ["Amazon", "?", "?"], "weight": 1, "count": 10, "exact": true}
+    ]
+  }
+}`
+	if err := s.Load(strings.NewReader(snapshot)); err == nil {
+		t.Fatal("unknown value must be rejected")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	tab := datagen.StoreSales(42)
+	s, _ := NewSession(tab, Config{K: 3})
+	if err := s.Load(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage must be rejected")
+	}
+	if err := s.Load(strings.NewReader(`{"columns":["Store","Product","Region"],"root":{"values":["Walmart","?","?"]}}`)); err == nil {
+		t.Fatal("non-trivial root must be rejected")
+	}
+}

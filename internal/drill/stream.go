@@ -1,0 +1,85 @@
+package drill
+
+import (
+	"time"
+
+	"smartdrill/internal/brs"
+	"smartdrill/internal/table"
+	"smartdrill/internal/weight"
+)
+
+// Anytime expansion (Section 6.1): instead of fixing k, stream rules into
+// the displayed tree as the greedy search finds them, stopping on a time
+// budget or when the caller has seen enough. The paper suggests "display
+// as many rules as we can find within a time limit (of say 5 seconds)".
+
+// ExpandStream expands n, invoking onRule for every rule as it is found
+// and appending it to n's children immediately. The search stops when
+// onRule returns false, after maxRules rules (0 = unbounded), when budget
+// elapses (0 = unbounded), or when no rule adds value. onRule may be nil.
+func (s *Session) ExpandStream(n *Node, maxRules int, budget time.Duration, onRule func(*Node) bool) error {
+	return s.expandStream(n, s.cfg.Weighter, maxRules, budget, onRule)
+}
+
+func (s *Session) expandStream(n *Node, w weight.Weighter, maxRules int, budget time.Duration, onRule func(*Node) bool) error {
+	if n.Expanded() {
+		s.Collapse(n)
+	}
+	var (
+		view  *table.Table
+		scale float64
+		exact bool
+	)
+	if s.handler != nil {
+		v, err := s.handler.GetSample(n.Rule)
+		if err != nil {
+			return err
+		}
+		view, scale = v.Tab, v.Scale
+		exact = scale == 1
+		s.LastMethod = v.Method.String()
+	} else {
+		if n.Rule.IsTrivial() {
+			view = s.tab
+		} else {
+			view = s.tab.Filter(n.Rule)
+		}
+		scale, exact = 1, true
+		s.LastMethod = "direct"
+	}
+	mw := s.cfg.MaxWeight
+	if mw <= 0 {
+		mw = EstimateMaxWeight(view, w, 4, s.cfg.Seed)
+	}
+	var deadline time.Time
+	if budget > 0 {
+		deadline = time.Now().Add(budget)
+	}
+	stats, err := brs.RunIncremental(view, w, brs.Options{
+		MaxWeight:    mw,
+		Base:         n.Rule,
+		Agg:          s.cfg.Agg,
+		Workers:      s.cfg.Workers,
+		MinGainRatio: 0.01, // drop the long tail of near-worthless rules
+	}, maxRules, deadline, func(r brs.Result) bool {
+		child := &Node{
+			Rule:   r.Rule,
+			Weight: r.Weight,
+			Count:  r.Count * scale,
+			Exact:  exact,
+			CILow:  r.Count * scale,
+			CIHigh: r.Count * scale,
+			parent: n,
+		}
+		n.Children = append(n.Children, child)
+		if onRule == nil {
+			return true
+		}
+		return onRule(child)
+	})
+	if err != nil {
+		return err
+	}
+	s.LastStats = stats
+	return nil
+}

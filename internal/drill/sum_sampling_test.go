@@ -1,0 +1,86 @@
+package drill
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"smartdrill/internal/score"
+	"smartdrill/internal/table"
+)
+
+// buildSalesTable makes a 2-column table with a Sales measure whose totals
+// per group are known.
+func buildSalesTable(n int, seed int64) *table.Table {
+	rng := rand.New(rand.NewSource(seed))
+	b := table.MustBuilder([]string{"Store", "Region"}, []string{"Sales"})
+	stores := []string{"A", "B", "C", "D"}
+	regions := []string{"N", "S", "E", "W"}
+	for i := 0; i < n; i++ {
+		s := stores[rng.Intn(len(stores))]
+		r := regions[rng.Intn(len(regions))]
+		b.MustAddRow([]string{s, r}, 1+rng.Float64()*99)
+	}
+	return b.Build()
+}
+
+// TestSumEstimatesUnderSampling verifies the Section 6.3 + Section 4
+// combination: Sum aggregates computed on a uniform sample and scaled by
+// 1/p are (nearly) unbiased estimates of the true group sums. The scale
+// factor derived for counts applies unchanged because each tuple's mass
+// enters the sample with the same inclusion probability.
+func TestSumEstimatesUnderSampling(t *testing.T) {
+	tab := buildSalesTable(30000, 5)
+	m, err := tab.MeasureIndex("Sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := score.SumAgg{Measure: m, Label: "Sales"}
+	s, err := NewSession(tab, Config{
+		K: 3, MaxWeight: 2, Agg: agg,
+		SampleMemory: 20000, MinSampleSize: 4000, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Expand(s.Root()); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Root().Children) == 0 {
+		t.Fatal("no rules")
+	}
+	for _, k := range s.Root().Children {
+		// True Sum over the full table.
+		truth := 0.0
+		for i := 0; i < tab.NumRows(); i++ {
+			if tab.Covers(k.Rule, i) {
+				truth += agg.Mass(tab, i)
+			}
+		}
+		if truth == 0 {
+			t.Fatalf("displayed rule %v has zero true sum", k.Rule)
+		}
+		if rel := math.Abs(k.Count-truth) / truth; rel > 0.15 {
+			t.Fatalf("Sum estimate %g vs truth %g (rel err %.3f) for %v",
+				k.Count, truth, rel, k.Rule)
+		}
+	}
+}
+
+// TestRootSumExact checks the root of a Sum session shows the exact total.
+func TestRootSumExact(t *testing.T) {
+	tab := buildSalesTable(1000, 6)
+	m, _ := tab.MeasureIndex("Sales")
+	agg := score.SumAgg{Measure: m}
+	s, err := NewSession(tab, Config{K: 2, Agg: agg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := 0.0
+	for i := 0; i < tab.NumRows(); i++ {
+		truth += agg.Mass(tab, i)
+	}
+	if math.Abs(s.Root().Count-truth) > 1e-6 {
+		t.Fatalf("root sum %g != %g", s.Root().Count, truth)
+	}
+}

@@ -1,0 +1,80 @@
+package eval
+
+import (
+	"fmt"
+
+	"smartdrill/internal/drill"
+	"smartdrill/internal/sampling"
+	"smartdrill/internal/table"
+	"smartdrill/internal/weight"
+	"smartdrill/internal/workload"
+)
+
+// WorkloadRow reports one simulated-session configuration: how drill-downs
+// were served and what they cost. This extends the paper's evaluation with
+// the end-to-end metric its Section 4 design targets (serving drills from
+// memory), under uniform vs learned drill-probability models and with
+// prefetching on or off.
+type WorkloadRow struct {
+	Config    string
+	Steps     int
+	Direct    int
+	Find      int
+	Combine   int
+	Create    int
+	FullScans int64
+	HitRate   float64
+}
+
+// WorkloadSweep simulates sessions on t under the standard four
+// configurations (sampling off; sampling; sampling+prefetch;
+// sampling+prefetch+learned model), averaging nothing — each row is one
+// deterministic session with the given seeds.
+func WorkloadSweep(t *table.Table, steps int, sessionSeed, analystSeed int64) ([]WorkloadRow, error) {
+	type setup struct {
+		name string
+		cfg  drill.Config
+	}
+	base := drill.Config{
+		K: 3, MaxWeight: 4,
+		Weighter:      weight.NewSize(t.NumCols()),
+		SampleMemory:  50000,
+		MinSampleSize: 5000,
+		Seed:          sessionSeed,
+	}
+	direct := base
+	direct.SampleMemory, direct.MinSampleSize = 0, 0
+	prefetch := base
+	prefetch.Prefetch = true
+	learned := prefetch
+	learned.ProbModel = sampling.NewRankModel()
+
+	setups := []setup{
+		{"direct (no sampling)", direct},
+		{"sampling", base},
+		{"sampling+prefetch", prefetch},
+		{"sampling+prefetch+learned", learned},
+	}
+	var rows []WorkloadRow
+	for _, su := range setups {
+		s, err := drill.NewSession(t, su.cfg)
+		if err != nil {
+			return nil, fmt.Errorf("eval: workload session %q: %w", su.name, err)
+		}
+		rep, err := workload.Run(s, t, workload.Config{Steps: steps, Seed: analystSeed})
+		if err != nil {
+			return nil, fmt.Errorf("eval: workload run %q: %w", su.name, err)
+		}
+		rows = append(rows, WorkloadRow{
+			Config:    su.name,
+			Steps:     rep.Steps,
+			Direct:    rep.ByMethod["direct"],
+			Find:      rep.ByMethod["Find"],
+			Combine:   rep.ByMethod["Combine"],
+			Create:    rep.ByMethod["Create"],
+			FullScans: rep.FullScans,
+			HitRate:   rep.HitRate(),
+		})
+	}
+	return rows, nil
+}

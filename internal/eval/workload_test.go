@@ -1,0 +1,38 @@
+package eval
+
+import (
+	"testing"
+
+	"smartdrill/internal/datagen"
+)
+
+func TestWorkloadSweep(t *testing.T) {
+	tab := datagen.CensusProjected(30000, 5, 6)
+	rows, err := WorkloadSweep(tab, 12, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4 configurations", len(rows))
+	}
+	// Direct configuration never samples.
+	if rows[0].Find+rows[0].Combine+rows[0].Create != 0 {
+		t.Fatalf("direct config used sampling: %+v", rows[0])
+	}
+	if rows[0].Direct == 0 {
+		t.Fatal("direct config recorded no accesses")
+	}
+	// Sampled configurations serve every access through the handler.
+	for _, r := range rows[1:] {
+		if r.Direct != 0 {
+			t.Fatalf("%s: direct accesses in a sampled config", r.Config)
+		}
+		if r.Find+r.Combine+r.Create == 0 {
+			t.Fatalf("%s: no sampled accesses", r.Config)
+		}
+	}
+	// Prefetching must not lower the hit rate vs plain sampling.
+	if rows[2].HitRate < rows[1].HitRate {
+		t.Fatalf("prefetch lowered hit rate: %+v vs %+v", rows[2], rows[1])
+	}
+}

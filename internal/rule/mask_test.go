@@ -1,0 +1,84 @@
+package rule
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMaskSetClearHas(t *testing.T) {
+	var m Mask
+	for _, c := range []int{0, 63, 64, 127} {
+		m.Set(c)
+		if !m.Has(c) {
+			t.Errorf("Has(%d) false after Set", c)
+		}
+	}
+	if got := m.Count(); got != 4 {
+		t.Fatalf("Count = %d, want 4", got)
+	}
+	m.Clear(64)
+	if m.Has(64) {
+		t.Error("Has(64) true after Clear")
+	}
+	if got := m.Count(); got != 3 {
+		t.Fatalf("Count after clear = %d, want 3", got)
+	}
+}
+
+func TestMaskColumnsRoundTrip(t *testing.T) {
+	cols := []int{3, 17, 64, 90, 127}
+	m := MaskOf(cols...)
+	got := m.Columns()
+	if len(got) != len(cols) {
+		t.Fatalf("Columns = %v, want %v", got, cols)
+	}
+	for i := range cols {
+		if got[i] != cols[i] {
+			t.Fatalf("Columns = %v, want %v", got, cols)
+		}
+	}
+}
+
+func TestMaskSubsetUnion(t *testing.T) {
+	a := MaskOf(1, 65)
+	b := MaskOf(1, 65, 100)
+	if !a.SubsetOf(b) {
+		t.Error("a should be a subset of b")
+	}
+	if b.SubsetOf(a) {
+		t.Error("b should not be a subset of a")
+	}
+	u := a.Union(MaskOf(100))
+	if !u.SubsetOf(b) || !b.SubsetOf(u) {
+		t.Errorf("union mismatch: %v vs %v", u.Columns(), b.Columns())
+	}
+}
+
+func TestMaskSubsetProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 1000; trial++ {
+		var a, b Mask
+		for c := 0; c < 128; c++ {
+			if rng.Intn(4) == 0 {
+				a.Set(c)
+			}
+			if rng.Intn(4) == 0 {
+				b.Set(c)
+			}
+		}
+		// a ⊆ a∪b always; a ⊆ b iff every column check agrees.
+		if !a.SubsetOf(a.Union(b)) {
+			t.Fatal("a must be subset of a∪b")
+		}
+		want := true
+		for _, c := range a.Columns() {
+			if !b.Has(c) {
+				want = false
+				break
+			}
+		}
+		if got := a.SubsetOf(b); got != want {
+			t.Fatalf("SubsetOf = %v, want %v (a=%v b=%v)", got, want, a.Columns(), b.Columns())
+		}
+	}
+}

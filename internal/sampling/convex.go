@@ -1,0 +1,182 @@
+package sampling
+
+import (
+	"math"
+	"sort"
+)
+
+// This file implements the Section 4.2 alternative allocator: replace the
+// step objective 1[ess ≥ minSS] with the hinge min(1, ess/minSS) and relax
+// sample sizes to reals, yielding a concave maximization over the simplex
+// {n ≥ 0, Σn ≤ M} solvable by projected (sub)gradient ascent. Unlike the
+// DP, it handles arbitrary selectivity structure (a leaf may draw on every
+// ancestor), at the cost the paper notes: hinge credit accrues below minSS,
+// so leaves may end up with large-but-insufficient ess.
+
+// ConvexOptions tunes the gradient ascent.
+type ConvexOptions struct {
+	// Iterations of projected gradient ascent; 0 means 500.
+	Iterations int
+	// Step is the initial step size in tuples; 0 means M/10.
+	Step float64
+}
+
+// AllocateConvex solves the hinge-loss relaxation (Problem 6, negated back
+// to maximization) over the full ancestor selectivity structure and returns
+// integer sizes (rounded down to respect the budget) plus the relaxed
+// objective value Σ p·min(1, ess/minSS).
+func AllocateConvex(root *TreeNode, m, minSS int, opts ConvexOptions) (Allocation, float64) {
+	if opts.Iterations <= 0 {
+		opts.Iterations = 500
+	}
+	if opts.Step <= 0 {
+		opts.Step = float64(m) / 10
+		if opts.Step < 1 {
+			opts.Step = 1
+		}
+	}
+
+	// Collect nodes; precompute per-leaf contribution vectors S(anc, leaf)
+	// over all ancestors (and self, with S=1).
+	var nodes []*TreeNode
+	index := map[*TreeNode]int{}
+	var walk func(n *TreeNode, anc []*TreeNode)
+	type leafInfo struct {
+		prob    float64
+		sources []int     // node indices contributing to ess
+		selects []float64 // matching S values
+	}
+	var leaves []leafInfo
+	walk = func(n *TreeNode, anc []*TreeNode) {
+		index[n] = len(nodes)
+		nodes = append(nodes, n)
+		anc = append(anc, n)
+		if len(n.Children) == 0 {
+			li := leafInfo{prob: n.Prob}
+			for _, a := range anc {
+				s := 1.0
+				if a != n {
+					s = selectivityPath(a, n)
+				}
+				if s > 0 {
+					li.sources = append(li.sources, index[a])
+					li.selects = append(li.selects, s)
+				}
+			}
+			leaves = append(leaves, li)
+			return
+		}
+		for _, c := range n.Children {
+			walk(c, anc)
+		}
+	}
+	walk(root, nil)
+
+	n := make([]float64, len(nodes))
+	objective := func() float64 {
+		obj := 0.0
+		for _, l := range leaves {
+			ess := 0.0
+			for i, src := range l.sources {
+				ess += n[src] * l.selects[i]
+			}
+			obj += l.prob * math.Min(1, ess/float64(minSS))
+		}
+		return obj
+	}
+
+	step := opts.Step
+	bestObj := objective()
+	bestN := append([]float64{}, n...)
+	for it := 0; it < opts.Iterations; it++ {
+		grad := make([]float64, len(nodes))
+		gmax := 0.0
+		for _, l := range leaves {
+			ess := 0.0
+			for i, src := range l.sources {
+				ess += n[src] * l.selects[i]
+			}
+			if ess >= float64(minSS) {
+				continue // flat region of the hinge
+			}
+			for i, src := range l.sources {
+				grad[src] += l.prob * l.selects[i] / float64(minSS)
+				if grad[src] > gmax {
+					gmax = grad[src]
+				}
+			}
+		}
+		if gmax == 0 {
+			break // every leaf saturated: a global optimum of the hinge
+		}
+		// Normalize so the largest component moves by `step` tuples;
+		// gradient magnitudes (p·S/minSS ≈ 1e-3) are otherwise far too
+		// small to traverse a tuple-scale budget.
+		for i := range n {
+			n[i] += step * grad[i] / gmax
+		}
+		projectSimplex(n, float64(m))
+		if obj := objective(); obj > bestObj {
+			bestObj = obj
+			copy(bestN, n)
+		}
+		step *= 0.97 // diminishing steps for convergence
+	}
+
+	alloc := Allocation{}
+	for i, node := range nodes {
+		v := int(math.Floor(bestN[i]))
+		if node.Count > 0 && float64(v) > node.Count {
+			v = int(node.Count)
+		}
+		if v > 0 {
+			alloc[node.Rule.Key()] = v
+		}
+	}
+	return alloc, bestObj
+}
+
+// selectivityPath returns S(anc, leaf) = Count(leaf)/Count(anc) for an
+// ancestor anc of leaf.
+func selectivityPath(anc, leaf *TreeNode) float64 {
+	if anc.Count <= 0 {
+		return 0
+	}
+	s := leaf.Count / anc.Count
+	if s > 1 {
+		s = 1
+	}
+	return s
+}
+
+// projectSimplex projects v onto {x ≥ 0, Σx ≤ budget} in Euclidean norm
+// (the standard sorted-threshold algorithm; only active when the budget is
+// exceeded).
+func projectSimplex(v []float64, budget float64) {
+	for i := range v {
+		if v[i] < 0 {
+			v[i] = 0
+		}
+	}
+	sum := 0.0
+	for _, x := range v {
+		sum += x
+	}
+	if sum <= budget {
+		return
+	}
+	sorted := append([]float64{}, v...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	cum, theta := 0.0, 0.0
+	for i, x := range sorted {
+		cum += x
+		t := (cum - budget) / float64(i+1)
+		if i+1 == len(sorted) || sorted[i+1] <= t {
+			theta = t
+			break
+		}
+	}
+	for i := range v {
+		v[i] = math.Max(0, v[i]-theta)
+	}
+}

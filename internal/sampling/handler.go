@@ -1,0 +1,238 @@
+package sampling
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"smartdrill/internal/rule"
+	"smartdrill/internal/storage"
+)
+
+// Handler is the SampleHandler of Section 4.3: it owns a set of in-memory
+// samples within a tuple budget M and serves drill-down requests via Find,
+// Combine, or Create. It is not safe for concurrent use; the drill session
+// serializes interactions as a UI would.
+type Handler struct {
+	store *storage.Store
+	// M is the memory capacity in tuples across all samples.
+	M int
+	// MinSS is the minimum sample size BRS may run on (Section 4.1).
+	MinSS int
+
+	samples map[string]*Sample
+	rng     *rand.Rand
+	clock   int64
+
+	// stats
+	finds, combines, creates int
+}
+
+// NewHandler builds a handler over the store with memory capacity m tuples
+// and minimum sample size minSS. It returns an error when the budget cannot
+// hold even one minimum-size sample, which would force a Create on every
+// interaction and defeat the design.
+func NewHandler(store *storage.Store, m, minSS int, rng *rand.Rand) (*Handler, error) {
+	if minSS <= 0 {
+		return nil, fmt.Errorf("sampling: minSS must be positive, got %d", minSS)
+	}
+	if m < minSS {
+		return nil, fmt.Errorf("sampling: memory budget %d below minSS %d", m, minSS)
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	return &Handler{
+		store:   store,
+		M:       m,
+		MinSS:   minSS,
+		samples: make(map[string]*Sample),
+		rng:     rng,
+	}, nil
+}
+
+// Stats reports how many requests each mechanism served.
+func (h *Handler) Stats() (finds, combines, creates int) {
+	return h.finds, h.combines, h.creates
+}
+
+// Samples returns the resident samples (for inspection and tests).
+func (h *Handler) Samples() []*Sample {
+	out := make([]*Sample, 0, len(h.samples))
+	for _, s := range h.samples {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Filter.Key() < out[j].Filter.Key() })
+	return out
+}
+
+// MemoryUsed returns the total resident sample size in tuples.
+func (h *Handler) MemoryUsed() int {
+	used := 0
+	for _, s := range h.samples {
+		used += s.Size()
+	}
+	return used
+}
+
+// GetSample returns a uniform sample of at least MinSS tuples covered by r,
+// trying Find, then Combine, then Create — exactly the Section 4.3 cascade.
+// The returned View's Scale converts sample counts to master-table
+// estimates. When the master table itself covers fewer than MinSS tuples of
+// r, the view holds all of them with Scale 1 (exact).
+func (h *Handler) GetSample(r rule.Rule) (*View, error) {
+	if v := h.find(r); v != nil {
+		h.finds++
+		return v, nil
+	}
+	if v := h.combine(r); v != nil {
+		h.combines++
+		return v, nil
+	}
+	v, err := h.create(r, h.MinSS)
+	if err != nil {
+		return nil, err
+	}
+	h.creates++
+	return v, nil
+}
+
+// find serves r from a resident sample whose filter is exactly r and which
+// holds at least MinSS tuples (or the filter's entire coverage, which is
+// even better — the estimate is exact).
+func (h *Handler) find(r rule.Rule) *View {
+	s, ok := h.samples[r.Key()]
+	if !ok {
+		return nil
+	}
+	if s.Size() < h.MinSS && s.Size() < s.ExactCount {
+		return nil
+	}
+	h.touch(s)
+	return h.viewOf(s.Rows, s.Scale(), Find)
+}
+
+// combine unions the r-covered tuples of every resident sample whose filter
+// is a sub-rule of r. Each such sample covers a superset of r's tuples, so
+// every r-tuple had the same inclusion probability rate_i in sample i; the
+// deduplicated union therefore includes each r-tuple independently with
+// probability p* = 1 − Π(1 − rate_i) — a uniform sample with scale 1/p*.
+func (h *Handler) combine(r rule.Rule) *View {
+	t := h.store.Table()
+	pMiss := 1.0
+	union := make(map[int]struct{})
+	var contributors []*Sample
+	for _, s := range h.samples {
+		if !s.Filter.SubRuleOf(r) {
+			continue
+		}
+		rate := s.Rate()
+		if rate <= 0 {
+			continue
+		}
+		for _, i := range s.Rows {
+			if t.Covers(r, i) {
+				union[i] = struct{}{}
+			}
+		}
+		pMiss *= 1 - rate
+		contributors = append(contributors, s)
+	}
+	pInclude := 1 - pMiss
+	if pInclude <= 0 {
+		return nil
+	}
+	// Accept when the union reaches MinSS, or when some contributor's rate
+	// is 1 (its whole coverage is resident, so the union is exhaustive and
+	// the estimate exact even if small).
+	exhaustive := pMiss == 0
+	if len(union) < h.MinSS && !exhaustive {
+		return nil
+	}
+	rows := make([]int, 0, len(union))
+	for i := range union {
+		rows = append(rows, i)
+	}
+	sort.Ints(rows)
+	for _, s := range contributors {
+		h.touch(s)
+	}
+	return h.viewOf(rows, 1/pInclude, Combine)
+}
+
+// create scans the store once, installing a fresh sample for r of up to
+// target tuples (at least MinSS), evicting least-recently-used samples if
+// the budget requires.
+func (h *Handler) create(r rule.Rule, target int) (*View, error) {
+	if target < h.MinSS {
+		target = h.MinSS
+	}
+	if target > h.M {
+		target = h.M
+	}
+	s := CreateSample(h.store, r, target, h.rng)
+	h.install(s)
+	return h.viewOf(s.Rows, s.Scale(), Create), nil
+}
+
+// install adds s, evicting LRU samples (never s itself) until the budget
+// holds.
+func (h *Handler) install(s *Sample) {
+	h.touch(s)
+	h.samples[s.Filter.Key()] = s
+	for h.MemoryUsed() > h.M {
+		var victim *Sample
+		for _, c := range h.samples {
+			if c == s {
+				continue
+			}
+			if victim == nil || c.lastUsed < victim.lastUsed {
+				victim = c
+			}
+		}
+		if victim == nil {
+			// Only s is resident and still over budget: trim it.
+			over := h.MemoryUsed() - h.M
+			s.Rows = s.Rows[:len(s.Rows)-over]
+			return
+		}
+		delete(h.samples, victim.Filter.Key())
+	}
+}
+
+func (h *Handler) touch(s *Sample) {
+	h.clock++
+	s.lastUsed = h.clock
+}
+
+func (h *Handler) viewOf(rows []int, scale float64, m Method) *View {
+	tab := h.store.Table().Select(rows)
+	return &View{
+		Tab:            tab,
+		Scale:          scale,
+		Method:         m,
+		EstimatedCount: float64(tab.NumRows()) * scale,
+	}
+}
+
+// EstimateCount estimates Count(r) on the master table from resident
+// samples without scanning, returning ok=false when no resident sample's
+// filter covers r's slice. When several samples qualify, the largest one
+// wins (lowest-variance estimator).
+func (h *Handler) EstimateCount(r rule.Rule) (float64, bool) {
+	t := h.store.Table()
+	bestSize, est, ok := -1, 0.0, false
+	for _, s := range h.samples {
+		if !s.Filter.SubRuleOf(r) || s.Rate() <= 0 || s.Size() <= bestSize {
+			continue
+		}
+		n := 0
+		for _, i := range s.Rows {
+			if t.Covers(r, i) {
+				n++
+			}
+		}
+		bestSize, est, ok = s.Size(), float64(n)*s.Scale(), true
+	}
+	return est, ok
+}

@@ -1,0 +1,252 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+
+	"smartdrill/internal/rule"
+	"smartdrill/internal/storage"
+	"smartdrill/internal/table"
+)
+
+// grid builds a 2-column table: colA cycles over aVals values, colB over
+// bVals, giving every (a,b) combination n/(aVals*bVals) rows.
+func grid(n, aVals, bVals int) *table.Table {
+	b := table.MustBuilder([]string{"A", "B"}, nil)
+	for i := 0; i < n; i++ {
+		b.MustAddRow([]string{
+			string(rune('a' + i%aVals)),
+			string(rune('A' + (i/aVals)%bVals)),
+		})
+	}
+	return b.Build()
+}
+
+func TestNewHandlerValidation(t *testing.T) {
+	store := storage.NewStore(grid(100, 2, 2))
+	if _, err := NewHandler(store, 100, 0, nil); err == nil {
+		t.Error("minSS=0 must fail")
+	}
+	if _, err := NewHandler(store, 10, 100, nil); err == nil {
+		t.Error("M < minSS must fail")
+	}
+	if _, err := NewHandler(store, 100, 50, nil); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestCascadeCreateThenFind(t *testing.T) {
+	tab := grid(10000, 4, 4)
+	store := storage.NewStore(tab)
+	h, err := NewHandler(store, 5000, 500, NewTestRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trivial := rule.Trivial(2)
+
+	v1, err := h.GetSample(trivial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.Method != Create {
+		t.Fatalf("first access = %v, want Create", v1.Method)
+	}
+	if v1.Tab.NumRows() < 500 {
+		t.Fatalf("sample too small: %d", v1.Tab.NumRows())
+	}
+	v2, err := h.GetSample(trivial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Method != Find {
+		t.Fatalf("second access = %v, want Find", v2.Method)
+	}
+	if scans := store.Stats().FullScans; scans != 1 {
+		t.Fatalf("Find must not rescan: %d scans", scans)
+	}
+	finds, _, creates := h.Stats()
+	if finds != 1 || creates != 1 {
+		t.Fatalf("stats finds=%d creates=%d", finds, creates)
+	}
+}
+
+func TestCombineFromTrivialSample(t *testing.T) {
+	// A large sample of the whole table can serve a drill-down on a rule
+	// covering 1/4 of it without a new scan.
+	tab := grid(40000, 4, 4)
+	store := storage.NewStore(tab)
+	h, err := NewHandler(store, 20000, 1000, NewTestRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trivial := rule.Trivial(2)
+	if _, err := h.GetSample(trivial); err != nil {
+		t.Fatal(err)
+	}
+	// Force the trivial sample big enough: re-create at target M.
+	if _, err := h.create(trivial, 20000); err != nil {
+		t.Fatal(err)
+	}
+	store.ResetStats()
+
+	sub, _ := tab.EncodeRule(map[string]string{"A": "a"}) // covers 10000 rows
+	v, err := h.GetSample(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Method != Combine {
+		t.Fatalf("access = %v, want Combine", v.Method)
+	}
+	if store.Stats().FullScans != 0 {
+		t.Fatal("Combine must not scan")
+	}
+	// Estimate accuracy: true count is 10000; the combined sample's scaled
+	// estimate should be within a few percent (it is a ~5000-row sample).
+	if math.Abs(v.EstimatedCount-10000) > 600 {
+		t.Fatalf("Combine estimate %g too far from 10000", v.EstimatedCount)
+	}
+	// Every view tuple must be covered by the request.
+	for i := 0; i < v.Tab.NumRows(); i++ {
+		if !v.Tab.Covers(sub, i) {
+			t.Fatal("combined view contains uncovered tuple")
+		}
+	}
+}
+
+func TestCombineScaleExactForFullSample(t *testing.T) {
+	// When a resident sample holds the *entire* table (rate 1), combining
+	// for any sub-rule is exhaustive and exact.
+	tab := grid(2000, 2, 2)
+	store := storage.NewStore(tab)
+	h, err := NewHandler(store, 4000, 100, NewTestRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.create(rule.Trivial(2), 4000); err != nil {
+		t.Fatal(err)
+	}
+	sub, _ := tab.EncodeRule(map[string]string{"A": "a", "B": "A"})
+	v, err := h.GetSample(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Scale != 1 {
+		t.Fatalf("scale = %g, want 1 for exhaustive combine", v.Scale)
+	}
+	if int(v.EstimatedCount) != tab.Count(sub) {
+		t.Fatalf("estimate %g != exact %d", v.EstimatedCount, tab.Count(sub))
+	}
+}
+
+func TestCreateWhenCombineInsufficient(t *testing.T) {
+	// A tiny resident sample cannot serve a selective rule; the handler
+	// must fall back to Create.
+	tab := grid(50000, 10, 10)
+	store := storage.NewStore(tab)
+	h, err := NewHandler(store, 10000, 2000, NewTestRNG(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.GetSample(rule.Trivial(2)); err != nil {
+		t.Fatal(err)
+	}
+	sub, _ := tab.EncodeRule(map[string]string{"A": "a"}) // 5000 rows; ~200 in a 2000-sample
+	v, err := h.GetSample(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Method != Create {
+		t.Fatalf("access = %v, want Create", v.Method)
+	}
+	if v.Tab.NumRows() < 2000 {
+		t.Fatalf("created sample too small: %d", v.Tab.NumRows())
+	}
+}
+
+func TestMemoryBudgetAndEviction(t *testing.T) {
+	tab := grid(100000, 10, 10)
+	store := storage.NewStore(tab)
+	h, err := NewHandler(store, 3000, 1000, NewTestRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Create samples for several disjoint rules; the budget (3 samples)
+	// must force eviction of the least recently used.
+	for _, val := range []string{"a", "b", "c", "d", "e"} {
+		r, _ := tab.EncodeRule(map[string]string{"A": val})
+		if _, err := h.GetSample(r); err != nil {
+			t.Fatal(err)
+		}
+		if used := h.MemoryUsed(); used > 3000 {
+			t.Fatalf("memory used %d exceeds budget 3000", used)
+		}
+	}
+	if got := len(h.Samples()); got > 3 {
+		t.Fatalf("%d samples resident, budget allows 3", got)
+	}
+	// The most recent rule must still be resident (LRU evicts old ones).
+	rE, _ := tab.EncodeRule(map[string]string{"A": "e"})
+	store.ResetStats()
+	v, err := h.GetSample(rE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Method != Find || store.Stats().FullScans != 0 {
+		t.Fatalf("most recent sample should be served by Find, got %v", v.Method)
+	}
+}
+
+func TestEstimateCount(t *testing.T) {
+	tab := grid(20000, 4, 4)
+	store := storage.NewStore(tab)
+	h, err := NewHandler(store, 10000, 1000, NewTestRNG(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := h.EstimateCount(rule.Trivial(2)); ok {
+		t.Fatal("estimate without samples must report !ok")
+	}
+	if _, err := h.create(rule.Trivial(2), 5000); err != nil {
+		t.Fatal(err)
+	}
+	sub, _ := tab.EncodeRule(map[string]string{"A": "a"})
+	est, ok := h.EstimateCount(sub)
+	if !ok {
+		t.Fatal("estimate should be available")
+	}
+	if math.Abs(est-5000) > 400 {
+		t.Fatalf("estimate %g too far from 5000", est)
+	}
+}
+
+func TestCombineEstimateUnbiased(t *testing.T) {
+	// Average the Combine estimate over many RNG seeds; the mean must be
+	// close to the true count (uniformity of the deduplicated union).
+	tab := grid(20000, 4, 4)
+	truth := 5000.0
+	sub, _ := tab.EncodeRule(map[string]string{"A": "a"})
+	sum := 0.0
+	const trials = 40
+	for seed := int64(0); seed < trials; seed++ {
+		store := storage.NewStore(tab)
+		h, err := NewHandler(store, 8000, 500, NewTestRNG(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.create(rule.Trivial(2), 4000); err != nil {
+			t.Fatal(err)
+		}
+		v, err := h.GetSample(sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Method != Combine {
+			t.Fatalf("seed %d: method %v", seed, v.Method)
+		}
+		sum += v.EstimatedCount
+	}
+	mean := sum / trials
+	if math.Abs(mean-truth)/truth > 0.03 {
+		t.Fatalf("mean Combine estimate %g deviates >3%% from %g", mean, truth)
+	}
+}

@@ -1,0 +1,41 @@
+package sampling
+
+import "math"
+
+// Confidence intervals on sampled counts (Section 4.3 notes that the
+// uniform samples admit confidence intervals on every displayed count;
+// the prototype did not display them — we do).
+//
+// For a uniform sample with per-tuple inclusion probability p, the number
+// of sampled tuples matching a rule is Binomial(C, p) where C is the true
+// count, so the estimate ĉ = n/p has standard deviation ≈ √(n(1−p))/p.
+
+// CountInterval returns the ±z standard-error interval around the scaled
+// count estimate for a rule matching n sample tuples under inclusion
+// probability p ∈ (0, 1]. z = 1.96 gives the conventional 95% interval.
+// The lower bound is clamped at n (the matches themselves are real tuples).
+func CountInterval(n int, p, z float64) (lo, hi float64) {
+	if p <= 0 {
+		return 0, math.Inf(1)
+	}
+	if p >= 1 {
+		return float64(n), float64(n) // exhaustive sample: exact
+	}
+	est := float64(n) / p
+	se := math.Sqrt(float64(n)*(1-p)) / p
+	lo = est - z*se
+	if lo < float64(n) {
+		lo = float64(n)
+	}
+	hi = est + z*se
+	return lo, hi
+}
+
+// Interval95 returns the 95% confidence interval on a view's estimated
+// count for a rule matching n of its tuples.
+func (v *View) Interval95(n int) (lo, hi float64) {
+	if v.Scale <= 0 {
+		return 0, math.Inf(1)
+	}
+	return CountInterval(n, 1/v.Scale, 1.96)
+}

@@ -1,0 +1,96 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+
+	"smartdrill/internal/rule"
+	"smartdrill/internal/storage"
+)
+
+func TestCountIntervalExhaustive(t *testing.T) {
+	lo, hi := CountInterval(42, 1, 1.96)
+	if lo != 42 || hi != 42 {
+		t.Fatalf("exhaustive interval = [%g, %g], want [42, 42]", lo, hi)
+	}
+}
+
+func TestCountIntervalDegenerate(t *testing.T) {
+	lo, hi := CountInterval(10, 0, 1.96)
+	if lo != 0 || !math.IsInf(hi, 1) {
+		t.Fatalf("p=0 interval = [%g, %g]", lo, hi)
+	}
+}
+
+func TestCountIntervalContainsEstimate(t *testing.T) {
+	for _, n := range []int{1, 10, 100, 10000} {
+		for _, p := range []float64{0.01, 0.1, 0.5, 0.9} {
+			lo, hi := CountInterval(n, p, 1.96)
+			est := float64(n) / p
+			if est < lo-1e-9 || est > hi+1e-9 {
+				t.Fatalf("estimate %g outside [%g, %g] (n=%d p=%g)", est, lo, hi, n, p)
+			}
+			if lo < float64(n) {
+				t.Fatalf("lower bound %g below observed matches %d", lo, n)
+			}
+			if hi < lo {
+				t.Fatalf("inverted interval [%g, %g]", lo, hi)
+			}
+		}
+	}
+}
+
+func TestCountIntervalShrinksWithP(t *testing.T) {
+	// Higher inclusion probability → tighter relative interval.
+	_, hiSmallP := CountInterval(100, 0.05, 1.96)
+	loS, _ := CountInterval(100, 0.05, 1.96)
+	widthSmall := (hiSmallP - loS) / (100 / 0.05)
+	lo2, hi2 := CountInterval(100, 0.5, 1.96)
+	widthBig := (hi2 - lo2) / (100 / 0.5)
+	if widthBig >= widthSmall {
+		t.Fatalf("relative width %g at p=0.5 not below %g at p=0.05", widthBig, widthSmall)
+	}
+}
+
+// TestIntervalCoverage empirically validates the 95% interval: sample
+// repeatedly, compute intervals for a fixed rule, and require the true
+// count to fall inside at least ~90% of the time (binomial slack on 200
+// trials).
+func TestIntervalCoverage(t *testing.T) {
+	tab := stripes(20000, 4) // 5000 per value
+	filter, _ := tab.EncodeRule(map[string]string{"A": "a"})
+	const trials = 200
+	trueCount := 5000.0
+	inside := 0
+	for seed := int64(0); seed < trials; seed++ {
+		store := storage.NewStore(tab)
+		s := CreateSample(store, rule.Trivial(1), 2000, NewTestRNG(seed))
+		// Count matches of the filter within the sample.
+		n := 0
+		for _, i := range s.Rows {
+			if tab.Covers(filter, i) {
+				n++
+			}
+		}
+		lo, hi := CountInterval(n, s.Rate(), 1.96)
+		if trueCount >= lo && trueCount <= hi {
+			inside++
+		}
+	}
+	if frac := float64(inside) / trials; frac < 0.90 {
+		t.Fatalf("95%% interval covered truth only %.1f%% of trials", 100*frac)
+	}
+}
+
+func TestViewInterval95(t *testing.T) {
+	v := &View{Scale: 4} // p = 0.25
+	lo, hi := v.Interval95(100)
+	wantLo, wantHi := CountInterval(100, 0.25, 1.96)
+	if lo != wantLo || hi != wantHi {
+		t.Fatalf("Interval95 = [%g,%g], want [%g,%g]", lo, hi, wantLo, wantHi)
+	}
+	bad := &View{Scale: 0}
+	if lo, hi := bad.Interval95(5); lo != 0 || !math.IsInf(hi, 1) {
+		t.Fatal("zero-scale view must return a vacuous interval")
+	}
+}

@@ -1,0 +1,94 @@
+package storage
+
+import (
+	"testing"
+
+	"smartdrill/internal/rule"
+	"smartdrill/internal/table"
+)
+
+func fixture(t *testing.T) *table.Table {
+	t.Helper()
+	b := table.MustBuilder([]string{"A"}, nil)
+	for i := 0; i < 10; i++ {
+		if i%2 == 0 {
+			b.MustAddRow([]string{"even"})
+		} else {
+			b.MustAddRow([]string{"odd"})
+		}
+	}
+	return b.Build()
+}
+
+func TestScanAccounting(t *testing.T) {
+	s := NewStore(fixture(t))
+	seen := 0
+	s.Scan(func(i int) bool { seen++; return true })
+	if seen != 10 {
+		t.Fatalf("scanned %d rows, want 10", seen)
+	}
+	st := s.Stats()
+	if st.FullScans != 1 || st.RowsRead != 10 {
+		t.Fatalf("stats = %+v", st)
+	}
+	s.Scan(func(i int) bool { return true })
+	if got := s.Stats().FullScans; got != 2 {
+		t.Fatalf("FullScans = %d, want 2", got)
+	}
+	s.ResetStats()
+	if st := s.Stats(); st.FullScans != 0 || st.RowsRead != 0 {
+		t.Fatalf("reset stats = %+v", st)
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	s := NewStore(fixture(t))
+	seen := 0
+	s.Scan(func(i int) bool {
+		seen++
+		return seen < 3
+	})
+	if seen != 3 {
+		t.Fatalf("early stop visited %d rows", seen)
+	}
+	if got := s.Stats().RowsRead; got != 3 {
+		t.Fatalf("RowsRead = %d, want 3", got)
+	}
+}
+
+func TestCountExact(t *testing.T) {
+	tab := fixture(t)
+	s := NewStore(tab)
+	even, err := tab.EncodeRule(map[string]string{"A": "even"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.CountExact(even); got != 5 {
+		t.Fatalf("CountExact = %d, want 5", got)
+	}
+	if got := s.CountExact(rule.Trivial(1)); got != 10 {
+		t.Fatalf("CountExact(trivial) = %d", got)
+	}
+	if got := s.Stats().FullScans; got != 2 {
+		t.Fatalf("CountExact must account scans, got %d", got)
+	}
+}
+
+func TestNumRowsNoIO(t *testing.T) {
+	s := NewStore(fixture(t))
+	if s.NumRows() != 10 {
+		t.Fatal("NumRows mismatch")
+	}
+	if s.Stats().FullScans != 0 {
+		t.Fatal("NumRows must not count as a scan")
+	}
+}
+
+func TestPerRowDelay(t *testing.T) {
+	s := NewStore(fixture(t))
+	s.PerRowDelay = 1 // 1ns: exercises the spin path without slowing tests
+	s.Scan(func(i int) bool { return true })
+	if s.Stats().RowsRead != 10 {
+		t.Fatal("delayed scan must still read all rows")
+	}
+}

@@ -1,0 +1,138 @@
+package table
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// Automatic schema detection (Section 6.2): the drill-down framework is
+// categorical, so numeric CSV columns must be bucketized before use. Rather
+// than asking callers to pre-classify columns, ReadCSVAuto inspects the
+// data: a column whose values all parse as numbers and that has more than
+// maxDistinct distinct values is treated as numeric — it is kept as a
+// measure column (usable with the Sum aggregate) and additionally
+// bucketized into a categorical "<name>_bucket" column. Low-cardinality
+// numeric columns (already-bucketized codes, booleans, ratings) stay
+// categorical, matching how the paper's datasets arrive pre-bucketized.
+
+// AutoOptions tunes ReadCSVAuto. Zero values mean: maxDistinct 20,
+// 6 buckets, equi-depth.
+type AutoOptions struct {
+	// MaxDistinct is the distinct-value threshold above which an
+	// all-numeric column is bucketized.
+	MaxDistinct int
+	// Buckets is the bucket count for detected numeric columns.
+	Buckets int
+	// Scheme selects bucket boundaries.
+	Scheme BucketScheme
+}
+
+func (o AutoOptions) withDefaults() AutoOptions {
+	if o.MaxDistinct <= 0 {
+		o.MaxDistinct = 20
+	}
+	if o.Buckets <= 0 {
+		o.Buckets = 6
+	}
+	return o
+}
+
+// ReadCSVAuto loads a CSV with automatic numeric-column detection and
+// bucketization. It returns the table plus the names of the columns that
+// were detected as numeric.
+func ReadCSVAuto(r io.Reader, opts AutoOptions) (*Table, []string, error) {
+	opts = opts.withDefaults()
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, nil, fmt.Errorf("table: reading CSV: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, nil, fmt.Errorf("table: empty CSV")
+	}
+	header := records[0]
+	rows := records[1:]
+
+	// Classify columns.
+	numeric := make([]bool, len(header))
+	parsed := make([][]float64, len(header))
+	for c := range header {
+		vals := make([]float64, 0, len(rows))
+		distinct := map[string]struct{}{}
+		allNumeric := true
+		for _, rec := range rows {
+			v, err := strconv.ParseFloat(rec[c], 64)
+			if err != nil {
+				allNumeric = false
+				break
+			}
+			vals = append(vals, v)
+			distinct[rec[c]] = struct{}{}
+		}
+		if allNumeric && len(distinct) > opts.MaxDistinct && len(rows) > 0 {
+			numeric[c] = true
+			parsed[c] = vals
+		}
+	}
+
+	// Assemble schema: categorical originals, bucketized numeric columns,
+	// then numeric originals as measures.
+	var catNames, measNames, numericNames []string
+	for c, name := range header {
+		if numeric[c] {
+			catNames = append(catNames, name+"_bucket")
+			measNames = append(measNames, name)
+			numericNames = append(numericNames, name)
+		} else {
+			catNames = append(catNames, name)
+		}
+	}
+	labels := make([][]string, len(header))
+	for c := range header {
+		if !numeric[c] {
+			continue
+		}
+		ls, _, err := Bucketize(parsed[c], opts.Buckets, opts.Scheme)
+		if err != nil {
+			return nil, nil, err
+		}
+		labels[c] = ls
+	}
+
+	b, err := NewBuilder(catNames, measNames)
+	if err != nil {
+		return nil, nil, err
+	}
+	cat := make([]string, len(catNames))
+	meas := make([]float64, len(measNames))
+	for i, rec := range rows {
+		ci, mi := 0, 0
+		for c := range header {
+			if numeric[c] {
+				cat[ci] = labels[c][i]
+				meas[mi] = parsed[c][i]
+				mi++
+			} else {
+				cat[ci] = rec[c]
+			}
+			ci++
+		}
+		if err := b.AddRow(cat, meas); err != nil {
+			return nil, nil, fmt.Errorf("table: row %d: %w", i+2, err)
+		}
+	}
+	return b.Build(), numericNames, nil
+}
+
+// ReadCSVAutoFile is ReadCSVAuto over a file path.
+func ReadCSVAutoFile(path string, opts AutoOptions) (*Table, []string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return ReadCSVAuto(f, opts)
+}

@@ -1,0 +1,101 @@
+package table
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func autoFixture() string {
+	var sb strings.Builder
+	sb.WriteString("Store,Age,Rating\n")
+	for i := 0; i < 100; i++ {
+		// Age: 100 distinct numeric values → numeric. Rating: numeric but
+		// only 3 distinct values → stays categorical. Store: strings.
+		fmt.Fprintf(&sb, "s%d,%d,%d\n", i%4, 18+i, i%3)
+	}
+	return sb.String()
+}
+
+func TestReadCSVAutoDetection(t *testing.T) {
+	tab, numeric, err := ReadCSVAuto(strings.NewReader(autoFixture()), AutoOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(numeric) != 1 || numeric[0] != "Age" {
+		t.Fatalf("numeric columns = %v, want [Age]", numeric)
+	}
+	names := tab.ColumnNames()
+	want := []string{"Store", "Age_bucket", "Rating"}
+	if len(names) != len(want) {
+		t.Fatalf("columns = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("columns = %v, want %v", names, want)
+		}
+	}
+	// Age is retained as a measure.
+	if _, err := tab.MeasureIndex("Age"); err != nil {
+		t.Fatal("Age must remain available as a measure")
+	}
+	// The bucketized column has the requested bucket count at most.
+	if got := tab.DistinctCount(1); got > 6 {
+		t.Fatalf("Age_bucket has %d values, want ≤ 6", got)
+	}
+	if tab.NumRows() != 100 {
+		t.Fatalf("rows = %d", tab.NumRows())
+	}
+}
+
+func TestReadCSVAutoThreshold(t *testing.T) {
+	// With MaxDistinct below Rating's cardinality, Rating becomes numeric
+	// too.
+	tab, numeric, err := ReadCSVAuto(strings.NewReader(autoFixture()), AutoOptions{MaxDistinct: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(numeric) != 2 {
+		t.Fatalf("numeric = %v, want [Age Rating]", numeric)
+	}
+	if _, err := tab.MeasureIndex("Rating"); err != nil {
+		t.Fatal("Rating should be a measure now")
+	}
+}
+
+func TestReadCSVAutoAllCategorical(t *testing.T) {
+	csv := "A,B\nx,1\ny,2\nz,1\n"
+	tab, numeric, err := ReadCSVAuto(strings.NewReader(csv), AutoOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(numeric) != 0 {
+		t.Fatalf("numeric = %v, want none (below threshold)", numeric)
+	}
+	if tab.NumCols() != 2 || len(tab.MeasureNames()) != 0 {
+		t.Fatal("schema changed unexpectedly")
+	}
+}
+
+func TestReadCSVAutoErrors(t *testing.T) {
+	if _, _, err := ReadCSVAuto(strings.NewReader(""), AutoOptions{}); err == nil {
+		t.Error("empty CSV must fail")
+	}
+	if _, _, err := ReadCSVAuto(strings.NewReader("A,B\nx\n"), AutoOptions{}); err == nil {
+		t.Error("ragged CSV must fail")
+	}
+	if _, _, err := ReadCSVAutoFile("/nonexistent.csv", AutoOptions{}); err == nil {
+		t.Error("missing file must fail")
+	}
+}
+
+func TestReadCSVAutoEquiWidth(t *testing.T) {
+	_, numeric, err := ReadCSVAuto(strings.NewReader(autoFixture()),
+		AutoOptions{Buckets: 3, Scheme: EquiWidth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(numeric) != 1 {
+		t.Fatalf("numeric = %v", numeric)
+	}
+}

@@ -1,0 +1,115 @@
+package table
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// ReadCSV loads a table from CSV. The first record is the header. Columns
+// whose names appear in measureCols are parsed as float64 measures; all
+// other columns are categorical. Header names must be unique.
+func ReadCSV(r io.Reader, measureCols []string) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("table: reading CSV header: %w", err)
+	}
+	isMeasure := make(map[string]bool, len(measureCols))
+	for _, m := range measureCols {
+		isMeasure[m] = true
+	}
+	var catNames, measNames []string
+	var catIdx, measIdx []int
+	for i, name := range header {
+		if isMeasure[name] {
+			measNames = append(measNames, name)
+			measIdx = append(measIdx, i)
+		} else {
+			catNames = append(catNames, name)
+			catIdx = append(catIdx, i)
+		}
+	}
+	if len(measNames) != len(measureCols) {
+		return nil, fmt.Errorf("table: measure columns %v not all present in header %v", measureCols, header)
+	}
+	b, err := NewBuilder(catNames, measNames)
+	if err != nil {
+		return nil, err
+	}
+	vals := make([]string, len(catIdx))
+	meas := make([]float64, len(measIdx))
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("table: reading CSV line %d: %w", line, err)
+		}
+		for j, i := range catIdx {
+			vals[j] = rec[i]
+		}
+		for j, i := range measIdx {
+			v, err := strconv.ParseFloat(rec[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("table: line %d, measure %q: %w", line, measNames[j], err)
+			}
+			meas[j] = v
+		}
+		if err := b.AddRow(vals, meas); err != nil {
+			return nil, fmt.Errorf("table: line %d: %w", line, err)
+		}
+	}
+	return b.Build(), nil
+}
+
+// ReadCSVFile is ReadCSV over a file path.
+func ReadCSVFile(path string, measureCols []string) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(f, measureCols)
+}
+
+// WriteCSV writes the table (categorical columns first, then measures) as
+// CSV with a header row.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append(append([]string{}, t.colNames...), t.measureNames...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, len(header))
+	for i := 0; i < t.n; i++ {
+		for c := range t.colNames {
+			rec[c] = t.dicts[c].Decode(t.cols[c][i])
+		}
+		for m := range t.measureNames {
+			rec[len(t.colNames)+m] = strconv.FormatFloat(t.measures[m][i], 'g', -1, 64)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVFile is WriteCSV to a file path.
+func (t *Table) WriteCSVFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,107 @@
+package table
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const csvFixture = `Store,Product,Sales
+Walmart,cookies,10.5
+Target,bikes,200
+Walmart,milk,3.25
+`
+
+func TestReadCSV(t *testing.T) {
+	tab, err := ReadCSV(strings.NewReader(csvFixture), []string{"Sales"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 3 || tab.NumCols() != 2 {
+		t.Fatalf("shape %d×%d", tab.NumRows(), tab.NumCols())
+	}
+	if got := tab.Measure(0)[1]; got != 200 {
+		t.Fatalf("Sales[1] = %g", got)
+	}
+	if got := tab.Dict(0).Decode(tab.Value(0, 2)); got != "Walmart" {
+		t.Fatalf("Store[2] = %q", got)
+	}
+}
+
+func TestReadCSVNoMeasures(t *testing.T) {
+	tab, err := ReadCSV(strings.NewReader("A,B\nx,y\n"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumCols() != 2 || len(tab.MeasureNames()) != 0 {
+		t.Fatal("unexpected schema")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader(""), nil); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := ReadCSV(strings.NewReader("A,B\nx\n"), nil); err == nil {
+		t.Error("ragged row should fail")
+	}
+	if _, err := ReadCSV(strings.NewReader(csvFixture), []string{"Price"}); err == nil {
+		t.Error("missing measure column should fail")
+	}
+	bad := "A,M\nx,notanumber\n"
+	if _, err := ReadCSV(strings.NewReader(bad), []string{"M"}); err == nil {
+		t.Error("non-numeric measure should fail")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tab, err := ReadCSV(strings.NewReader(csvFixture), []string{"Sales"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(bytes.NewReader(buf.Bytes()), []string{"Sales"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != tab.NumRows() || back.NumCols() != tab.NumCols() {
+		t.Fatal("round trip changed shape")
+	}
+	for i := 0; i < tab.NumRows(); i++ {
+		for c := 0; c < tab.NumCols(); c++ {
+			a := tab.Dict(c).Decode(tab.Value(c, i))
+			b := back.Dict(c).Decode(back.Value(c, i))
+			if a != b {
+				t.Fatalf("cell (%d,%d): %q vs %q", c, i, a, b)
+			}
+		}
+		if tab.Measure(0)[i] != back.Measure(0)[i] {
+			t.Fatalf("measure row %d mismatch", i)
+		}
+	}
+}
+
+func TestCSVFileRoundTrip(t *testing.T) {
+	tab, err := ReadCSV(strings.NewReader(csvFixture), []string{"Sales"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "out.csv")
+	if err := tab.WriteCSVFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSVFile(path, []string{"Sales"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != 3 {
+		t.Fatalf("rows = %d", back.NumRows())
+	}
+	if _, err := ReadCSVFile(filepath.Join(t.TempDir(), "missing.csv"), nil); err == nil {
+		t.Error("missing file should fail")
+	}
+}

@@ -1,0 +1,163 @@
+package table
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property-based tests (testing/quick) on the table substrate.
+
+func TestQuickDictionaryRoundTrip(t *testing.T) {
+	f := func(values []string) bool {
+		d := NewDictionary()
+		ids := make(map[string]int32, len(values))
+		for _, v := range values {
+			id := d.Encode(v)
+			if prev, seen := ids[v]; seen {
+				if prev != id {
+					return false // re-encoding must be stable
+				}
+			} else {
+				ids[v] = id
+			}
+			if d.Decode(id) != v {
+				return false // decode inverts encode
+			}
+		}
+		return d.Len() == len(ids)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBucketizeTotal(t *testing.T) {
+	// Every value lands in exactly one declared bucket, for both schemes.
+	f := func(raw []float64, bucketSeed uint8) bool {
+		vals := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if v == v && v < 1e15 && v > -1e15 { // drop NaN/extremes
+				vals = append(vals, v)
+			}
+		}
+		buckets := 1 + int(bucketSeed%9)
+		for _, scheme := range []BucketScheme{EquiWidth, EquiDepth} {
+			got, labels, err := Bucketize(vals, buckets, scheme)
+			if err != nil {
+				return false
+			}
+			if len(vals) == 0 {
+				continue
+			}
+			valid := make(map[string]bool, len(labels))
+			for _, l := range labels {
+				valid[l] = true
+			}
+			for _, g := range got {
+				if !valid[g] {
+					return false
+				}
+			}
+			if len(labels) > buckets {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBucketizeOrderPreserving(t *testing.T) {
+	// Equi-width bucketization is monotone: a larger value never lands in
+	// a strictly lower bucket.
+	f := func(raw []float64) bool {
+		vals := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if v == v && v < 1e12 && v > -1e12 {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) < 2 {
+			return true
+		}
+		got, labels, err := Bucketize(vals, 5, EquiWidth)
+		if err != nil {
+			return false
+		}
+		idx := make(map[string]int, len(labels))
+		for i, l := range labels {
+			idx[l] = i
+		}
+		for i := range vals {
+			for j := range vals {
+				if vals[i] < vals[j] && idx[got[i]] > idx[got[j]] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSelectPreservesCells(t *testing.T) {
+	// Select(rows) returns exactly the chosen rows in order.
+	f := func(data []uint8, picks []uint8) bool {
+		if len(data) == 0 {
+			return true
+		}
+		b := MustBuilder([]string{"A"}, nil)
+		for _, v := range data {
+			b.MustAddRow([]string{string(rune('a' + v%16))})
+		}
+		tab := b.Build()
+		rows := make([]int, len(picks))
+		for i, p := range picks {
+			rows[i] = int(p) % tab.NumRows()
+		}
+		sel := tab.Select(rows)
+		if sel.NumRows() != len(rows) {
+			return false
+		}
+		for j, i := range rows {
+			if sel.Value(0, j) != tab.Value(0, i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCountMatchesFilter(t *testing.T) {
+	// Count(r) equals len(FilterIndices(r)) equals Filter(r).NumRows().
+	f := func(data []uint8, col0 uint8) bool {
+		if len(data) == 0 {
+			return true
+		}
+		b := MustBuilder([]string{"A", "B"}, nil)
+		for i, v := range data {
+			b.MustAddRow([]string{
+				string(rune('a' + v%4)),
+				string(rune('x' + i%3)),
+			})
+		}
+		tab := b.Build()
+		r, err := tab.EncodeRule(map[string]string{"A": string(rune('a' + col0%4))})
+		if err != nil {
+			// The value may be absent from small tables; that is fine.
+			return true
+		}
+		n := tab.Count(r)
+		return n == len(tab.FilterIndices(r)) && n == tab.Filter(r).NumRows()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

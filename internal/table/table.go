@@ -1,0 +1,224 @@
+// Package table implements the relational substrate smart drill-down runs
+// on: a dictionary-encoded, column-major table of categorical values with
+// optional float64 measure columns for Sum aggregation.
+//
+// As in the paper, the table is assumed denormalized (a star/snowflake
+// schema flattened into one relation) and all drill-down columns are
+// categorical; numeric columns are bucketized (see Bucketize) before use.
+package table
+
+import (
+	"errors"
+	"fmt"
+
+	"smartdrill/internal/rule"
+)
+
+// ErrTooManyColumns is returned when a schema exceeds rule.MaxColumns.
+var ErrTooManyColumns = errors.New("table: too many columns")
+
+// Dictionary interns the distinct string values of one column and assigns
+// each a dense int32 id in first-seen order.
+type Dictionary struct {
+	byValue map[string]rule.Value
+	values  []string
+}
+
+// NewDictionary returns an empty dictionary.
+func NewDictionary() *Dictionary {
+	return &Dictionary{byValue: make(map[string]rule.Value)}
+}
+
+// Encode returns the id for s, interning it if unseen.
+func (d *Dictionary) Encode(s string) rule.Value {
+	if id, ok := d.byValue[s]; ok {
+		return id
+	}
+	id := rule.Value(len(d.values))
+	d.byValue[s] = id
+	d.values = append(d.values, s)
+	return id
+}
+
+// Lookup returns the id for s without interning; ok is false if s has never
+// been seen.
+func (d *Dictionary) Lookup(s string) (rule.Value, bool) {
+	id, ok := d.byValue[s]
+	return id, ok
+}
+
+// Decode returns the string for id. It panics on out-of-range ids, which
+// indicate programmer error (ids only come from Encode/Lookup).
+func (d *Dictionary) Decode(id rule.Value) string { return d.values[id] }
+
+// Len returns the number of distinct values interned so far.
+func (d *Dictionary) Len() int { return len(d.values) }
+
+// Table is an immutable, dictionary-encoded, column-major relation.
+// Build one with a Builder; a built Table is safe for concurrent reads.
+type Table struct {
+	colNames []string
+	dicts    []*Dictionary
+	cols     [][]rule.Value // column-major: cols[c][row]
+	n        int
+
+	measureNames []string
+	measures     [][]float64 // column-major, parallel to measureNames
+}
+
+// NumRows returns the number of tuples.
+func (t *Table) NumRows() int { return t.n }
+
+// NumCols returns the number of categorical (drillable) columns.
+func (t *Table) NumCols() int { return len(t.colNames) }
+
+// ColumnNames returns the categorical column names in schema order. The
+// returned slice must not be modified.
+func (t *Table) ColumnNames() []string { return t.colNames }
+
+// ColumnIndex returns the index of the named categorical column, or an
+// error naming the available columns.
+func (t *Table) ColumnIndex(name string) (int, error) {
+	for i, n := range t.colNames {
+		if n == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("table: no column %q (have %v)", name, t.colNames)
+}
+
+// Dict returns the dictionary for column c.
+func (t *Table) Dict(c int) *Dictionary { return t.dicts[c] }
+
+// DistinctCount returns the number of distinct values in column c. The Bits
+// weighting function is built from these counts.
+func (t *Table) DistinctCount(c int) int { return t.dicts[c].Len() }
+
+// Value returns the encoded value at (column c, row i).
+func (t *Table) Value(c, i int) rule.Value { return t.cols[c][i] }
+
+// Column returns the full encoded column c. The returned slice must not be
+// modified.
+func (t *Table) Column(c int) []rule.Value { return t.cols[c] }
+
+// Row copies row i into buf (which must have length NumCols) and returns it.
+func (t *Table) Row(i int, buf []rule.Value) []rule.Value {
+	for c := range t.cols {
+		buf[c] = t.cols[c][i]
+	}
+	return buf
+}
+
+// MeasureNames returns the measure (numeric aggregate) column names.
+func (t *Table) MeasureNames() []string { return t.measureNames }
+
+// MeasureIndex returns the index of the named measure column.
+func (t *Table) MeasureIndex(name string) (int, error) {
+	for i, n := range t.measureNames {
+		if n == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("table: no measure column %q (have %v)", name, t.measureNames)
+}
+
+// Measure returns measure column m. The returned slice must not be modified.
+func (t *Table) Measure(m int) []float64 { return t.measures[m] }
+
+// Covers reports whether rule r covers row i, without materializing the row.
+func (t *Table) Covers(r rule.Rule, i int) bool {
+	for c, v := range r {
+		if v != rule.Star && t.cols[c][i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of rows covered by r — Count(r) in the paper.
+func (t *Table) Count(r rule.Rule) int {
+	n := 0
+	for i := 0; i < t.n; i++ {
+		if t.Covers(r, i) {
+			n++
+		}
+	}
+	return n
+}
+
+// FilterIndices returns the row indices covered by r, in ascending order.
+func (t *Table) FilterIndices(r rule.Rule) []int {
+	var idx []int
+	for i := 0; i < t.n; i++ {
+		if t.Covers(r, i) {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// Select materializes a new Table containing exactly the given rows (in the
+// given order), sharing dictionaries with t. It is the substrate for both
+// rule-filtered views (Problem 1 → Problem 2 reduction) and samples.
+func (t *Table) Select(rows []int) *Table {
+	out := &Table{
+		colNames:     t.colNames,
+		dicts:        t.dicts,
+		cols:         make([][]rule.Value, len(t.cols)),
+		n:            len(rows),
+		measureNames: t.measureNames,
+		measures:     make([][]float64, len(t.measures)),
+	}
+	for c := range t.cols {
+		col := make([]rule.Value, len(rows))
+		src := t.cols[c]
+		for j, i := range rows {
+			col[j] = src[i]
+		}
+		out.cols[c] = col
+	}
+	for m := range t.measures {
+		col := make([]float64, len(rows))
+		src := t.measures[m]
+		for j, i := range rows {
+			col[j] = src[i]
+		}
+		out.measures[m] = col
+	}
+	return out
+}
+
+// Filter returns a new Table holding only the rows covered by r.
+func (t *Table) Filter(r rule.Rule) *Table { return t.Select(t.FilterIndices(r)) }
+
+// EncodeRule translates a pattern of column-name → string-value into a Rule.
+// Columns absent from the pattern are stars. Unknown values yield an error
+// (such a rule could never cover anything; surfacing it early catches typos).
+func (t *Table) EncodeRule(pattern map[string]string) (rule.Rule, error) {
+	r := rule.Trivial(t.NumCols())
+	for name, val := range pattern {
+		c, err := t.ColumnIndex(name)
+		if err != nil {
+			return nil, err
+		}
+		id, ok := t.dicts[c].Lookup(val)
+		if !ok {
+			return nil, fmt.Errorf("table: column %q has no value %q", name, val)
+		}
+		r[c] = id
+	}
+	return r, nil
+}
+
+// DecodeRule renders a rule's entries as strings, with "?" for stars.
+func (t *Table) DecodeRule(r rule.Rule) []string {
+	out := make([]string, len(r))
+	for c, v := range r {
+		if v == rule.Star {
+			out[c] = "?"
+		} else {
+			out[c] = t.dicts[c].Decode(v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,45 @@
+package weight
+
+import (
+	"fmt"
+	"math/rand"
+
+	"smartdrill/internal/rule"
+)
+
+// CheckMonotone probabilistically validates the two conditions the paper
+// imposes on weighting functions over a table with the given column count:
+// non-negativity, and monotonicity in the sub-rule order (adding an
+// instantiated column never lowers the weight). It draws trials random
+// masks and checks each against all single-column extensions; a violation
+// is returned as a descriptive error. A nil error means no violation was
+// found, not a proof of monotonicity.
+func CheckMonotone(w Weighter, columns, trials int, rng *rand.Rand) error {
+	if columns > rule.MaxColumns {
+		return fmt.Errorf("weight: %d columns exceeds %d", columns, rule.MaxColumns)
+	}
+	for i := 0; i < trials; i++ {
+		var m rule.Mask
+		for c := 0; c < columns; c++ {
+			if rng.Intn(2) == 1 {
+				m.Set(c)
+			}
+		}
+		base := w.Weight(m)
+		if base < 0 {
+			return fmt.Errorf("weight %s: negative weight %g for mask %v", w.Name(), base, m.Columns())
+		}
+		for c := 0; c < columns; c++ {
+			if m.Has(c) {
+				continue
+			}
+			ext := m
+			ext.Set(c)
+			if got := w.Weight(ext); got < base {
+				return fmt.Errorf("weight %s: not monotone: W(%v)=%g < W(%v)=%g",
+					w.Name(), ext.Columns(), got, m.Columns(), base)
+			}
+		}
+	}
+	return nil
+}

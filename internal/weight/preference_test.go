@@ -1,0 +1,70 @@
+package weight
+
+import (
+	"math/rand"
+	"testing"
+
+	"smartdrill/internal/rule"
+)
+
+func TestPreferenceIgnoreDropsColumn(t *testing.T) {
+	p := Preference{Inner: NewSize(4), Ignored: rule.MaskOf(1)}
+	if got := p.Weight(rule.MaskOf(1)); got != 0 {
+		t.Fatalf("ignored column weight = %g, want 0", got)
+	}
+	if got := p.Weight(rule.MaskOf(0, 1, 2)); got != 2 {
+		t.Fatalf("W({0,1,2}) = %g, want 2 (column 1 ignored)", got)
+	}
+}
+
+func TestPreferenceFavor(t *testing.T) {
+	p := Preference{Inner: NewSize(4), Favored: rule.MaskOf(2), Bonus: 3}
+	if got := p.Weight(rule.MaskOf(2)); got != 4 {
+		t.Fatalf("favored column = %g, want 1+3", got)
+	}
+	if got := p.Weight(rule.MaskOf(0)); got != 1 {
+		t.Fatalf("plain column = %g, want 1", got)
+	}
+	// Default bonus is 1.
+	d := Preference{Inner: NewSize(4), Favored: rule.MaskOf(2)}
+	if got := d.Weight(rule.MaskOf(2)); got != 2 {
+		t.Fatalf("default bonus weight = %g, want 2", got)
+	}
+}
+
+func TestPreferenceMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	p := Preference{
+		Inner:   NewBits([]int{2, 4, 8, 16, 32, 64}),
+		Ignored: rule.MaskOf(0, 3),
+		Favored: rule.MaskOf(1, 5),
+		Bonus:   2.5,
+	}
+	if err := CheckMonotone(p, 6, 500, rng); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPreferenceMaxWeight(t *testing.T) {
+	p := Preference{Inner: NewSize(4), Favored: rule.MaskOf(0, 1), Bonus: 2}
+	// MaxWeight(4): inner 4 plus 2 favored columns × 2 bonus.
+	if got := p.MaxWeight(4); got != 8 {
+		t.Fatalf("MaxWeight = %g, want 8", got)
+	}
+	// With room for a single column, at most one favored bonus applies.
+	if got := p.MaxWeight(1); got != 3 {
+		t.Fatalf("MaxWeight(1) = %g, want 1+2", got)
+	}
+}
+
+func TestPreferenceName(t *testing.T) {
+	p := Preference{Inner: NewSize(3), Favored: rule.MaskOf(1), Ignored: rule.MaskOf(2)}
+	name := p.Name()
+	if name == "Size" {
+		t.Fatalf("name %q should mention adjustments", name)
+	}
+	plain := Preference{Inner: NewSize(3)}
+	if plain.Name() != "Size" {
+		t.Fatalf("no-op preference name = %q", plain.Name())
+	}
+}

@@ -1,0 +1,193 @@
+// Package workload simulates analyst drill-down sessions to evaluate the
+// dynamic sampling machinery of Section 4 under realistic interaction
+// patterns — the setting the SampleHandler is designed for: a sequence of
+// drill-downs whose next target is drawn from a probability distribution
+// over the displayed tree.
+//
+// A simulated analyst repeatedly: expands a displayed rule (biased toward
+// the top-ranked rules, as real analysts are), occasionally star-expands a
+// column or rolls up, and stops after a fixed number of interactions. The
+// simulator reports how each drill was served (direct / Find / Combine /
+// Create), the scan bill, and latency — the metrics that decide whether
+// the paper's design meets its "interactive response" goal.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"smartdrill/internal/drill"
+	"smartdrill/internal/rule"
+	"smartdrill/internal/table"
+)
+
+// Config parameterizes a simulated session.
+type Config struct {
+	// Steps is the number of drill interactions to simulate.
+	Steps int
+	// TopBias is the probability of drilling one of the top-2 displayed
+	// rules of a random expanded node (vs a uniform displayed rule);
+	// 0 means 0.7.
+	TopBias float64
+	// StarProb is the probability an interaction is a star expansion
+	// instead of a rule expansion; 0 means 0.2.
+	StarProb float64
+	// CollapseProb is the probability of rolling up an expanded node
+	// instead of drilling; 0 means 0.1.
+	CollapseProb float64
+	// Seed drives the simulated analyst (not the session's sampler).
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Steps <= 0 {
+		c.Steps = 20
+	}
+	if c.TopBias == 0 {
+		c.TopBias = 0.7
+	}
+	if c.StarProb == 0 {
+		c.StarProb = 0.2
+	}
+	if c.CollapseProb == 0 {
+		c.CollapseProb = 0.1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Report aggregates one simulated session.
+type Report struct {
+	Steps      int
+	ByMethod   map[string]int // "direct" / "Find" / "Combine" / "Create"
+	FullScans  int64
+	TotalTime  time.Duration
+	MaxLatency time.Duration
+}
+
+// HitRate returns the fraction of sampled drill-downs served without a
+// table scan (Find + Combine over all sampled accesses).
+func (r Report) HitRate() float64 {
+	served := r.ByMethod["Find"] + r.ByMethod["Combine"]
+	total := served + r.ByMethod["Create"]
+	if total == 0 {
+		return 0
+	}
+	return float64(served) / float64(total)
+}
+
+// String summarizes the report in one line.
+func (r Report) String() string {
+	return fmt.Sprintf("steps=%d direct=%d find=%d combine=%d create=%d scans=%d hit=%.0f%% max=%s",
+		r.Steps, r.ByMethod["direct"], r.ByMethod["Find"], r.ByMethod["Combine"],
+		r.ByMethod["Create"], r.FullScans, 100*r.HitRate(), r.MaxLatency.Round(time.Millisecond))
+}
+
+// Run simulates an analyst on the session. The session should be freshly
+// created; the simulator performs the first expansion itself.
+func Run(s *drill.Session, t *table.Table, cfg Config) (Report, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rep := Report{ByMethod: map[string]int{}}
+
+	do := func(fn func() error) error {
+		start := time.Now()
+		if err := fn(); err != nil {
+			return err
+		}
+		lat := time.Since(start)
+		rep.TotalTime += lat
+		if lat > rep.MaxLatency {
+			rep.MaxLatency = lat
+		}
+		rep.ByMethod[s.LastMethod]++
+		rep.Steps++
+		return nil
+	}
+
+	if err := do(func() error { return s.Expand(s.Root()) }); err != nil {
+		return rep, err
+	}
+
+	for step := 1; step < cfg.Steps; step++ {
+		expanded, unexpanded := partition(s.Root())
+		if rng.Float64() < cfg.CollapseProb && len(expanded) > 1 {
+			// Roll up a random expanded non-root node; free interaction.
+			n := expanded[rng.Intn(len(expanded)-1)+1]
+			s.Collapse(n)
+			continue
+		}
+		target := pickTarget(rng, cfg, unexpanded)
+		if target == nil {
+			// Everything displayed is expanded or fully instantiated:
+			// restart from the root like an analyst starting over.
+			s.Collapse(s.Root())
+			if err := do(func() error { return s.Expand(s.Root()) }); err != nil {
+				return rep, err
+			}
+			continue
+		}
+		if freeCol := firstStar(target.Rule); freeCol >= 0 && rng.Float64() < cfg.StarProb {
+			if err := do(func() error { return s.ExpandStar(target, freeCol) }); err != nil {
+				return rep, err
+			}
+			continue
+		}
+		if err := do(func() error { return s.Expand(target) }); err != nil {
+			return rep, err
+		}
+	}
+	if st := s.Store(); st != nil {
+		rep.FullScans = st.Stats().FullScans
+	}
+	return rep, nil
+}
+
+// partition splits displayed nodes into expanded ones and drillable
+// (unexpanded, with at least one star) ones, in depth-first order.
+func partition(root *drill.Node) (expanded, drillable []*drill.Node) {
+	var walk func(n *drill.Node)
+	walk = func(n *drill.Node) {
+		if n.Expanded() {
+			expanded = append(expanded, n)
+			for _, c := range n.Children {
+				walk(c)
+			}
+			return
+		}
+		if firstStar(n.Rule) >= 0 {
+			drillable = append(drillable, n)
+		}
+	}
+	walk(root)
+	return expanded, drillable
+}
+
+// pickTarget draws the next drill target: with probability TopBias one of
+// the first two drillable nodes (display order ≈ rule quality), otherwise
+// uniform.
+func pickTarget(rng *rand.Rand, cfg Config, drillable []*drill.Node) *drill.Node {
+	if len(drillable) == 0 {
+		return nil
+	}
+	if rng.Float64() < cfg.TopBias {
+		k := 2
+		if len(drillable) < k {
+			k = len(drillable)
+		}
+		return drillable[rng.Intn(k)]
+	}
+	return drillable[rng.Intn(len(drillable))]
+}
+
+func firstStar(r rule.Rule) int {
+	for c, v := range r {
+		if v == rule.Star {
+			return c
+		}
+	}
+	return -1
+}

@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"testing"
+
+	"smartdrill/internal/datagen"
+	"smartdrill/internal/drill"
+	"smartdrill/internal/sampling"
+)
+
+func TestRunDirectSession(t *testing.T) {
+	tab := datagen.StoreSales(42)
+	s, err := drill.NewSession(tab, drill.Config{K: 3, MaxWeight: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(s, tab, Config{Steps: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Steps == 0 || rep.ByMethod["direct"] != rep.Steps {
+		t.Fatalf("direct session report: %s", rep)
+	}
+	if rep.MaxLatency <= 0 {
+		t.Fatal("latency not recorded")
+	}
+}
+
+func TestRunSampledSessionPrefetchImprovesHitRate(t *testing.T) {
+	tab := datagen.CensusProjected(40000, 5, 13)
+	base := drill.Config{
+		K: 3, MaxWeight: 4,
+		SampleMemory:  30000,
+		MinSampleSize: 2000,
+		Seed:          2,
+	}
+
+	// Without prefetch.
+	s1, err := drill.NewSession(tab, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noPrefetch, err := Run(s1, tab, Config{Steps: 15, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// With prefetch and the learned probability model.
+	cfg := base
+	cfg.Prefetch = true
+	cfg.ProbModel = sampling.NewRankModel()
+	s2, err := drill.NewSession(tab, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withPrefetch, err := Run(s2, tab, Config{Steps: 15, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if withPrefetch.HitRate() < noPrefetch.HitRate() {
+		t.Fatalf("prefetch lowered hit rate: %.2f vs %.2f\nno-prefetch: %s\nprefetch:    %s",
+			withPrefetch.HitRate(), noPrefetch.HitRate(), noPrefetch, withPrefetch)
+	}
+	// The prefetched session must serve a solid majority from memory.
+	if withPrefetch.HitRate() < 0.5 {
+		t.Fatalf("prefetched hit rate %.2f < 0.5: %s", withPrefetch.HitRate(), withPrefetch)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	rep := Report{Steps: 3, ByMethod: map[string]int{"Find": 2, "Create": 1}}
+	if rep.HitRate() != 2.0/3 {
+		t.Fatalf("hit rate = %g", rep.HitRate())
+	}
+	if rep.String() == "" {
+		t.Fatal("empty report string")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Steps != 20 || c.TopBias != 0.7 || c.StarProb != 0.2 || c.CollapseProb != 0.1 || c.Seed != 1 {
+		t.Fatalf("defaults = %+v", c)
+	}
+}
+
+func TestDeterministicGivenSeeds(t *testing.T) {
+	tab := datagen.StoreSales(42)
+	runOnce := func() [5]int {
+		s, err := drill.NewSession(tab, drill.Config{K: 3, MaxWeight: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Run(s, tab, Config{Steps: 12, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return [5]int{rep.Steps, rep.ByMethod["direct"], rep.ByMethod["Find"],
+			rep.ByMethod["Combine"], rep.ByMethod["Create"]}
+	}
+	if runOnce() != runOnce() {
+		t.Fatal("simulation not deterministic (wall time excluded)")
+	}
+}

@@ -1,0 +1,336 @@
+// Package smartdrill is a Go implementation of the smart drill-down
+// operator from "Interactive Data Exploration with Smart Drill-Down"
+// (Joglekar, Garcia-Molina, Parameswaran — ICDE 2016).
+//
+// Smart drill-down explores a relational table through *rules*: patterns
+// like (Walmart, ?, ?) that cover every tuple matching their non-wildcard
+// values. Drilling down on a rule expands it into the k super-rules that
+// jointly maximize Σ W(r)·MCount(r) — coverage of many tuples, weighted by
+// how specific each rule is, with marginal counting driving diversity.
+//
+// Basic use:
+//
+//	t, _ := smartdrill.LoadCSV("sales.csv", nil)
+//	e, _ := smartdrill.New(t, smartdrill.WithK(3))
+//	_ = e.DrillDown(e.Root())            // expand the whole-table rule
+//	fmt.Println(e.Render())              // paper-style rule table
+//	_ = e.DrillDown(e.Root().Children[2]) // drill into one result
+//
+// Large tables can be explored from dynamically maintained in-memory
+// samples (WithSampling), trading exact counts for interactive latency as
+// in Section 4 of the paper.
+package smartdrill
+
+import (
+	"io"
+	"math/rand"
+	"time"
+
+	"smartdrill/internal/baseline"
+	"smartdrill/internal/drill"
+	"smartdrill/internal/rule"
+	"smartdrill/internal/score"
+	"smartdrill/internal/table"
+	"smartdrill/internal/weight"
+)
+
+// Table is a dictionary-encoded relational table; build one with LoadCSV,
+// ReadCSV, or NewTableBuilder.
+type Table = table.Table
+
+// TableBuilder assembles a Table row by row.
+type TableBuilder = table.Builder
+
+// Rule is a drill-down pattern: one value or wildcard per column.
+type Rule = rule.Rule
+
+// Node is one displayed rule in an Engine's drill-down tree.
+type Node = drill.Node
+
+// Weighter scores rules by their instantiated columns; see SizeWeight,
+// BitsWeight, LinearWeight.
+type Weighter = weight.Weighter
+
+// Star is the wildcard value within a Rule.
+const Star = rule.Star
+
+// NewTableBuilder starts a table with the given categorical columns and
+// optional measure (numeric) columns.
+func NewTableBuilder(columns, measures []string) (*TableBuilder, error) {
+	return table.NewBuilder(columns, measures)
+}
+
+// LoadCSV reads a table from a CSV file; columns named in measures are
+// parsed as float64 measure columns, all others are categorical.
+func LoadCSV(path string, measures []string) (*Table, error) {
+	return table.ReadCSVFile(path, measures)
+}
+
+// ReadCSV reads a table from a CSV stream.
+func ReadCSV(r io.Reader, measures []string) (*Table, error) {
+	return table.ReadCSV(r, measures)
+}
+
+// AutoOptions tunes numeric-column detection in LoadCSVAuto/ReadCSVAuto.
+type AutoOptions = table.AutoOptions
+
+// LoadCSVAuto reads a CSV detecting numeric columns automatically: any
+// all-numeric column with more distinct values than AutoOptions.MaxDistinct
+// is bucketized into a categorical "<name>_bucket" column and kept as a
+// measure for Sum aggregation (Section 6.2 of the paper). It returns the
+// table and the names of the detected numeric columns.
+func LoadCSVAuto(path string, opts AutoOptions) (*Table, []string, error) {
+	return table.ReadCSVAutoFile(path, opts)
+}
+
+// ReadCSVAuto is LoadCSVAuto over a stream.
+func ReadCSVAuto(r io.Reader, opts AutoOptions) (*Table, []string, error) {
+	return table.ReadCSVAuto(r, opts)
+}
+
+// SizeWeight returns the paper's default Size weighting: W(r) = number of
+// instantiated columns.
+func SizeWeight(t *Table) Weighter { return weight.NewSize(t.NumCols()) }
+
+// BitsWeight weighs each instantiated column by ⌈log2(distinct values)⌉,
+// favoring columns that convey more information.
+func BitsWeight(t *Table) Weighter { return weight.BitsFor(t) }
+
+// SizeMinusOneWeight is W(r) = max(0, size−1): only multi-column rules
+// score, reproducing Figure 7 of the paper.
+func SizeMinusOneWeight() Weighter { return weight.SizeMinusOne{} }
+
+// LinearWeight is the parametric family (Σ_c w_c)^power over instantiated
+// columns; Size and Bits are special cases. Use it to favor or ignore
+// specific columns.
+func LinearWeight(perColumn []float64, power float64, label string) Weighter {
+	return weight.NewLinear(perColumn, power, label)
+}
+
+// WithPreferences wraps a weighter with per-column interest adjustments
+// (Section 6.1): favored columns earn bonus weight when instantiated,
+// ignored columns contribute nothing. Unknown column names yield an error.
+func WithPreferences(t *Table, inner Weighter, favor, ignore []string, bonus float64) (Weighter, error) {
+	toMask := func(names []string) (rule.Mask, error) {
+		var m rule.Mask
+		for _, name := range names {
+			c, err := t.ColumnIndex(name)
+			if err != nil {
+				return m, err
+			}
+			m.Set(c)
+		}
+		return m, nil
+	}
+	fav, err := toMask(favor)
+	if err != nil {
+		return nil, err
+	}
+	ign, err := toMask(ignore)
+	if err != nil {
+		return nil, err
+	}
+	return weight.Preference{Inner: inner, Favored: fav, Ignored: ign, Bonus: bonus}, nil
+}
+
+// Engine is an interactive smart drill-down session over one table.
+type Engine struct {
+	s   *drill.Session
+	tab *Table
+	cfg drill.Config
+}
+
+// Option configures an Engine.
+type Option func(*drill.Config)
+
+// WithK sets the number of rules returned per drill-down (default 3).
+func WithK(k int) Option { return func(c *drill.Config) { c.K = k } }
+
+// WithWeighter sets the rule-weighting function (default Size).
+func WithWeighter(w Weighter) Option { return func(c *drill.Config) { c.Weighter = w } }
+
+// WithMaxWeight sets BRS's mw pruning parameter. Larger values guarantee
+// optimality for heavier rules at higher cost; 0 (default) estimates it
+// from a sample per Section 6.1.
+func WithMaxWeight(mw float64) Option { return func(c *drill.Config) { c.MaxWeight = mw } }
+
+// WithSampling enables the dynamic sample handler: memory tuples of budget
+// across samples and minSS minimum effective sample size per drill-down.
+func WithSampling(memory, minSS int) Option {
+	return func(c *drill.Config) {
+		c.SampleMemory = memory
+		c.MinSampleSize = minSS
+	}
+}
+
+// WithPrefetch enables background-style sample reallocation after each
+// expansion, so the next drill-down is likely served from memory.
+func WithPrefetch() Option { return func(c *drill.Config) { c.Prefetch = true } }
+
+// WithSum displays and optimizes the Sum of the named measure column
+// instead of tuple counts (Section 6.3).
+func WithSum(t *Table, measure string) (Option, error) {
+	m, err := t.MeasureIndex(measure)
+	if err != nil {
+		return nil, err
+	}
+	return func(c *drill.Config) {
+		c.Agg = score.SumAgg{Measure: m, Label: measure}
+	}, nil
+}
+
+// WithSeed fixes the sampling RNG for reproducible sessions.
+func WithSeed(seed int64) Option { return func(c *drill.Config) { c.Seed = seed } }
+
+// WithWorkers parallelizes drill-down computation across the given number
+// of goroutines. Results are unchanged (bit-identical under Count).
+func WithWorkers(n int) Option { return func(c *drill.Config) { c.Workers = n } }
+
+// New starts a drill-down session on t.
+func New(t *Table, opts ...Option) (*Engine, error) {
+	var cfg drill.Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	s, err := drill.NewSession(t, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{s: s, tab: t, cfg: cfg}, nil
+}
+
+// Root returns the trivial rule covering the whole table — the starting
+// point of every session.
+func (e *Engine) Root() *Node { return e.s.Root() }
+
+// Table returns the session's table.
+func (e *Engine) Table() *Table { return e.tab }
+
+// DrillDown expands n into the best rule list of super-rules of n's rule.
+// If n is already expanded it is collapsed and re-expanded.
+func (e *Engine) DrillDown(n *Node) error { return e.s.Expand(n) }
+
+// DrillDownStar expands n like DrillDown but requires every returned rule
+// to instantiate the named column — the paper's "click on a ?" operation.
+func (e *Engine) DrillDownStar(n *Node, column string) error {
+	c, err := e.tab.ColumnIndex(column)
+	if err != nil {
+		return err
+	}
+	return e.s.ExpandStar(n, c)
+}
+
+// Collapse removes n's children (roll-up).
+func (e *Engine) Collapse(n *Node) { e.s.Collapse(n) }
+
+// DrillDownStream expands n incrementally: each rule is appended to n's
+// children and passed to onRule as soon as the greedy search finds it
+// (Section 6.1's anytime operation). The search stops when onRule returns
+// false, after maxRules rules (0 = unbounded), or when budget elapses
+// (0 = unbounded). onRule may be nil.
+func (e *Engine) DrillDownStream(n *Node, maxRules int, budget time.Duration, onRule func(*Node) bool) error {
+	return e.s.ExpandStream(n, maxRules, budget, onRule)
+}
+
+// ConfidenceInterval returns 95% bounds on a node's true count. For exact
+// counts both bounds equal Count.
+func (e *Engine) ConfidenceInterval(n *Node) (lo, hi float64) {
+	if n.Exact || (n.CILow == 0 && n.CIHigh == 0) {
+		return n.Count, n.Count
+	}
+	return n.CILow, n.CIHigh
+}
+
+// Render returns the current drill-down tree as an aligned text table in
+// the style of the paper's figures.
+func (e *Engine) Render() string { return e.s.Render() }
+
+// RenderNode renders only the subtree under n.
+func (e *Engine) RenderNode(n *Node) string { return e.s.RenderNode(n) }
+
+// DescribeRule renders a node's rule as human-readable column=value pairs.
+func (e *Engine) DescribeRule(n *Node) string {
+	cells := e.tab.DecodeRule(n.Rule)
+	out := ""
+	for i, c := range cells {
+		if i > 0 {
+			out += ", "
+		}
+		out += c
+	}
+	return "(" + out + ")"
+}
+
+// LastAccessMethod reports how the most recent drill-down obtained tuples:
+// "direct", "Find", "Combine", or "Create".
+func (e *Engine) LastAccessMethod() string { return e.s.LastMethod }
+
+// TraditionalGroup is one value group of a classic drill-down.
+type TraditionalGroup struct {
+	Value string
+	Count float64
+}
+
+// TraditionalDrillDown performs the classic OLAP drill-down on one column
+// under n: every distinct value with its count, ordered by count. Provided
+// for comparison (Figure 4); smart drill-down generalizes it.
+func (e *Engine) TraditionalDrillDown(n *Node, column string) ([]TraditionalGroup, error) {
+	c, err := e.tab.ColumnIndex(column)
+	if err != nil {
+		return nil, err
+	}
+	groups, err := baseline.TraditionalDrillDown(e.tab, n.Rule, c, e.agg())
+	if err != nil {
+		return nil, err
+	}
+	out := make([]TraditionalGroup, len(groups))
+	for i, g := range groups {
+		out[i] = TraditionalGroup{Value: g.Value, Count: g.Count}
+	}
+	return out, nil
+}
+
+func (e *Engine) agg() score.Aggregator {
+	if e.cfg.Agg != nil {
+		return e.cfg.Agg
+	}
+	return score.CountAgg{}
+}
+
+// EncodeRule translates column-name → value pairs into a Rule over e's
+// table (unnamed columns are wildcards).
+func (e *Engine) EncodeRule(pattern map[string]string) (Rule, error) {
+	return e.tab.EncodeRule(pattern)
+}
+
+// FindNode locates the displayed node with the given rule, or nil.
+func (e *Engine) FindNode(r Rule) *Node {
+	var find func(n *Node) *Node
+	find = func(n *Node) *Node {
+		if n.Rule.Equal(r) {
+			return n
+		}
+		for _, c := range n.Children {
+			if f := find(c); f != nil {
+				return f
+			}
+		}
+		return nil
+	}
+	return find(e.Root())
+}
+
+// Validate sanity-checks a custom weighter against the paper's
+// requirements (non-negativity and monotonicity) on random masks.
+func Validate(w Weighter, t *Table) error {
+	return weight.CheckMonotone(w, t.NumCols(), 200, rand.New(rand.NewSource(1)))
+}
+
+// SaveState writes the current drill-down tree as JSON, so an exploration
+// can be resumed later with LoadState against the same dataset.
+func (e *Engine) SaveState(w io.Writer) error { return e.s.Save(w) }
+
+// LoadState replaces the drill-down tree with a previously saved one. The
+// engine's table must have the same columns and contain every value the
+// snapshot references.
+func (e *Engine) LoadState(r io.Reader) error { return e.s.Load(r) }
