@@ -1,0 +1,126 @@
+// Command smartdrilld serves interactive smart drill-down sessions over a
+// JSON HTTP API — the network analogue of the paper's web prototype,
+// designed for many concurrent analysts: distinct sessions drill in
+// parallel, each expansion can fan out across BRS workers, and large tables
+// are served from dynamically maintained in-memory samples.
+//
+// Usage:
+//
+//	smartdrilld [-addr :8080] [-dataset name=path.csv[:measure,...]]...
+//	            [-demo] [-max-sessions 1024] [-workers N] [-k 3]
+//	            [-stream-budget 5s]
+//
+// Each -dataset flag registers one CSV file under a name; the optional
+// colon-suffix lists measure (numeric) columns. -demo registers the
+// paper's department-store running example as "store". With no -dataset
+// flags, -demo is implied so the server is immediately explorable:
+//
+//	smartdrilld &
+//	curl -s localhost:8080/v1/datasets
+//	curl -s -X POST localhost:8080/v1/sessions -d '{"dataset":"store"}'
+//
+// The server shuts down gracefully on SIGINT/SIGTERM.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"smartdrill"
+	"smartdrill/internal/datagen"
+	"smartdrill/internal/server"
+)
+
+// datasetFlag collects repeated -dataset name=path[:measures] values.
+type datasetFlag struct {
+	specs []datasetSpec
+}
+
+type datasetSpec struct {
+	name     string
+	path     string
+	measures []string
+}
+
+func (f *datasetFlag) String() string {
+	parts := make([]string, len(f.specs))
+	for i, s := range f.specs {
+		parts[i] = s.name + "=" + s.path
+	}
+	return strings.Join(parts, ",")
+}
+
+func (f *datasetFlag) Set(raw string) error {
+	name, rest, ok := strings.Cut(raw, "=")
+	if !ok || name == "" || rest == "" {
+		return fmt.Errorf("want name=path.csv[:measure,...], got %q", raw)
+	}
+	spec := datasetSpec{name: name}
+	if path, ms, ok := strings.Cut(rest, ":"); ok {
+		spec.path = path
+		for _, m := range strings.Split(ms, ",") {
+			if m = strings.TrimSpace(m); m != "" {
+				spec.measures = append(spec.measures, m)
+			}
+		}
+	} else {
+		spec.path = rest
+	}
+	f.specs = append(f.specs, spec)
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	var datasets datasetFlag
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		demo         = flag.Bool("demo", false, "register the paper's department-store example as dataset \"store\"")
+		maxSessions  = flag.Int("max-sessions", 1024, "live session cap (LRU eviction beyond it)")
+		workers      = flag.Int("workers", 0, "default BRS worker goroutines per expansion (0 = serial)")
+		k            = flag.Int("k", 3, "default rules per expansion")
+		streamBudget = flag.Duration("stream-budget", 5*time.Second, "default anytime budget for /drill/stream")
+	)
+	flag.Var(&datasets, "dataset", "register a CSV dataset as name=path.csv[:measure,...] (repeatable)")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "smartdrilld ", log.LstdFlags|log.Lmicroseconds)
+	srv := server.New(server.Config{
+		MaxSessions:  *maxSessions,
+		Workers:      *workers,
+		DefaultK:     *k,
+		StreamBudget: *streamBudget,
+		Logger:       logger,
+	})
+
+	if len(datasets.specs) == 0 {
+		*demo = true
+	}
+	if *demo {
+		srv.RegisterDataset("store", datagen.StoreSales(42))
+		logger.Printf("registered demo dataset \"store\" (department-store running example, 6000 rows)")
+	}
+	for _, spec := range datasets.specs {
+		t, err := smartdrill.LoadCSV(spec.path, spec.measures)
+		if err != nil {
+			log.Fatalf("dataset %s: %v", spec.name, err)
+		}
+		srv.RegisterDataset(spec.name, t)
+		logger.Printf("registered dataset %q: %d rows × %d columns from %s",
+			spec.name, t.NumRows(), t.NumCols(), spec.path)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	logger.Printf("listening on %s", *addr)
+	if err := srv.ListenAndServe(ctx, *addr); err != nil {
+		log.Fatal(err)
+	}
+}

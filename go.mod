@@ -1,0 +1,3 @@
+module smartdrill
+
+go 1.24

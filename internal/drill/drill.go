@@ -128,6 +128,12 @@ func NewSession(t *table.Table, cfg Config) (*Session, error) {
 // Root returns the displayed tree's root.
 func (s *Session) Root() *Node { return s.root }
 
+// K returns the normalized rules-per-expansion setting.
+func (s *Session) K() int { return s.cfg.K }
+
+// Agg returns the normalized display aggregate (never nil).
+func (s *Session) Agg() score.Aggregator { return s.cfg.Agg }
+
 // Store exposes the scan-accounting store (for experiment reporting).
 func (s *Session) Store() *storage.Store { return s.store }
 
@@ -205,7 +211,6 @@ func (s *Session) expand(n *Node, w weight.Weighter) error {
 	s.LastStats = stats
 
 	n.Children = make([]*Node, 0, len(results))
-	_, isCount := s.cfg.Agg.(score.CountAgg)
 	for _, r := range results {
 		child := &Node{
 			Rule:   r.Rule,
@@ -214,10 +219,7 @@ func (s *Session) expand(n *Node, w weight.Weighter) error {
 			Exact:  exact,
 			parent: n,
 		}
-		child.CILow, child.CIHigh = child.Count, child.Count
-		if !exact && isCount && scale > 0 {
-			child.CILow, child.CIHigh = sampling.CountInterval(int(r.Count), 1/scale, 1.96)
-		}
+		child.CILow, child.CIHigh = countCI(s.cfg.Agg, exact, scale, r.Count)
 		n.Children = append(n.Children, child)
 	}
 
@@ -225,6 +227,17 @@ func (s *Session) expand(n *Node, w weight.Weighter) error {
 		s.prefetch()
 	}
 	return nil
+}
+
+// countCI returns the 95% display bounds for a child whose raw
+// (pre-scaling) aggregate is raw. Exact counts and aggregates without
+// interval support (Sum) get the degenerate interval at the displayed
+// value.
+func countCI(agg score.Aggregator, exact bool, scale, raw float64) (lo, hi float64) {
+	if _, isCount := agg.(score.CountAgg); !exact && isCount && scale > 0 {
+		return sampling.CountInterval(int(raw), 1/scale, 1.96)
+	}
+	return raw * scale, raw * scale
 }
 
 // prefetch rebuilds samples for the displayed tree's likely next

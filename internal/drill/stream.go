@@ -67,10 +67,9 @@ func (s *Session) expandStream(n *Node, w weight.Weighter, maxRules int, budget 
 			Weight: r.Weight,
 			Count:  r.Count * scale,
 			Exact:  exact,
-			CILow:  r.Count * scale,
-			CIHigh: r.Count * scale,
 			parent: n,
 		}
+		child.CILow, child.CIHigh = countCI(s.cfg.Agg, exact, scale, r.Count)
 		n.Children = append(n.Children, child)
 		if onRule == nil {
 			return true

@@ -1,0 +1,258 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"smartdrill"
+)
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"sessions": s.store.len(),
+	})
+}
+
+// datasetJSON describes one registered dataset.
+type datasetJSON struct {
+	Name     string   `json:"name"`
+	Rows     int      `json:"rows"`
+	Columns  []string `json:"columns"`
+	Measures []string `json:"measures,omitempty"`
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	out := []datasetJSON{}
+	for _, name := range s.datasetNames() {
+		d, _ := s.dataset(name)
+		out = append(out, datasetJSON{
+			Name:     name,
+			Rows:     d.table.NumRows(),
+			Columns:  d.table.ColumnNames(),
+			Measures: d.measures,
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"datasets": out})
+}
+
+// createRequest is the body of POST /v1/sessions.
+type createRequest struct {
+	// Dataset names a registered dataset (required).
+	Dataset string `json:"dataset"`
+	// K is rules per expansion; 0 means the server default.
+	K int `json:"k"`
+	// Weighter is "size" (default), "bits", or "size-1".
+	Weighter string `json:"weighter"`
+	// SampleMemory and MinSampleSize enable dynamic sampling when both are
+	// positive (Section 4 of the paper); Prefetch additionally reallocates
+	// samples after each expansion.
+	SampleMemory  int  `json:"sample_memory"`
+	MinSampleSize int  `json:"min_sample_size"`
+	Prefetch      bool `json:"prefetch"`
+	// Sum optimizes the named measure column instead of tuple counts.
+	Sum string `json:"sum"`
+	// Seed fixes the sampling RNG for reproducible sessions.
+	Seed int64 `json:"seed"`
+	// Workers overrides the server's per-expansion BRS parallelism.
+	Workers int `json:"workers"`
+}
+
+func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	var req createRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if req.Dataset == "" {
+		writeError(w, http.StatusBadRequest, "dataset is required")
+		return
+	}
+	d, ok := s.dataset(req.Dataset)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown dataset %q", req.Dataset))
+		return
+	}
+	eng, err := s.buildEngine(d, req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	sess := &session{
+		id:      newSessionID(),
+		dataset: req.Dataset,
+		eng:     eng,
+	}
+	if evicted := s.store.put(sess); evicted != "" {
+		s.cfg.Logger.Printf("session %s evicted (per-shard LRU, session cap %d)", evicted, s.cfg.MaxSessions)
+	}
+	sess.mu.Lock()
+	tree := encodeTree(sess)
+	sess.mu.Unlock()
+	writeJSON(w, http.StatusCreated, tree)
+}
+
+// buildEngine translates a create request into an Engine on the dataset.
+func (s *Server) buildEngine(d dataset, req createRequest) (*smartdrill.Engine, error) {
+	k := req.K
+	if k <= 0 {
+		k = s.cfg.DefaultK
+	}
+	if k > 100 {
+		return nil, fmt.Errorf("k %d too large (max 100)", k)
+	}
+	weighter, err := smartdrill.WeighterByName(d.table, req.Weighter)
+	if err != nil {
+		return nil, err
+	}
+	workers := req.Workers
+	if workers <= 0 {
+		workers = s.cfg.Workers
+	}
+	opts := []smartdrill.Option{
+		smartdrill.WithK(k),
+		smartdrill.WithWeighter(weighter),
+		smartdrill.WithWorkers(workers),
+	}
+	if req.SampleMemory > 0 && req.MinSampleSize > 0 {
+		opts = append(opts, smartdrill.WithSampling(req.SampleMemory, req.MinSampleSize))
+		if req.Prefetch {
+			opts = append(opts, smartdrill.WithPrefetch())
+		}
+	}
+	if req.Sum != "" {
+		o, err := smartdrill.WithSum(d.table, req.Sum)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, o)
+	}
+	if req.Seed != 0 {
+		opts = append(opts, smartdrill.WithSeed(req.Seed))
+	}
+	return smartdrill.New(d.table, opts...)
+}
+
+// lookupSession resolves the {id} path segment, writing a 404 on miss.
+func (s *Server) lookupSession(w http.ResponseWriter, r *http.Request) (*session, bool) {
+	id := r.PathValue("id")
+	sess, ok := s.store.get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown session %q (expired, evicted, or never created)", id))
+		return nil, false
+	}
+	return sess, true
+}
+
+func (s *Server) handleTree(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.lookupSession(w, r)
+	if !ok {
+		return
+	}
+	sess.mu.Lock()
+	tree := encodeTree(sess)
+	sess.mu.Unlock()
+	writeJSON(w, http.StatusOK, tree)
+}
+
+// drillRequest is the body of POST /v1/sessions/{id}/drill and
+// /collapse. Path addresses the target node (empty = root). For drill, a
+// non-empty Column requests the paper's star drill-down on that column.
+type drillRequest struct {
+	Path   []int  `json:"path"`
+	Column string `json:"column"`
+}
+
+// drillResponse returns the expanded (or collapsed) subtree plus the access
+// method BRS used to obtain tuples ("direct", "Find", "Combine", "Create").
+type drillResponse struct {
+	Access string    `json:"access,omitempty"`
+	Node   *nodeJSON `json:"node"`
+}
+
+func (s *Server) handleDrill(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.lookupSession(w, r)
+	if !ok {
+		return
+	}
+	var req drillRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// Encode under the session lock, write after releasing it: a slow
+	// client reading the response must not hold up the session.
+	sess.mu.Lock()
+	n, err := sess.eng.NodeByPath(req.Path)
+	if err != nil {
+		sess.mu.Unlock()
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if req.Column != "" {
+		err = sess.eng.DrillDownStar(n, req.Column)
+	} else {
+		err = sess.eng.DrillDown(n)
+	}
+	if err != nil {
+		sess.mu.Unlock()
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	resp := drillResponse{
+		Access: sess.eng.LastAccessMethod(),
+		Node:   encodeNode(sess.eng, n, req.Path),
+	}
+	sess.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleCollapse(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.lookupSession(w, r)
+	if !ok {
+		return
+	}
+	var req drillRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	sess.mu.Lock()
+	n, err := sess.eng.NodeByPath(req.Path)
+	if err != nil {
+		sess.mu.Unlock()
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	sess.eng.Collapse(n)
+	resp := drillResponse{Node: encodeNode(sess.eng, n, req.Path)}
+	sess.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.store.remove(id) {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown session %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
+}
+
+// decodeBody parses a JSON request body into v, rejecting unknown fields so
+// client typos surface as 400s instead of silently-default behavior. An
+// empty body decodes as the zero request.
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		return fmt.Errorf("bad request body: %v", err)
+	}
+	return nil
+}

@@ -1,0 +1,197 @@
+// Package server exposes smart drill-down sessions over a JSON HTTP API —
+// the serving layer behind cmd/smartdrilld. It manages a registry of named
+// datasets and a sharded, LRU-evicting session store, and implements the
+// paper's interactive operations (drill-down, star drill-down, roll-up,
+// anytime streaming) as endpoints under /v1:
+//
+//	GET    /healthz                        liveness probe
+//	GET    /v1/datasets                    list registered datasets
+//	POST   /v1/sessions                    create a session on a dataset
+//	GET    /v1/sessions/{id}/tree          the displayed rule tree as JSON
+//	POST   /v1/sessions/{id}/drill         expand a node (rule or star drill)
+//	POST   /v1/sessions/{id}/collapse      roll up a node
+//	GET    /v1/sessions/{id}/drill/stream  anytime expansion over SSE
+//	DELETE /v1/sessions/{id}               discard a session
+//
+// Concurrency model: datasets are immutable once registered and shared by
+// every session reading them. Each session owns a private Engine guarded by
+// a per-session mutex, so operations on one session serialize while
+// distinct sessions run fully in parallel (each expansion can additionally
+// fan out across BRS workers). The session registry itself is sharded to
+// keep lookup contention off the hot path.
+package server
+
+import (
+	"context"
+	"errors"
+	"log"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"smartdrill"
+)
+
+// Config tunes a Server. Zero values get serving defaults.
+type Config struct {
+	// MaxSessions caps live sessions; the least recently used session is
+	// evicted when a create would exceed it. Default 1024.
+	MaxSessions int
+	// StoreShards is the number of independent session-store shards.
+	// Default 16; tests pin it to 1 for deterministic eviction.
+	StoreShards int
+	// DefaultK is the rules-per-expansion when a create request does not
+	// specify k. Default 3 (the paper's UI default).
+	DefaultK int
+	// Workers is the per-expansion BRS parallelism applied to every
+	// session that does not request its own. 0 runs expansions serially.
+	Workers int
+	// StreamBudget is the default anytime budget for /drill/stream when
+	// the request does not set budget_ms. Default 5s — the paper's
+	// suggested interactive limit ("within a time limit (of say 5
+	// seconds)").
+	StreamBudget time.Duration
+	// MaxStreamBudget bounds client-requested budgets. Default 30s.
+	MaxStreamBudget time.Duration
+	// ShutdownGrace bounds how long Shutdown waits for in-flight requests.
+	// Default 10s.
+	ShutdownGrace time.Duration
+	// Logger receives request logs; nil logs to stderr.
+	Logger *log.Logger
+}
+
+func (c *Config) fill() {
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 1024
+	}
+	if c.StoreShards <= 0 {
+		c.StoreShards = 16
+	}
+	if c.DefaultK <= 0 {
+		c.DefaultK = 3
+	}
+	if c.StreamBudget <= 0 {
+		c.StreamBudget = 5 * time.Second
+	}
+	if c.MaxStreamBudget <= 0 {
+		c.MaxStreamBudget = 30 * time.Second
+	}
+	if c.ShutdownGrace <= 0 {
+		c.ShutdownGrace = 10 * time.Second
+	}
+	if c.Logger == nil {
+		c.Logger = log.New(os.Stderr, "smartdrilld ", log.LstdFlags|log.Lmicroseconds)
+	}
+}
+
+// dataset is an immutable registered table plus its load-time metadata.
+type dataset struct {
+	table    *smartdrill.Table
+	measures []string
+}
+
+// Server is the smart drill-down HTTP service. Construct with New, register
+// datasets, then serve Handler (or use ListenAndServe for a managed
+// listener with graceful shutdown).
+type Server struct {
+	cfg   Config
+	store *sessionStore
+
+	mu       sync.RWMutex
+	datasets map[string]dataset
+
+	handler http.Handler
+}
+
+// New builds a Server with no datasets registered.
+func New(cfg Config) *Server {
+	cfg.fill()
+	s := &Server{
+		cfg:      cfg,
+		store:    newSessionStore(cfg.MaxSessions, cfg.StoreShards),
+		datasets: make(map[string]dataset),
+	}
+	s.handler = s.routes()
+	return s
+}
+
+// RegisterDataset makes t available to sessions under the given name,
+// replacing any previous registration. The table must not be mutated after
+// registration: sessions read it concurrently without locks.
+func (s *Server) RegisterDataset(name string, t *smartdrill.Table) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.datasets[name] = dataset{table: t, measures: t.MeasureNames()}
+}
+
+// dataset looks up a registered dataset.
+func (s *Server) dataset(name string) (dataset, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.datasets[name]
+	return d, ok
+}
+
+// datasetNames returns registered names in sorted order.
+func (s *Server) datasetNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.datasets))
+	for n := range s.datasets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Handler returns the server's root handler (all routes plus logging and
+// panic-recovery middleware), for mounting under httptest or a custom
+// http.Server.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// SessionCount reports the number of live sessions.
+func (s *Server) SessionCount() int { return s.store.len() }
+
+func (s *Server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/datasets", s.handleDatasets)
+	mux.HandleFunc("POST /v1/sessions", s.handleCreateSession)
+	mux.HandleFunc("GET /v1/sessions/{id}/tree", s.handleTree)
+	mux.HandleFunc("POST /v1/sessions/{id}/drill", s.handleDrill)
+	mux.HandleFunc("POST /v1/sessions/{id}/collapse", s.handleCollapse)
+	mux.HandleFunc("GET /v1/sessions/{id}/drill/stream", s.handleDrillStream)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDeleteSession)
+	return s.withRecovery(s.withLogging(mux))
+}
+
+// ListenAndServe serves on addr until ctx is cancelled, then shuts down
+// gracefully: the listener closes immediately, in-flight requests (SSE
+// streams included) get ShutdownGrace to finish, and stragglers are cut.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		s.cfg.Logger.Printf("shutting down (grace %s)", s.cfg.ShutdownGrace)
+		shutCtx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownGrace)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			srv.Close()
+			return err
+		}
+		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}

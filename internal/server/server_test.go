@@ -1,0 +1,486 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"smartdrill"
+)
+
+// storeTable loads the bundled department-store example CSV once: the same
+// end-to-end path `smartdrilld -dataset` uses.
+var storeTable = sync.OnceValue(func() *smartdrill.Table {
+	t, err := smartdrill.LoadCSV("../../examples/data/storesales.csv", []string{"Sales"})
+	if err != nil {
+		panic("bundled example CSV missing: " + err.Error())
+	}
+	return t
+})
+
+// newTestServer builds a Server with the bundled dataset registered and
+// logs routed through t.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	cfg.Logger = log.New(io.Discard, "", 0)
+	s := New(cfg)
+	s.RegisterDataset("store", storeTable())
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// doJSON issues a request with a JSON body and decodes a JSON response.
+func doJSON(t *testing.T, method, url string, body, out any) int {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("decoding %s %s response %q: %v", method, url, data, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func createSession(t *testing.T, base string, req createRequest) treeJSON {
+	t.Helper()
+	var tree treeJSON
+	if code := doJSON(t, "POST", base+"/v1/sessions", req, &tree); code != http.StatusCreated {
+		t.Fatalf("create session: status %d", code)
+	}
+	if tree.ID == "" {
+		t.Fatal("create session: empty id")
+	}
+	return tree
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	// Datasets listing shows the registered CSV.
+	var dl struct {
+		Datasets []datasetJSON `json:"datasets"`
+	}
+	if code := doJSON(t, "GET", ts.URL+"/v1/datasets", nil, &dl); code != http.StatusOK {
+		t.Fatalf("datasets: status %d", code)
+	}
+	if len(dl.Datasets) != 1 || dl.Datasets[0].Name != "store" || dl.Datasets[0].Rows != 6000 {
+		t.Fatalf("datasets: got %+v", dl.Datasets)
+	}
+
+	// Create: root covers the whole table.
+	tree := createSession(t, ts.URL, createRequest{Dataset: "store", K: 4, Seed: 1})
+	if tree.Root.Count != 6000 || !tree.Root.Exact {
+		t.Fatalf("root: got count %v exact %v", tree.Root.Count, tree.Root.Exact)
+	}
+	if tree.Aggregate != "Count" || tree.K != 4 {
+		t.Fatalf("tree meta: got aggregate %q k %d", tree.Aggregate, tree.K)
+	}
+	sessURL := ts.URL + "/v1/sessions/" + tree.ID
+
+	// Drill the root: the paper's running example surfaces its planted
+	// rules — (Walmart,?,?) with 1000 tuples among them.
+	var dr drillResponse
+	if code := doJSON(t, "POST", sessURL+"/drill", drillRequest{}, &dr); code != http.StatusOK {
+		t.Fatalf("drill: status %d", code)
+	}
+	if dr.Access != "direct" {
+		t.Fatalf("drill access: got %q", dr.Access)
+	}
+	if len(dr.Node.Children) != 4 {
+		t.Fatalf("drill: got %d children, want 4", len(dr.Node.Children))
+	}
+	var walmart *nodeJSON
+	for _, c := range dr.Node.Children {
+		if c.Rule["Store"] == "Walmart" {
+			walmart = c
+		}
+	}
+	if walmart == nil || walmart.Count != 1000 {
+		t.Fatalf("drill: expected (Walmart,?,?) with count 1000, got %+v", dr.Node.Children)
+	}
+
+	// Star drill on Region under the Walmart node.
+	var star drillResponse
+	if code := doJSON(t, "POST", sessURL+"/drill", drillRequest{Path: walmart.Path, Column: "Region"}, &star); code != http.StatusOK {
+		t.Fatalf("star drill: status %d", code)
+	}
+	for _, c := range star.Node.Children {
+		if c.Rule["Region"] == "" {
+			t.Fatalf("star drill returned a rule without Region: %+v", c)
+		}
+	}
+
+	// Tree reflects both expansions and renders the paper-style table.
+	var full treeJSON
+	if code := doJSON(t, "GET", sessURL+"/tree", nil, &full); code != http.StatusOK {
+		t.Fatalf("tree: status %d", code)
+	}
+	if len(full.Root.Children) != 4 {
+		t.Fatalf("tree: got %d root children", len(full.Root.Children))
+	}
+	if !strings.Contains(full.Rendered, "Walmart") || !strings.Contains(full.Rendered, "Count") {
+		t.Fatalf("rendered table missing content:\n%s", full.Rendered)
+	}
+
+	// Collapse the Walmart subtree.
+	var col drillResponse
+	if code := doJSON(t, "POST", sessURL+"/collapse", drillRequest{Path: walmart.Path}, &col); code != http.StatusOK {
+		t.Fatalf("collapse: status %d", code)
+	}
+	if len(col.Node.Children) != 0 {
+		t.Fatalf("collapse left %d children", len(col.Node.Children))
+	}
+
+	// Delete, then the session is gone.
+	if code := doJSON(t, "DELETE", sessURL, nil, nil); code != http.StatusOK {
+		t.Fatalf("delete: status %d", code)
+	}
+	if code := doJSON(t, "GET", sessURL+"/tree", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("tree after delete: status %d, want 404", code)
+	}
+}
+
+func TestSumAggregateSession(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	tree := createSession(t, ts.URL, createRequest{Dataset: "store", Sum: "Sales"})
+	if tree.Aggregate != "Sum(Sales)" {
+		t.Fatalf("aggregate: got %q, want Sum(Sales)", tree.Aggregate)
+	}
+	if tree.Root.Count <= 0 {
+		t.Fatalf("root sum: got %v", tree.Root.Count)
+	}
+}
+
+func TestSampledSessionReportsIntervals(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	tree := createSession(t, ts.URL, createRequest{
+		Dataset: "store", Seed: 7, SampleMemory: 3000, MinSampleSize: 500,
+	})
+	sessURL := ts.URL + "/v1/sessions/" + tree.ID
+	var dr drillResponse
+	if code := doJSON(t, "POST", sessURL+"/drill", drillRequest{}, &dr); code != http.StatusOK {
+		t.Fatalf("drill: status %d", code)
+	}
+	for _, c := range dr.Node.Children {
+		if c.Exact {
+			continue
+		}
+		if c.CI == nil || c.CI[0] > c.Count || c.CI[1] < c.Count {
+			t.Fatalf("estimated child without sane CI: %+v", c)
+		}
+	}
+}
+
+// TestSampledSumOmitsCI verifies that Sum estimates — which have no
+// interval support — do not advertise a degenerate [est, est] bound.
+func TestSampledSumOmitsCI(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	tree := createSession(t, ts.URL, createRequest{
+		Dataset: "store", Sum: "Sales", Seed: 7, SampleMemory: 3000, MinSampleSize: 500,
+	})
+	var dr drillResponse
+	code := doJSON(t, "POST", ts.URL+"/v1/sessions/"+tree.ID+"/drill", drillRequest{}, &dr)
+	if code != http.StatusOK {
+		t.Fatalf("drill: status %d", code)
+	}
+	for _, c := range dr.Node.Children {
+		if !c.Exact && c.CI != nil {
+			t.Fatalf("Sum estimate carries a CI: %+v", c)
+		}
+	}
+}
+
+// TestConcurrentSessions exercises the store's parallelism contract under
+// -race: distinct sessions drill simultaneously against one shared table.
+func TestConcurrentSessions(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	const sessions = 8
+	ids := make([]string, sessions)
+	for i := range ids {
+		ids[i] = createSession(t, ts.URL, createRequest{Dataset: "store", Seed: int64(i + 1)}).ID
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, sessions)
+	for _, id := range ids {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			sessURL := ts.URL + "/v1/sessions/" + id
+			var dr drillResponse
+			if code := doJSON(t, "POST", sessURL+"/drill", drillRequest{}, &dr); code != http.StatusOK {
+				errs <- fmt.Errorf("session %s drill: status %d", id, code)
+				return
+			}
+			if len(dr.Node.Children) == 0 {
+				errs <- fmt.Errorf("session %s drill: no children", id)
+				return
+			}
+			if code := doJSON(t, "POST", sessURL+"/drill", drillRequest{Path: []int{0}}, &dr); code != http.StatusOK {
+				errs <- fmt.Errorf("session %s nested drill: status %d", id, code)
+			}
+		}(id)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestConcurrentDrillsOneSession hammers a single session from many
+// goroutines; the per-session mutex must serialize them without racing.
+func TestConcurrentDrillsOneSession(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	id := createSession(t, ts.URL, createRequest{Dataset: "store"}).ID
+	sessURL := ts.URL + "/v1/sessions/" + id
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var dr drillResponse
+			code := doJSON(t, "POST", sessURL+"/drill", drillRequest{}, &dr)
+			if code != http.StatusOK {
+				t.Errorf("goroutine %d: status %d", i, code)
+			}
+		}(i)
+	}
+	wg.Wait()
+	// The tree must be consistent afterwards: exactly one expansion's
+	// worth of children (each drill collapses and re-expands).
+	var tree treeJSON
+	if code := doJSON(t, "GET", sessURL+"/tree", nil, &tree); code != http.StatusOK {
+		t.Fatalf("tree: status %d", code)
+	}
+	if len(tree.Root.Children) == 0 || len(tree.Root.Children) > 3 {
+		t.Fatalf("tree after concurrent drills: %d children", len(tree.Root.Children))
+	}
+}
+
+// sseEvent is one parsed server-sent event.
+type sseEvent struct {
+	event string
+	data  string
+}
+
+func readSSE(t *testing.T, r io.Reader) []sseEvent {
+	t.Helper()
+	var events []sseEvent
+	var cur sseEvent
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			cur.event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.data = strings.TrimPrefix(line, "data: ")
+		case line == "":
+			if cur.event != "" {
+				events = append(events, cur)
+				cur = sseEvent{}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("reading SSE stream: %v", err)
+	}
+	return events
+}
+
+func TestDrillStreamSSE(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	id := createSession(t, ts.URL, createRequest{Dataset: "store"}).ID
+
+	start := time.Now()
+	resp, err := http.Get(ts.URL + "/v1/sessions/" + id + "/drill/stream?budget_ms=2000&max_rules=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("stream content type: %q", ct)
+	}
+	events := readSSE(t, resp.Body)
+	elapsed := time.Since(start)
+
+	if len(events) < 2 {
+		t.Fatalf("stream: got %d events, want rules + done", len(events))
+	}
+	last := events[len(events)-1]
+	if last.event != "done" {
+		t.Fatalf("stream: last event %q, want done", last.event)
+	}
+	var done struct {
+		Rules     int    `json:"rules"`
+		ElapsedMS int64  `json:"elapsed_ms"`
+		Error     string `json:"error"`
+	}
+	if err := json.Unmarshal([]byte(last.data), &done); err != nil {
+		t.Fatalf("done payload %q: %v", last.data, err)
+	}
+	if done.Error != "" {
+		t.Fatalf("stream reported error: %s", done.Error)
+	}
+	if done.Rules == 0 || done.Rules > 4 {
+		t.Fatalf("stream: %d rules, want 1..4", done.Rules)
+	}
+	for _, ev := range events[:len(events)-1] {
+		if ev.event != "rule" {
+			t.Fatalf("unexpected event %q before done", ev.event)
+		}
+		var n nodeJSON
+		if err := json.Unmarshal([]byte(ev.data), &n); err != nil {
+			t.Fatalf("rule payload %q: %v", ev.data, err)
+		}
+		if n.Count <= 0 {
+			t.Fatalf("rule with non-positive count: %+v", n)
+		}
+	}
+	// Rules stream into the session's tree, not a side channel.
+	var tree treeJSON
+	if code := doJSON(t, "GET", ts.URL+"/v1/sessions/"+id+"/tree", nil, &tree); code != http.StatusOK {
+		t.Fatalf("tree: status %d", code)
+	}
+	if len(tree.Root.Children) != done.Rules {
+		t.Fatalf("tree has %d children, stream reported %d rules", len(tree.Root.Children), done.Rules)
+	}
+	if elapsed > 10*time.Second {
+		t.Fatalf("stream took %s despite 2s budget", elapsed)
+	}
+}
+
+// TestDrillStreamBudget verifies the stream honors a tight anytime budget
+// rather than running the search to completion.
+func TestDrillStreamBudget(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxStreamBudget: 500 * time.Millisecond})
+	id := createSession(t, ts.URL, createRequest{Dataset: "store"}).ID
+	start := time.Now()
+	resp, err := http.Get(ts.URL + "/v1/sessions/" + id + "/drill/stream?budget_ms=60000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	events := readSSE(t, resp.Body)
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("stream ignored budget cap: took %s", elapsed)
+	}
+	if len(events) == 0 || events[len(events)-1].event != "done" {
+		t.Fatalf("stream did not terminate with done: %+v", events)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	id := createSession(t, ts.URL, createRequest{Dataset: "store"}).ID
+	sessURL := ts.URL + "/v1/sessions/" + id
+
+	cases := []struct {
+		name   string
+		method string
+		url    string
+		body   any
+		want   int
+	}{
+		{"unknown dataset", "POST", ts.URL + "/v1/sessions", createRequest{Dataset: "nope"}, http.StatusNotFound},
+		{"missing dataset", "POST", ts.URL + "/v1/sessions", createRequest{}, http.StatusBadRequest},
+		{"bad weighter", "POST", ts.URL + "/v1/sessions", createRequest{Dataset: "store", Weighter: "entropy"}, http.StatusBadRequest},
+		{"bad measure", "POST", ts.URL + "/v1/sessions", createRequest{Dataset: "store", Sum: "Price"}, http.StatusBadRequest},
+		{"oversized k", "POST", ts.URL + "/v1/sessions", createRequest{Dataset: "store", K: 1000}, http.StatusBadRequest},
+		{"unknown session tree", "GET", ts.URL + "/v1/sessions/deadbeef/tree", nil, http.StatusNotFound},
+		{"unknown session drill", "POST", ts.URL + "/v1/sessions/deadbeef/drill", drillRequest{}, http.StatusNotFound},
+		{"unknown session delete", "DELETE", ts.URL + "/v1/sessions/deadbeef", nil, http.StatusNotFound},
+		{"bad node path", "POST", sessURL + "/drill", drillRequest{Path: []int{99}}, http.StatusBadRequest},
+		{"negative path", "POST", sessURL + "/drill", drillRequest{Path: []int{-1}}, http.StatusBadRequest},
+		{"star on unknown column", "POST", sessURL + "/drill", drillRequest{Column: "Nope"}, http.StatusBadRequest},
+		{"bad stream path", "GET", sessURL + "/drill/stream?path=x", nil, http.StatusBadRequest},
+		{"bad stream budget", "GET", sessURL + "/drill/stream?budget_ms=-5", nil, http.StatusBadRequest},
+		{"bad collapse path", "POST", sessURL + "/collapse", drillRequest{Path: []int{0, 0}}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var e errorJSON
+			if code := doJSON(t, tc.method, tc.url, tc.body, &e); code != tc.want {
+				t.Fatalf("status %d, want %d (error %q)", code, tc.want, e.Error)
+			}
+			if e.Error == "" {
+				t.Fatal("error body missing")
+			}
+		})
+	}
+
+	// Unknown JSON fields are rejected, not ignored.
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/sessions", strings.NewReader(`{"dataset":"store","kay":5}`))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestSessionEviction pins the store to one shard with capacity 1 so LRU
+// eviction is deterministic: creating a second session evicts the first.
+func TestSessionEviction(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxSessions: 1, StoreShards: 1})
+	first := createSession(t, ts.URL, createRequest{Dataset: "store"}).ID
+	second := createSession(t, ts.URL, createRequest{Dataset: "store"}).ID
+	if got := s.SessionCount(); got != 1 {
+		t.Fatalf("session count after eviction: %d, want 1", got)
+	}
+	if code := doJSON(t, "GET", ts.URL+"/v1/sessions/"+first+"/tree", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("evicted session: status %d, want 404", code)
+	}
+	if code := doJSON(t, "GET", ts.URL+"/v1/sessions/"+second+"/tree", nil, nil); code != http.StatusOK {
+		t.Fatalf("live session: status %d, want 200", code)
+	}
+}
+
+func TestHealth(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var h struct {
+		Status   string `json:"status"`
+		Sessions int    `json:"sessions"`
+	}
+	if code := doJSON(t, "GET", ts.URL+"/healthz", nil, &h); code != http.StatusOK {
+		t.Fatalf("healthz: status %d", code)
+	}
+	if h.Status != "ok" {
+		t.Fatalf("healthz: %+v", h)
+	}
+}

@@ -1,0 +1,133 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"smartdrill"
+)
+
+// handleDrillStream implements the paper's anytime drill-down (Section 6.1)
+// over Server-Sent Events: rules are pushed to the client the moment the
+// greedy search finds them, and the search stops on a time budget rather
+// than a fixed k — "display as many rules as we can find within a time
+// limit (of say 5 seconds)".
+//
+// Query parameters:
+//
+//	path       dot-separated child-index address of the node (default root)
+//	budget_ms  search budget in milliseconds (default Config.StreamBudget,
+//	           capped at Config.MaxStreamBudget)
+//	max_rules  stop after this many rules (default 0 = budget-bound only)
+//
+// Events: one "rule" event per discovered rule carrying the child's
+// nodeJSON, then a single "done" event with summary statistics. Client
+// disconnects cancel the search at the next rule boundary.
+func (s *Server) handleDrillStream(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.lookupSession(w, r)
+	if !ok {
+		return
+	}
+	path, err := parsePath(r.URL.Query().Get("path"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	budget := s.cfg.StreamBudget
+	if raw := r.URL.Query().Get("budget_ms"); raw != "" {
+		ms, err := strconv.Atoi(raw)
+		if err != nil || ms <= 0 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("budget_ms must be a positive integer, got %q", raw))
+			return
+		}
+		budget = time.Duration(ms) * time.Millisecond
+	}
+	if budget > s.cfg.MaxStreamBudget {
+		budget = s.cfg.MaxStreamBudget
+	}
+	maxRules := 0
+	if raw := r.URL.Query().Get("max_rules"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("max_rules must be a non-negative integer, got %q", raw))
+			return
+		}
+		maxRules = n
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "response writer does not support streaming")
+		return
+	}
+
+	// The stream holds the session lock for its whole duration: a
+	// concurrent drill would mutate the tree under the running search.
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	n, err := sess.eng.NodeByPath(path)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	ctx := r.Context()
+	start := time.Now()
+	rules := 0
+	err = sess.eng.DrillDownStream(n, maxRules, budget, func(child *smartdrill.Node) bool {
+		select {
+		case <-ctx.Done():
+			return false
+		default:
+		}
+		writeSSE(w, "rule", encodeNode(sess.eng, child, append(path, rules)))
+		flusher.Flush()
+		rules++
+		return true
+	})
+	done := map[string]any{
+		"rules":      rules,
+		"elapsed_ms": time.Since(start).Milliseconds(),
+	}
+	if err != nil {
+		done["error"] = err.Error()
+	}
+	writeSSE(w, "done", done)
+	flusher.Flush()
+}
+
+// writeSSE emits one event with a JSON data payload.
+func writeSSE(w http.ResponseWriter, event string, data any) {
+	payload, err := json.Marshal(data)
+	if err != nil {
+		payload = []byte(fmt.Sprintf(`{"error":%q}`, err.Error()))
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, payload)
+}
+
+// parsePath parses a dot-separated child-index path ("" = root, "0.2" =
+// root's first child's third child).
+func parsePath(raw string) ([]int, error) {
+	if raw == "" {
+		return nil, nil
+	}
+	parts := strings.Split(raw, ".")
+	path := make([]int, len(parts))
+	for i, p := range parts {
+		n, err := strconv.Atoi(p)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("bad path %q: segment %q is not a non-negative integer", raw, p)
+		}
+		path[i] = n
+	}
+	return path, nil
+}

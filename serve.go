@@ -1,0 +1,50 @@
+package smartdrill
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Helpers for building services on top of Engine (used by internal/server
+// and cmd/smartdrilld): stable node addressing by child-index path and
+// construction of weighters from wire-format names.
+
+// NodeByPath resolves a child-index path from the root: the empty path is
+// the root itself, [2] is the root's third child, [2 0] that child's first
+// child, and so on. Paths are stable between mutations of the addressed
+// subtree, making them suitable session-wire addresses for nodes.
+func (e *Engine) NodeByPath(path []int) (*Node, error) {
+	n := e.Root()
+	for depth, idx := range path {
+		if idx < 0 || idx >= len(n.Children) {
+			return nil, fmt.Errorf("smartdrill: path %v invalid at depth %d: node has %d children", path, depth, len(n.Children))
+		}
+		n = n.Children[idx]
+	}
+	return n, nil
+}
+
+// WeighterNames lists the weighting functions WeighterByName accepts.
+func WeighterNames() []string { return []string{"size", "bits", "size-1"} }
+
+// WeighterByName constructs one of the named weighting functions for t:
+// "size" (paper default), "bits", or "size-1". The empty name means "size".
+func WeighterByName(t *Table, name string) (Weighter, error) {
+	switch name {
+	case "", "size":
+		return SizeWeight(t), nil
+	case "bits":
+		return BitsWeight(t), nil
+	case "size-1":
+		return SizeMinusOneWeight(), nil
+	default:
+		return nil, fmt.Errorf("smartdrill: unknown weighter %q (want %s)", name, strings.Join(WeighterNames(), ", "))
+	}
+}
+
+// AggregateName reports the display name of the session's aggregate column
+// ("Count", or "Sum(column)" under WithSum).
+func (e *Engine) AggregateName() string { return e.agg().Name() }
+
+// K reports the session's rules-per-expansion setting.
+func (e *Engine) K() int { return e.s.K() }

@@ -290,12 +290,7 @@ func (e *Engine) TraditionalDrillDown(n *Node, column string) ([]TraditionalGrou
 	return out, nil
 }
 
-func (e *Engine) agg() score.Aggregator {
-	if e.cfg.Agg != nil {
-		return e.cfg.Agg
-	}
-	return score.CountAgg{}
-}
+func (e *Engine) agg() score.Aggregator { return e.s.Agg() }
 
 // EncodeRule translates column-name → value pairs into a Rule over e's
 // table (unnamed columns are wildcards).
