@@ -215,7 +215,7 @@ func BenchmarkFig6Bits(b *testing.B) {
 	tab := benchMarketing()
 	w := weight.BitsFor(tab)
 	for i := 0; i < b.N; i++ {
-		if _, _, err := brs.Run(tab, w, brs.Options{K: 4, MaxWeight: 20}); err != nil {
+		if _, _, err := brs.Run(tab.All(), w, brs.Options{K: 4, MaxWeight: 20}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -225,7 +225,7 @@ func BenchmarkFig6Bits(b *testing.B) {
 func BenchmarkFig7SizeMinusOne(b *testing.B) {
 	tab := benchMarketing()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := brs.Run(tab, weight.SizeMinusOne{}, brs.Options{K: 4, MaxWeight: 5}); err != nil {
+		if _, _, err := brs.Run(tab.All(), weight.SizeMinusOne{}, brs.Options{K: 4, MaxWeight: 5}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -294,7 +294,7 @@ func BenchmarkAblationPruning(b *testing.B) {
 		}
 		b.Run("pruning="+name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, _, err := brs.Run(tab, w, brs.Options{K: 4, MaxWeight: 5, DisablePruning: disabled}); err != nil {
+				if _, _, err := brs.Run(tab.All(), w, brs.Options{K: 4, MaxWeight: 5, DisablePruning: disabled}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -426,6 +426,92 @@ func BenchmarkWorkloadSession(b *testing.B) {
 	}
 }
 
+// BenchmarkFilterScanVsIndex compares answering a rule filter by full scan
+// against posting-list intersection on the bundled store-sales data and
+// the synthetic Census generator. The index side measures the steady state
+// (lists warm), which is what a server session sees after registration.
+func BenchmarkFilterScanVsIndex(b *testing.B) {
+	cases := []struct {
+		name    string
+		tab     *table.Table
+		pattern map[string]string
+	}{
+		{"StoreSales", benchStore(), map[string]string{"Store": "Walmart"}},
+		{"StoreSales2col", benchStore(), map[string]string{"Store": "Walmart", "Product": "cookies"}},
+		{"Census", benchCensus(), map[string]string{"attr00": "v00_00", "attr01": "v01_00"}},
+	}
+	for _, c := range cases {
+		r, err := c.tab.EncodeRule(c.pattern)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(c.name+"/scan", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if rows := c.tab.FilterIndicesScan(r); len(rows) == 0 {
+					b.Fatal("empty filter")
+				}
+			}
+		})
+		b.Run(c.name+"/index", func(b *testing.B) {
+			c.tab.Index().Warm()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if rows := c.tab.FilterIndices(r); len(rows) == 0 {
+					b.Fatal("empty filter")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRepeatedDrilldown measures the interactive hot path the index
+// layer exists for: repeated drill-downs into the same dataset, comparing
+// the old copying pipeline (scan-filter, materialize, BRS) against the
+// index-backed zero-copy pipeline (posting-list intersection, view, BRS).
+// The drilled rule's selectivity decides which cost dominates: broad rules
+// (the zipf-head values) leave BRS over a huge subset as the bottleneck,
+// so the two access paths are comparable; mid and selective rules — what
+// repeated drilling into a session's tree actually produces — are
+// dominated by the O(|T|) discovery scan, which the index eliminates.
+func BenchmarkRepeatedDrilldown(b *testing.B) {
+	tab := benchCensus()
+	w := weight.NewSize(tab.NumCols())
+	bases := []struct {
+		name    string
+		pattern map[string]string
+	}{
+		{"broad", map[string]string{"attr00": "v00_00"}},                         // ~59k of 100k rows
+		{"mid", map[string]string{"attr04": "v04_05"}},                           // ~1.6k rows
+		{"selective", map[string]string{"attr00": "v00_01", "attr04": "v04_05"}}, // ~700 rows
+		{"deep", map[string]string{ // ~26 rows: a depth-3 drill into the tail
+			"attr00": "v00_01", "attr04": "v04_05", "attr05": "v05_06"}},
+	}
+	for _, c := range bases {
+		base, err := tab.EncodeRule(c.pattern)
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts := brs.Options{K: 4, MaxWeight: 4, Base: base, BaseCovered: true}
+		b.Run(c.name+"/scan-materialize", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sub := tab.Select(tab.FilterIndicesScan(base))
+				if _, _, err := brs.Run(sub.All(), w, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(c.name+"/index-view", func(b *testing.B) {
+			tab.Index().Warm()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := brs.Run(tab.ViewOf(tab.FilterIndices(base)), w, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkAblationParallel measures BRS speedup from parallel passes.
 func BenchmarkAblationParallel(b *testing.B) {
 	tab := benchCensus()
@@ -433,7 +519,7 @@ func BenchmarkAblationParallel(b *testing.B) {
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, _, err := brs.Run(tab, w, brs.Options{K: 4, MaxWeight: 4, Workers: workers}); err != nil {
+				if _, _, err := brs.Run(tab.All(), w, brs.Options{K: 4, MaxWeight: 4, Workers: workers}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -448,7 +534,7 @@ func BenchmarkBRSSumAggregate(b *testing.B) {
 	w := weight.NewSize(tab.NumCols())
 	b.Run("count", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, _, err := brs.Run(tab, w, brs.Options{K: 3, MaxWeight: 3}); err != nil {
+			if _, _, err := brs.Run(tab.All(), w, brs.Options{K: 3, MaxWeight: 3}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -460,7 +546,7 @@ func BenchmarkBRSSumAggregate(b *testing.B) {
 		}
 		agg := score.SumAgg{Measure: m, Label: "Sales"}
 		for i := 0; i < b.N; i++ {
-			if _, _, err := brs.Run(tab, w, brs.Options{K: 3, MaxWeight: 3, Agg: agg}); err != nil {
+			if _, _, err := brs.Run(tab.All(), w, brs.Options{K: 3, MaxWeight: 3, Agg: agg}); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -33,9 +33,15 @@ type Options struct {
 	// column set), trading speed for the guarantee.
 	MaxWeight float64
 	// Base restricts the search to super-rules of this rule, implementing
-	// rule drill-down after the table has been filtered to Base's coverage.
+	// rule drill-down after the view has been restricted to Base's coverage.
 	// Nil means the trivial rule.
 	Base rule.Rule
+	// BaseCovered asserts every row of the view already covers Base, so the
+	// run skips its own restriction pass. The drill layer sets it: rule
+	// filters (index-backed) and samples both deliver exactly Base's
+	// coverage. When false and Base is non-trivial, the run restricts the
+	// view itself with one accounted pass.
+	BaseCovered bool
 	// Agg is the aggregated mass; nil means Count. Sum over a measure column
 	// implements the Section 6.3 extension.
 	Agg score.Aggregator
@@ -82,37 +88,18 @@ type Stats struct {
 	CandidateCapHit   bool  // a level hit MaxCandidatesPerLevel
 }
 
-// Run executes BRS on t and returns up to opts.K rules ordered by
+// Run executes BRS on the view v and returns up to opts.K rules ordered by
 // descending weight (the display order mandated by Lemma 1), together with
 // run statistics. It returns fewer than K rules when no remaining rule has
-// positive marginal value.
-func Run(t *table.Table, w weight.Weighter, opts Options) ([]Result, Stats, error) {
+// positive marginal value. Counts are masses over v's rows; pass the
+// full-table view (Table.All) for whole-table searches.
+func Run(v *table.View, w weight.Weighter, opts Options) ([]Result, Stats, error) {
 	if opts.K <= 0 {
 		return nil, Stats{}, fmt.Errorf("brs: K must be positive, got %d", opts.K)
 	}
-	base := opts.Base
-	if base == nil {
-		base = rule.Trivial(t.NumCols())
-	}
-	if len(base) != t.NumCols() {
-		return nil, Stats{}, fmt.Errorf("brs: base rule has %d columns, table has %d", len(base), t.NumCols())
-	}
-	agg := opts.Agg
-	if agg == nil {
-		agg = score.CountAgg{}
-	}
-	mw := opts.MaxWeight
-	if mw <= 0 {
-		mw = w.MaxWeight(t.NumCols())
-	}
-	maxCand := opts.MaxCandidatesPerLevel
-	if maxCand <= 0 {
-		maxCand = DefaultMaxCandidates
-	}
-
-	run := &runner{
-		t: t, w: w, agg: agg, mw: mw, base: base,
-		prune: !opts.DisablePruning, maxCand: maxCand, par: opts.Workers,
+	run, err := newRunner(v, w, opts)
+	if err != nil {
+		return nil, Stats{}, err
 	}
 	var selected []Result
 	for step := 0; step < opts.K; step++ {
@@ -122,7 +109,7 @@ func Run(t *table.Table, w weight.Weighter, opts Options) ([]Result, Stats, erro
 		}
 		selected = append(selected, Result{
 			Rule:   best.r,
-			Weight: weight.WeightRule(w, best.r),
+			Weight: weight.WeightRule(run.w, best.r),
 			Count:  best.count,
 			MCount: 0, // recomputed below once ordering is final
 		})
@@ -135,11 +122,49 @@ func Run(t *table.Table, w weight.Weighter, opts Options) ([]Result, Stats, erro
 		return selected[i].Rule.Key() < selected[j].Rule.Key()
 	})
 	rules := resultsToRules(selected)
-	mcs := score.MCounts(t, w, agg, rules)
+	mcs := score.MCountsView(run.v, run.w, run.agg, rules)
 	for i := range selected {
 		selected[i].MCount = mcs[i]
 	}
 	return selected, run.stats, nil
+}
+
+// newRunner normalizes options and restricts the view to Base's coverage
+// when the caller has not already done so. Shared by Run and
+// RunIncremental.
+func newRunner(v *table.View, w weight.Weighter, opts Options) (*runner, error) {
+	base := opts.Base
+	if base == nil {
+		base = rule.Trivial(v.NumCols())
+	}
+	if len(base) != v.NumCols() {
+		return nil, errBaseArity(len(base), v.NumCols())
+	}
+	agg := opts.Agg
+	if agg == nil {
+		agg = score.CountAgg{}
+	}
+	mw := opts.MaxWeight
+	if mw <= 0 {
+		mw = w.MaxWeight(v.NumCols())
+	}
+	maxCand := opts.MaxCandidatesPerLevel
+	if maxCand <= 0 {
+		maxCand = DefaultMaxCandidates
+	}
+	run := &runner{
+		v: v, parent: v.Table(), w: w, agg: agg, mw: mw, base: base,
+		prune: !opts.DisablePruning, maxCand: maxCand, par: opts.Workers,
+	}
+	if !opts.BaseCovered && !base.IsTrivial() {
+		// One pass narrows the view so every subsequent pass iterates only
+		// covered rows and never re-evaluates Covers(base, i).
+		run.stats.Passes++
+		run.stats.RowsScanned += int64(v.NumRows())
+		run.v = v.Refine(base)
+	}
+	run.freeCols = run.freeColumns()
+	return run, nil
 }
 
 func resultsToRules(rs []Result) []rule.Rule {
@@ -150,17 +175,36 @@ func resultsToRules(rs []Result) []rule.Rule {
 	return out
 }
 
-// runner holds per-Run state shared by greedy steps.
+// runner holds per-Run state shared by greedy steps. All passes iterate
+// rn.v, whose every row covers rn.base, so per-row base checks are gone
+// from the inner loops; coverage tests against candidates touch only the
+// base's free columns.
 type runner struct {
-	t       *table.Table
-	w       weight.Weighter
-	agg     score.Aggregator
-	mw      float64
-	base    rule.Rule
-	prune   bool
-	maxCand int
-	par     int
-	stats   Stats
+	v        *table.View
+	parent   *table.Table // v's parent, for aggregate mass and sub-rule tests
+	w        weight.Weighter
+	agg      score.Aggregator
+	mw       float64
+	base     rule.Rule
+	freeCols []int // columns the base leaves starred
+	prune    bool
+	maxCand  int
+	par      int
+	stats    Stats
+}
+
+// coversFreeParent reports whether r covers the parent-table row pi,
+// checking only the base's free columns — valid because every row of rn.v
+// covers rn.base and every rule tested derives from it. Passes resolve the
+// parent row once per row and test candidates against the parent arrays
+// directly.
+func (rn *runner) coversFreeParent(r rule.Rule, pi int) bool {
+	for _, c := range rn.freeCols {
+		if v := r[c]; v != rule.Star && rn.parent.Value(c, pi) != v {
+			return false
+		}
+	}
+	return true
 }
 
 // cand is one candidate rule with accumulated statistics.
@@ -175,15 +219,14 @@ type cand struct {
 // findBestMarginal implements Algorithm 2: level-wise candidate counting
 // with sub-rule upper-bound pruning against threshold H.
 func (rn *runner) findBestMarginal(selected []rule.Rule) *cand {
-	t := rn.t
-	n := t.NumRows()
+	n := rn.v.NumRows()
 	if n == 0 {
 		return nil
 	}
 
-	// One pass to fix wS[i]: weight of the best selected rule covering row
-	// i (W(RS) in Algorithm 2). Selected rules all derive from the same
-	// base, so this is O(|T|·|S|).
+	// One pass to fix wS[i]: weight of the best selected rule covering view
+	// row i (W(RS) in Algorithm 2). Selected rules all derive from the same
+	// base, so this is O(|v|·|S|).
 	topW := make([]float64, n)
 	if len(selected) > 0 {
 		sw := make([]float64, len(selected))
@@ -192,8 +235,9 @@ func (rn *runner) findBestMarginal(selected []rule.Rule) *cand {
 		}
 		rn.parallelRows(n, func(lo, hi, _ int) {
 			for i := lo; i < hi; i++ {
+				pi := rn.v.ParentRow(i)
 				for j, r := range selected {
-					if sw[j] > topW[i] && t.Covers(r, i) {
+					if sw[j] > topW[i] && rn.coversFreeParent(r, pi) {
 						topW[i] = sw[j]
 					}
 				}
@@ -203,7 +247,7 @@ func (rn *runner) findBestMarginal(selected []rule.Rule) *cand {
 		rn.stats.RowsScanned += int64(n)
 	}
 
-	freeCols := rn.freeColumns()
+	freeCols := rn.freeCols
 	if len(freeCols) == 0 {
 		return nil
 	}
@@ -270,8 +314,8 @@ func (rn *runner) freeColumns() []int {
 // one (column, value) pair and returns the candidates. Column-major layout
 // lets us accumulate per (column, value-id) without hashing.
 func (rn *runner) countLevelOne(freeCols []int, topW []float64, counted map[string]*cand) []*cand {
-	t := rn.t
-	n := t.NumRows()
+	v := rn.v
+	n := v.NumRows()
 
 	type colAcc struct {
 		col    int
@@ -291,8 +335,8 @@ func (rn *runner) countLevelOne(freeCols []int, topW []float64, counted map[stri
 		accs = append(accs, colAcc{
 			col:    c,
 			weight: wgt,
-			cnt:    make([]float64, t.DistinctCount(c)),
-			mv:     make([]float64, t.DistinctCount(c)),
+			cnt:    make([]float64, v.DistinctCount(c)),
+			mv:     make([]float64, v.DistinctCount(c)),
 		})
 	}
 	if len(accs) == 0 {
@@ -314,20 +358,21 @@ func (rn *runner) countLevelOne(freeCols []int, topW []float64, counted map[stri
 		}
 		perWorker[g] = cp
 	}
+	parent := rn.parent
 	rn.parallelRows(n, func(lo, hi, g int) {
 		mine := perWorker[g]
 		for i := lo; i < hi; i++ {
-			if !t.Covers(rn.base, i) {
-				continue
-			}
-			mass := rn.agg.Mass(t, i)
+			// Every view row covers the base: no per-row base check. The
+			// parent row is resolved once per row for all accumulators.
+			pi := v.ParentRow(i)
+			mass := rn.agg.Mass(parent, pi)
 			tw := topW[i]
 			for a := range mine {
 				acc := &mine[a]
-				v := t.Value(acc.col, i)
-				acc.cnt[v] += mass
+				val := parent.Value(acc.col, pi)
+				acc.cnt[val] += mass
 				if acc.weight > tw {
-					acc.mv[v] += (acc.weight - tw) * mass
+					acc.mv[val] += (acc.weight - tw) * mass
 				}
 			}
 		}
@@ -346,17 +391,17 @@ func (rn *runner) countLevelOne(freeCols []int, topW []float64, counted map[stri
 	var out []*cand
 	for a := range accs {
 		acc := &accs[a]
-		for v := range acc.cnt {
-			if acc.cnt[v] == 0 {
+		for val := range acc.cnt {
+			if acc.cnt[val] == 0 {
 				continue
 			}
-			r := rn.base.With(acc.col, rule.Value(v))
+			r := rn.base.With(acc.col, rule.Value(val))
 			c := &cand{
 				r:        r,
 				key:      r.Key(),
 				weight:   acc.weight,
-				count:    acc.cnt[v],
-				marginal: acc.mv[v],
+				count:    acc.cnt[val],
+				marginal: acc.mv[val],
 			}
 			counted[c.key] = c
 			rn.stats.CandidatesCounted++
@@ -380,7 +425,6 @@ type candIndex struct {
 // first instantiated column that the base leaves free (every non-base
 // candidate has one).
 func (rn *runner) buildCandIndex(cands []*cand) candIndex {
-	t := rn.t
 	var idx candIndex
 	slot := make(map[int]int) // column → position in idx.cols
 	for pos, c := range cands {
@@ -399,7 +443,7 @@ func (rn *runner) buildCandIndex(cands []*cand) candIndex {
 			ci = len(idx.cols)
 			slot[anchor] = ci
 			idx.cols = append(idx.cols, anchor)
-			idx.byVal = append(idx.byVal, make([][]int, t.DistinctCount(anchor)))
+			idx.byVal = append(idx.byVal, make([][]int, rn.v.DistinctCount(anchor)))
 		}
 		v := c.r[anchor]
 		idx.byVal[ci][v] = append(idx.byVal[ci][v], pos)
@@ -418,19 +462,19 @@ func (rn *runner) buildCandIndex(cands []*cand) candIndex {
 // once. (A naive per-row rule construction spends most of its time hashing
 // rule keys.)
 func (rn *runner) generateCandidates(prev []*cand, counted map[string]*cand) []*cand {
-	t := rn.t
-	n := t.NumRows()
+	v := rn.v
+	n := v.NumRows()
 	idx := rn.buildCandIndex(prev)
 
-	// Phase 1: seen[p][si][v] marks that parent p extends with value v in
-	// its si-th star column.
+	// Phase 1: seen[p][si][val] marks that parent p extends with value val
+	// in its si-th star column.
 	starCols := make([][]int, len(prev))
 	seen := make([][][]bool, len(prev))
 	for p, c := range prev {
-		for col, v := range c.r {
-			if v == rule.Star {
+		for col, val := range c.r {
+			if val == rule.Star {
 				starCols[p] = append(starCols[p], col)
-				seen[p] = append(seen[p], make([]bool, t.DistinctCount(col)))
+				seen[p] = append(seen[p], make([]bool, v.DistinctCount(col)))
 			}
 		}
 	}
@@ -459,15 +503,17 @@ func (rn *runner) generateCandidates(prev []*cand, counted map[string]*cand) []*
 		}
 		perWorker[g] = cp
 	}
+	parent := rn.parent
 	scanRange := func(lo, hi int, mine [][][]bool) {
 		for i := lo; i < hi; i++ {
+			pi := v.ParentRow(i)
 			for ci, col := range idx.cols {
-				for _, p := range idx.byVal[ci][t.Value(col, i)] {
-					if !t.Covers(prev[p].r, i) {
+				for _, p := range idx.byVal[ci][parent.Value(col, pi)] {
+					if !rn.coversFreeParent(prev[p].r, pi) {
 						continue
 					}
 					for si, sc := range starCols[p] {
-						mine[p][si][t.Value(sc, i)] = true
+						mine[p][si][parent.Value(sc, pi)] = true
 					}
 				}
 			}
@@ -496,11 +542,11 @@ func (rn *runner) generateCandidates(prev []*cand, counted map[string]*cand) []*
 	dedup := make(map[string]*cand)
 	for p, c := range prev {
 		for si, sc := range starCols[p] {
-			for v, ok := range seen[p][si] {
+			for val, ok := range seen[p][si] {
 				if !ok {
 					continue
 				}
-				ext := c.r.With(sc, rule.Value(v))
+				ext := c.r.With(sc, rule.Value(val))
 				key := ext.Key()
 				if _, dup := dedup[key]; dup {
 					continue
@@ -556,8 +602,8 @@ func (rn *runner) upperBound(c *cand, counted map[string]*cand) float64 {
 // single pass, visiting only the candidates whose anchor value matches each
 // row (see candIndex).
 func (rn *runner) countCandidates(cands []*cand, topW []float64) {
-	t := rn.t
-	n := t.NumRows()
+	v := rn.v
+	n := v.NumRows()
 	idx := rn.buildCandIndex(cands)
 	// Per-worker accumulators indexed by candidate position, merged after
 	// the pass.
@@ -568,19 +614,21 @@ func (rn *runner) countCandidates(cands []*cand, topW []float64) {
 		cnt[g] = make([]float64, len(cands))
 		mv[g] = make([]float64, len(cands))
 	}
+	parent := rn.parent
 	rn.parallelRows(n, func(lo, hi, g int) {
 		myCnt, myMV := cnt[g], mv[g]
 		for i := lo; i < hi; i++ {
+			pi := v.ParentRow(i)
 			var mass float64
 			massSet := false
 			for ci, col := range idx.cols {
-				for _, pos := range idx.byVal[ci][t.Value(col, i)] {
+				for _, pos := range idx.byVal[ci][parent.Value(col, pi)] {
 					c := cands[pos]
-					if !t.Covers(c.r, i) {
+					if !rn.coversFreeParent(c.r, pi) {
 						continue
 					}
 					if !massSet {
-						mass = rn.agg.Mass(t, i)
+						mass = rn.agg.Mass(parent, pi)
 						massSet = true
 					}
 					myCnt[pos] += mass

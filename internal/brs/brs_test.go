@@ -40,10 +40,10 @@ func TestRunErrors(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	tab := randomTable(rng, 2, 2, 10)
 	w := weight.NewSize(2)
-	if _, _, err := Run(tab, w, Options{K: 0}); err == nil {
+	if _, _, err := Run(tab.All(), w, Options{K: 0}); err == nil {
 		t.Error("K=0 must fail")
 	}
-	if _, _, err := Run(tab, w, Options{K: 1, Base: rule.Trivial(3)}); err == nil {
+	if _, _, err := Run(tab.All(), w, Options{K: 1, Base: rule.Trivial(3)}); err == nil {
 		t.Error("base arity mismatch must fail")
 	}
 }
@@ -52,7 +52,7 @@ func TestEmptyTable(t *testing.T) {
 	b := table.MustBuilder([]string{"A"}, nil)
 	b.MustAddRow([]string{"x"})
 	tab := b.Build().Filter(rule.Rule{rule.Star}).Select(nil)
-	results, _, err := Run(tab, weight.NewSize(1), Options{K: 3})
+	results, _, err := Run(tab.All(), weight.NewSize(1), Options{K: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +72,7 @@ func TestSingleStepMatchesExhaustiveBestMarginal(t *testing.T) {
 		mw := 3.0
 		var selected []rule.Rule
 		for step := 0; step < 3; step++ {
-			results, _, err := Run(tab, w, Options{K: step + 1, MaxWeight: mw})
+			results, _, err := Run(tab.All(), w, Options{K: step + 1, MaxWeight: mw})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -99,7 +99,7 @@ func TestApproximationRatioVsOptimal(t *testing.T) {
 	for trial := 0; trial < 25; trial++ {
 		tab := randomTable(rng, 3, 2, 20)
 		w := weight.NewSize(3)
-		results, _, err := Run(tab, w, Options{K: k, MaxWeight: 3})
+		results, _, err := Run(tab.All(), w, Options{K: k, MaxWeight: 3})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -120,7 +120,7 @@ func TestApproximationRatioVsOptimal(t *testing.T) {
 func TestResultsOrderedByWeightDesc(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	tab := randomTable(rng, 4, 3, 60)
-	results, _, err := Run(tab, weight.NewSize(4), Options{K: 5, MaxWeight: 4})
+	results, _, err := Run(tab.All(), weight.NewSize(4), Options{K: 5, MaxWeight: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +135,7 @@ func TestCountsAndMCountsConsistent(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	tab := randomTable(rng, 3, 3, 50)
 	w := weight.NewSize(3)
-	results, _, err := Run(tab, w, Options{K: 4, MaxWeight: 3})
+	results, _, err := Run(tab.All(), w, Options{K: 4, MaxWeight: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +166,7 @@ func TestBaseRestrictsToSuperRules(t *testing.T) {
 	tab := randomTable(rng, 4, 3, 80)
 	base := rule.Trivial(4).With(0, tab.Value(0, 0))
 	sub := tab.Filter(base)
-	results, _, err := Run(sub, weight.NewSize(4), Options{K: 3, MaxWeight: 4, Base: base})
+	results, _, err := Run(sub.All(), weight.NewSize(4), Options{K: 3, MaxWeight: 4, Base: base})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +188,7 @@ func TestStarConstraintForcesColumn(t *testing.T) {
 	tab := randomTable(rng, 4, 3, 80)
 	const col = 2
 	w := weight.StarConstraint{Inner: weight.NewSize(4), Column: col}
-	results, _, err := Run(tab, w, Options{K: 3, MaxWeight: 4})
+	results, _, err := Run(tab.All(), w, Options{K: 3, MaxWeight: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +215,7 @@ func TestSumAggregate(t *testing.T) {
 	tab := b.Build()
 	w := weight.NewSize(2)
 	agg := score.SumAgg{Measure: 0}
-	results, _, err := Run(tab, w, Options{K: 1, MaxWeight: 2, Agg: agg})
+	results, _, err := Run(tab.All(), w, Options{K: 1, MaxWeight: 2, Agg: agg})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,11 +238,11 @@ func TestPruningMatchesUnpruned(t *testing.T) {
 	for trial := 0; trial < 20; trial++ {
 		tab := randomTable(rng, 4, 3, 60)
 		w := weight.NewSize(4)
-		pruned, ps, err := Run(tab, w, Options{K: 3, MaxWeight: 4})
+		pruned, ps, err := Run(tab.All(), w, Options{K: 3, MaxWeight: 4})
 		if err != nil {
 			t.Fatal(err)
 		}
-		unpruned, us, err := Run(tab, w, Options{K: 3, MaxWeight: 4, DisablePruning: true})
+		unpruned, us, err := Run(tab.All(), w, Options{K: 3, MaxWeight: 4, DisablePruning: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -264,8 +264,8 @@ func TestLowMaxWeightNeverBeatsHighMaxWeight(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	tab := randomTable(rng, 4, 2, 60)
 	w := weight.NewSize(4)
-	full, _, _ := Run(tab, w, Options{K: 3, MaxWeight: 4})
-	low, _, _ := Run(tab, w, Options{K: 3, MaxWeight: 1})
+	full, _, _ := Run(tab.All(), w, Options{K: 3, MaxWeight: 4})
+	low, _, _ := Run(tab.All(), w, Options{K: 3, MaxWeight: 1})
 	sf := score.SetScore(tab, w, score.CountAgg{}, rulesOf(full))
 	sl := score.SetScore(tab, w, score.CountAgg{}, rulesOf(low))
 	if sl > sf+1e-9 {
@@ -282,8 +282,8 @@ func TestDeterminism(t *testing.T) {
 	rng := rand.New(rand.NewSource(10))
 	tab := randomTable(rng, 4, 3, 100)
 	w := weight.BitsFor(tab)
-	a, _, _ := Run(tab, w, Options{K: 4, MaxWeight: 12})
-	b, _, _ := Run(tab, w, Options{K: 4, MaxWeight: 12})
+	a, _, _ := Run(tab.All(), w, Options{K: 4, MaxWeight: 12})
+	b, _, _ := Run(tab.All(), w, Options{K: 4, MaxWeight: 12})
 	if len(a) != len(b) {
 		t.Fatal("nondeterministic result count")
 	}
@@ -300,7 +300,7 @@ func TestKLargerThanRuleSpace(t *testing.T) {
 	b.MustAddRow([]string{"x"})
 	b.MustAddRow([]string{"y"})
 	tab := b.Build()
-	results, _, err := Run(tab, weight.NewSize(1), Options{K: 10, MaxWeight: 1})
+	results, _, err := Run(tab.All(), weight.NewSize(1), Options{K: 10, MaxWeight: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -313,7 +313,7 @@ func TestKLargerThanRuleSpace(t *testing.T) {
 func TestStatsAccounting(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	tab := randomTable(rng, 3, 3, 50)
-	_, stats, err := Run(tab, weight.NewSize(3), Options{K: 2, MaxWeight: 3})
+	_, stats, err := Run(tab.All(), weight.NewSize(3), Options{K: 2, MaxWeight: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -325,7 +325,7 @@ func TestStatsAccounting(t *testing.T) {
 func TestCandidateCap(t *testing.T) {
 	rng := rand.New(rand.NewSource(12))
 	tab := randomTable(rng, 5, 4, 200)
-	_, stats, err := Run(tab, weight.NewSize(5), Options{K: 2, MaxWeight: 5, MaxCandidatesPerLevel: 4})
+	_, stats, err := Run(tab.All(), weight.NewSize(5), Options{K: 2, MaxWeight: 5, MaxCandidatesPerLevel: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -346,7 +346,7 @@ func TestBitsWeightingEndToEnd(t *testing.T) {
 	}
 	tab := b.Build()
 	w := weight.BitsFor(tab)
-	results, _, err := Run(tab, w, Options{K: 1, MaxWeight: 10})
+	results, _, err := Run(tab.All(), w, Options{K: 1, MaxWeight: 10})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"smartdrill/internal/rule"
-	"smartdrill/internal/score"
 	"smartdrill/internal/table"
 	"smartdrill/internal/weight"
 )
@@ -26,32 +25,13 @@ type Yield func(Result) bool
 // rule adds positive marginal value, or the marginal value falls below
 // MinGainRatio of the first rule's. The Result passed to yield carries the
 // rule's Count; MCount is the marginal mass at selection time.
-func RunIncremental(t *table.Table, w weight.Weighter, opts Options, maxRules int, deadline time.Time, yield Yield) (Stats, error) {
+func RunIncremental(v *table.View, w weight.Weighter, opts Options, maxRules int, deadline time.Time, yield Yield) (Stats, error) {
 	if opts.K <= 0 {
 		opts.K = 1 // K is unused by the incremental driver but validated by shared code paths
 	}
-	base := opts.Base
-	if base == nil {
-		base = rule.Trivial(t.NumCols())
-	}
-	if len(base) != t.NumCols() {
-		return Stats{}, errBaseArity(len(base), t.NumCols())
-	}
-	agg := opts.Agg
-	if agg == nil {
-		agg = score.CountAgg{}
-	}
-	mw := opts.MaxWeight
-	if mw <= 0 {
-		mw = w.MaxWeight(t.NumCols())
-	}
-	maxCand := opts.MaxCandidatesPerLevel
-	if maxCand <= 0 {
-		maxCand = DefaultMaxCandidates
-	}
-	run := &runner{
-		t: t, w: w, agg: agg, mw: mw, base: base,
-		prune: !opts.DisablePruning, maxCand: maxCand, par: opts.Workers,
+	run, err := newRunner(v, w, opts)
+	if err != nil {
+		return Stats{}, err
 	}
 	var selected []rule.Rule
 	firstGain := 0.0

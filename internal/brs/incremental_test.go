@@ -20,7 +20,7 @@ func TestRunIncrementalMatchesRunPrefix(t *testing.T) {
 		w := weight.NewSize(4)
 
 		var streamed []Result
-		_, err := RunIncremental(tab, w, Options{MaxWeight: 4}, 4, time.Time{},
+		_, err := RunIncremental(tab.All(), w, Options{MaxWeight: 4}, 4, time.Time{},
 			func(r Result) bool {
 				streamed = append(streamed, r)
 				return true
@@ -28,7 +28,7 @@ func TestRunIncrementalMatchesRunPrefix(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		full, _, err := Run(tab, w, Options{K: 4, MaxWeight: 4})
+		full, _, err := Run(tab.All(), w, Options{K: 4, MaxWeight: 4})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -52,7 +52,7 @@ func TestRunIncrementalStopEarly(t *testing.T) {
 	rng := rand.New(rand.NewSource(32))
 	tab := randomTable(rng, 4, 3, 100)
 	calls := 0
-	_, err := RunIncremental(tab, weight.NewSize(4), Options{MaxWeight: 4}, 0, time.Time{},
+	_, err := RunIncremental(tab.All(), weight.NewSize(4), Options{MaxWeight: 4}, 0, time.Time{},
 		func(Result) bool {
 			calls++
 			return calls < 2
@@ -70,7 +70,7 @@ func TestRunIncrementalDeadline(t *testing.T) {
 	tab := randomTable(rng, 4, 3, 100)
 	// A deadline in the past stops before the first greedy step.
 	calls := 0
-	_, err := RunIncremental(tab, weight.NewSize(4), Options{MaxWeight: 4}, 0,
+	_, err := RunIncremental(tab.All(), weight.NewSize(4), Options{MaxWeight: 4}, 0,
 		time.Now().Add(-time.Second),
 		func(Result) bool { calls++; return true })
 	if err != nil {
@@ -86,7 +86,7 @@ func TestRunIncrementalExhaustsRuleSpace(t *testing.T) {
 	// marginal value.
 	b := newTinyTable()
 	calls := 0
-	_, err := RunIncremental(b, weight.NewSize(1), Options{MaxWeight: 1}, 0, time.Time{},
+	_, err := RunIncremental(b.All(), weight.NewSize(1), Options{MaxWeight: 1}, 0, time.Time{},
 		func(Result) bool { calls++; return true })
 	if err != nil {
 		t.Fatal(err)
@@ -98,7 +98,7 @@ func TestRunIncrementalExhaustsRuleSpace(t *testing.T) {
 
 func TestRunIncrementalBaseArity(t *testing.T) {
 	b := newTinyTable()
-	_, err := RunIncremental(b, weight.NewSize(1), Options{Base: rule.Trivial(3)}, 0, time.Time{},
+	_, err := RunIncremental(b.All(), weight.NewSize(1), Options{Base: rule.Trivial(3)}, 0, time.Time{},
 		func(Result) bool { return true })
 	if err == nil {
 		t.Fatal("arity mismatch must fail")

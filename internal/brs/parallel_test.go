@@ -16,12 +16,12 @@ func TestParallelMatchesSerial(t *testing.T) {
 	for trial := 0; trial < 15; trial++ {
 		tab := randomTable(rng, 5, 4, 500)
 		w := weight.BitsFor(tab)
-		serial, _, err := Run(tab, w, Options{K: 4, MaxWeight: 12})
+		serial, _, err := Run(tab.All(), w, Options{K: 4, MaxWeight: 12})
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, workers := range []int{2, 4, 11} {
-			par, _, err := Run(tab, w, Options{K: 4, MaxWeight: 12, Workers: workers})
+			par, _, err := Run(tab.All(), w, Options{K: 4, MaxWeight: 12, Workers: workers})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -50,11 +50,11 @@ func TestParallelWithSelection(t *testing.T) {
 	rng := rand.New(rand.NewSource(22))
 	tab := randomTable(rng, 4, 3, 300)
 	w := weight.NewSize(4)
-	serial, _, err := Run(tab, w, Options{K: 5, MaxWeight: 4})
+	serial, _, err := Run(tab.All(), w, Options{K: 5, MaxWeight: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, _, err := Run(tab, w, Options{K: 5, MaxWeight: 4, Workers: 8})
+	par, _, err := Run(tab.All(), w, Options{K: 5, MaxWeight: 4, Workers: 8})
 	if err != nil {
 		t.Fatal(err)
 	}

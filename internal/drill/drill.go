@@ -1,8 +1,9 @@
 // Package drill implements the interactive smart drill-down session of
 // Section 2.3: a displayed tree of rules the analyst expands (by clicking a
 // rule or a star within a rule) and collapses (roll-up). Expansions run BRS
-// on either the full table or — for large tables — a uniform sample served
-// by the SampleHandler, scaling displayed counts back to table estimates.
+// on a zero-copy view of the rule's coverage — answered by the table's
+// inverted index — or, for large tables, on a uniform sample served by the
+// SampleHandler, scaling displayed counts back to table estimates.
 package drill
 
 import (
@@ -169,29 +170,9 @@ func (s *Session) expand(n *Node, w weight.Weighter) error {
 	}
 	s.observeDrill(n)
 
-	// Obtain tuples covered by n.Rule: a sample for large tables, the
-	// filtered table otherwise.
-	var (
-		view  *table.Table
-		scale float64
-		exact bool
-	)
-	if s.handler != nil {
-		v, err := s.handler.GetSample(n.Rule)
-		if err != nil {
-			return err
-		}
-		view, scale = v.Tab, v.Scale
-		exact = scale == 1
-		s.LastMethod = v.Method.String()
-	} else {
-		if n.Rule.IsTrivial() {
-			view = s.tab
-		} else {
-			view = s.tab.Filter(n.Rule)
-		}
-		scale, exact = 1, true
-		s.LastMethod = "direct"
+	view, scale, exact, err := s.coveredView(n.Rule)
+	if err != nil {
+		return err
 	}
 
 	mw := s.cfg.MaxWeight
@@ -199,11 +180,12 @@ func (s *Session) expand(n *Node, w weight.Weighter) error {
 		mw = EstimateMaxWeight(view, w, s.cfg.K, s.cfg.Seed)
 	}
 	results, stats, err := brs.Run(view, w, brs.Options{
-		K:         s.cfg.K,
-		MaxWeight: mw,
-		Base:      n.Rule,
-		Agg:       s.cfg.Agg,
-		Workers:   s.cfg.Workers,
+		K:           s.cfg.K,
+		MaxWeight:   mw,
+		Base:        n.Rule,
+		BaseCovered: true, // coveredView delivers exactly the rule's coverage
+		Agg:         s.cfg.Agg,
+		Workers:     s.cfg.Workers,
 	})
 	if err != nil {
 		return err
@@ -227,6 +209,27 @@ func (s *Session) expand(n *Node, w weight.Weighter) error {
 		s.prefetch()
 	}
 	return nil
+}
+
+// coveredView obtains the tuples covered by r as a zero-copy view: a
+// sample for large tables, otherwise the rule's exact coverage answered by
+// the table's inverted index through the accounting store (no full scan,
+// no materialized copy). scale converts view aggregates to table
+// estimates; exact reports whether they need no scaling.
+func (s *Session) coveredView(r rule.Rule) (view *table.View, scale float64, exact bool, err error) {
+	if s.handler != nil {
+		v, err := s.handler.GetSample(r)
+		if err != nil {
+			return nil, 0, false, err
+		}
+		s.LastMethod = v.Method.String()
+		return v.Tab, v.Scale, v.Scale == 1, nil
+	}
+	s.LastMethod = "direct"
+	if r.IsTrivial() {
+		return s.tab.All(), 1, true, nil
+	}
+	return s.tab.ViewOf(s.store.FilterRows(r)), 1, true, nil
 }
 
 // countCI returns the 95% display bounds for a child whose raw
@@ -255,6 +258,12 @@ func (s *Session) prefetch() {
 	}
 	// Samples created by the prefetch carry exact coverage counts; reflect
 	// them in the display (the paper's background count refinement).
+	// ExactCount is a tuple count, so the upgrade is only valid under the
+	// Count aggregate — under Sum it would overwrite a mass estimate with a
+	// row tally and corrupt the displayed totals.
+	if _, isCount := s.cfg.Agg.(score.CountAgg); !isCount {
+		return
+	}
 	for _, smp := range s.handler.Samples() {
 		if node := s.findNode(s.root, smp.Filter); node != nil && !node.Exact {
 			node.Count = float64(smp.ExactCount)
@@ -309,28 +318,30 @@ func (s *Session) findNode(n *Node, r rule.Rule) *Node {
 
 // EstimateMaxWeight implements the Section 6.1 heuristic for mw: run BRS on
 // a small sample with an unbounded mw, observe the maximum selected weight
-// x, and return 2x to absorb sampling error.
-func EstimateMaxWeight(t *table.Table, w weight.Weighter, k int, seed int64) float64 {
+// x, and return 2x to absorb sampling error. k must be the number of rules
+// the caller will actually request — probing with a different k skews the
+// estimate toward the weights of a differently-sized rule list.
+func EstimateMaxWeight(v *table.View, w weight.Weighter, k int, seed int64) float64 {
 	const probeSize = 2000
-	probe := t
-	if t.NumRows() > probeSize {
+	probe := v
+	if v.NumRows() > probeSize {
 		rng := sampling.NewTestRNG(seed)
-		rows := make([]int, probeSize)
-		for i := range rows {
-			rows[i] = rng.Intn(t.NumRows())
+		positions := make([]int, probeSize)
+		for i := range positions {
+			positions[i] = rng.Intn(v.NumRows())
 		}
-		probe = t.Select(rows)
+		probe = v.Subset(positions)
 	}
-	results, _, err := brs.Run(probe, w, brs.Options{K: k, MaxWeight: w.MaxWeight(t.NumCols())})
+	results, _, err := brs.Run(probe, w, brs.Options{K: k, MaxWeight: w.MaxWeight(v.NumCols())})
 	if err != nil || len(results) == 0 {
-		return w.MaxWeight(t.NumCols())
+		return w.MaxWeight(v.NumCols())
 	}
 	maxW := 0.0
 	for _, r := range results {
 		maxW = math.Max(maxW, r.Weight)
 	}
 	if maxW == 0 {
-		return w.MaxWeight(t.NumCols())
+		return w.MaxWeight(v.NumCols())
 	}
 	return 2 * maxW
 }

@@ -248,7 +248,7 @@ func TestRenderShapes(t *testing.T) {
 func TestEstimateMaxWeight(t *testing.T) {
 	tab := datagen.StoreSales(7)
 	w := weight.NewSize(tab.NumCols())
-	mw := EstimateMaxWeight(tab, w, 3, 1)
+	mw := EstimateMaxWeight(tab.All(), w, 3, 1)
 	// The optimal rules have weight ≤ 2; the estimate doubles the observed
 	// max, so it must land in [2, 2·columns].
 	if mw < 2 || mw > 6 {

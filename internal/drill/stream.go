@@ -4,7 +4,6 @@ import (
 	"time"
 
 	"smartdrill/internal/brs"
-	"smartdrill/internal/table"
 	"smartdrill/internal/weight"
 )
 
@@ -25,31 +24,29 @@ func (s *Session) expandStream(n *Node, w weight.Weighter, maxRules int, budget 
 	if n.Expanded() {
 		s.Collapse(n)
 	}
-	var (
-		view  *table.Table
-		scale float64
-		exact bool
-	)
-	if s.handler != nil {
-		v, err := s.handler.GetSample(n.Rule)
-		if err != nil {
-			return err
-		}
-		view, scale = v.Tab, v.Scale
-		exact = scale == 1
-		s.LastMethod = v.Method.String()
-	} else {
-		if n.Rule.IsTrivial() {
-			view = s.tab
-		} else {
-			view = s.tab.Filter(n.Rule)
-		}
-		scale, exact = 1, true
-		s.LastMethod = "direct"
+	view, scale, exact, err := s.coveredView(n.Rule)
+	if err != nil {
+		return err
 	}
 	mw := s.cfg.MaxWeight
 	if mw <= 0 {
-		mw = EstimateMaxWeight(view, w, 4, s.cfg.Seed)
+		// Probe with the number of rules this stream will actually request
+		// — maxRules when bounded, else the session's configured k (as
+		// batch Expand does) — so the weight cap fits the rule list being
+		// built rather than a differently-sized one. The probe runs before
+		// the stream's deadline exists and its cost grows with k, so a
+		// caller-supplied maxRules (e.g. a client's max_rules query
+		// parameter) is capped: past a screenful of rules the max-weight
+		// estimate has long saturated.
+		const maxProbeK = 100
+		probeK := s.cfg.K
+		if maxRules > 0 {
+			probeK = maxRules
+		}
+		if probeK > maxProbeK {
+			probeK = maxProbeK
+		}
+		mw = EstimateMaxWeight(view, w, probeK, s.cfg.Seed)
 	}
 	var deadline time.Time
 	if budget > 0 {
@@ -58,6 +55,7 @@ func (s *Session) expandStream(n *Node, w weight.Weighter, maxRules int, budget 
 	stats, err := brs.RunIncremental(view, w, brs.Options{
 		MaxWeight:    mw,
 		Base:         n.Rule,
+		BaseCovered:  true, // coveredView delivers exactly the rule's coverage
 		Agg:          s.cfg.Agg,
 		Workers:      s.cfg.Workers,
 		MinGainRatio: 0.01, // drop the long tail of near-worthless rules

@@ -67,6 +67,97 @@ func TestSumEstimatesUnderSampling(t *testing.T) {
 	}
 }
 
+// TestSumPrefetchKeepsMassEstimates is the regression test for prefetch
+// count refinement under Sum: samples built by the prefetch carry exact
+// *tuple* counts, which must never overwrite a displayed Sum (a mass).
+// The constant measure of 0.1 per tuple makes the corruption a clean 10×
+// inflation — far outside any sampling error — while keeping the displayed
+// masses small enough that the prefetch allocator builds the per-child
+// samples whose filters match displayed rules.
+func TestSumPrefetchKeepsMassEstimates(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	b := table.MustBuilder([]string{"Store", "Region"}, []string{"Sales"})
+	stores := []string{"A", "B", "C", "D"}
+	regions := []string{"N", "S", "E", "W"}
+	for i := 0; i < 30000; i++ {
+		b.MustAddRow([]string{
+			stores[rng.Intn(len(stores))],
+			regions[rng.Intn(len(regions))],
+		}, 0.1)
+	}
+	tab := b.Build()
+	m, err := tab.MeasureIndex("Sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(tab, Config{
+		K: 3, MaxWeight: 2, Agg: score.SumAgg{Measure: m, Label: "Sales"},
+		SampleMemory: 20000, MinSampleSize: 4000, Prefetch: true, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Expand(s.Root()); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Root().Children) == 0 {
+		t.Fatal("no rules")
+	}
+	// The fixture must actually exercise the refinement path: at least one
+	// prefetched sample's filter matches a displayed (non-root) rule.
+	matched := false
+	for _, smp := range s.Handler().Samples() {
+		if node := s.findNode(s.root, smp.Filter); node != nil && node != s.Root() {
+			matched = true
+		}
+	}
+	if !matched {
+		t.Fatal("fixture: prefetch built no per-child samples; the refinement path is unexercised")
+	}
+	for _, k := range s.Root().Children {
+		trueSum := float64(tab.Count(k.Rule)) * 0.1
+		if rel := math.Abs(k.Count-trueSum) / trueSum; rel > 0.15 {
+			t.Fatalf("Sum display %g vs truth %g (rel err %.3f) for %v — prefetch overwrote the mass estimate?",
+				k.Count, trueSum, rel, k.Rule)
+		}
+		if k.Exact {
+			t.Fatalf("prefetch must not mark Sum estimates exact (node %v)", k.Rule)
+		}
+	}
+}
+
+// TestCountPrefetchStillRefines pins the intended behavior on the other
+// side of the fix: under the Count aggregate, prefetch-created samples do
+// upgrade displayed estimates to their exact coverage counts.
+func TestCountPrefetchStillRefines(t *testing.T) {
+	tab := buildSalesTable(30000, 11)
+	s, err := NewSession(tab, Config{
+		K: 3, MaxWeight: 2,
+		SampleMemory: 20000, MinSampleSize: 4000, Prefetch: true, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Expand(s.Root()); err != nil {
+		t.Fatal(err)
+	}
+	refined := 0
+	for _, k := range s.Root().Children {
+		if k.Exact {
+			refined++
+			if k.Count != float64(tab.Count(k.Rule)) {
+				t.Fatalf("refined count %g != exact %d for %v", k.Count, tab.Count(k.Rule), k.Rule)
+			}
+			if k.CILow != k.Count || k.CIHigh != k.Count {
+				t.Fatalf("refined node %v kept a non-degenerate CI [%g,%g]", k.Rule, k.CILow, k.CIHigh)
+			}
+		}
+	}
+	if refined == 0 {
+		t.Fatal("prefetch refined no displayed count under the Count aggregate")
+	}
+}
+
 // TestRootSumExact checks the root of a Sum session shows the exact total.
 func TestRootSumExact(t *testing.T) {
 	tab := buildSalesTable(1000, 6)

@@ -149,9 +149,9 @@ func Fig8Sweep(cfg Fig8Config) []Fig8Row {
 			// Reference: BRS on the full table (exact counts, true rules).
 			mw := cfg.MW
 			if mw <= 0 {
-				mw = drill.EstimateMaxWeight(ds.Table, w, cfg.K, 1)
+				mw = drill.EstimateMaxWeight(ds.Table.All(), w, cfg.K, 1)
 			}
-			ref, _, err := brs.Run(ds.Table, w, brs.Options{K: cfg.K, MaxWeight: mw})
+			ref, _, err := brs.Run(ds.Table.All(), w, brs.Options{K: cfg.K, MaxWeight: mw})
 			if err != nil {
 				panic(fmt.Sprintf("eval: fig8 reference: %v", err))
 			}

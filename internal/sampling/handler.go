@@ -206,7 +206,9 @@ func (h *Handler) touch(s *Sample) {
 }
 
 func (h *Handler) viewOf(rows []int, scale float64, m Method) *View {
-	tab := h.store.Table().Select(rows)
+	// Zero-copy: the view shares the master table's column arrays, so
+	// serving a sample never materializes its tuples.
+	tab := h.store.Table().ViewOf(rows)
 	return &View{
 		Tab:            tab,
 		Scale:          scale,

@@ -96,13 +96,13 @@ func CreateSample(store *storage.Store, filter rule.Rule, capacity int, rng *ran
 	return &Sample{Filter: filter, Rows: res.rows, ExactCount: res.seen}
 }
 
-// View is the materialized sample returned to the drill-down engine: a
-// small Table plus the scale factor that converts sample-local aggregates
-// into master-table estimates.
+// View is the sample view returned to the drill-down engine: a zero-copy
+// row view over the master table plus the scale factor that converts
+// sample-local aggregates into master-table estimates.
 type View struct {
-	// Tab contains the sampled tuples (sharing dictionaries with the
-	// master table), all covered by the requested rule.
-	Tab *table.Table
+	// Tab holds the sampled tuples as a zero-copy view sharing the master
+	// table's column arrays, all covered by the requested rule.
+	Tab *table.View
 	// Scale converts counts on Tab to estimated counts on the master table.
 	Scale float64
 	// Method records how the view was served (Find, Combine, or Create).

@@ -14,11 +14,14 @@
 //	DELETE /v1/sessions/{id}               discard a session
 //
 // Concurrency model: datasets are immutable once registered and shared by
-// every session reading them. Each session owns a private Engine guarded by
-// a per-session mutex, so operations on one session serialize while
-// distinct sessions run fully in parallel (each expansion can additionally
-// fan out across BRS workers). The session registry itself is sharded to
-// keep lookup contention off the hot path.
+// every session reading them, including one inverted index per dataset
+// (built at registration) that answers every session's rule filters by
+// posting-list intersection instead of per-request scans. Each session
+// owns a private Engine guarded by a per-session mutex, so operations on
+// one session serialize while distinct sessions run fully in parallel
+// (each expansion can additionally fan out across BRS workers). The
+// session registry itself is sharded to keep lookup contention off the hot
+// path.
 package server
 
 import (
@@ -120,7 +123,13 @@ func New(cfg Config) *Server {
 // RegisterDataset makes t available to sessions under the given name,
 // replacing any previous registration. The table must not be mutated after
 // registration: sessions read it concurrently without locks.
+//
+// Registration eagerly builds the table's inverted index, so every session
+// on the dataset shares one set of posting lists — rule filters are
+// answered by posting-list intersection instead of per-request scans, and
+// no analyst's first drill-down pays the build.
 func (s *Server) RegisterDataset(name string, t *smartdrill.Table) {
+	t.Index().Warm()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.datasets[name] = dataset{table: t, measures: t.MeasureNames()}

@@ -3,11 +3,13 @@
 // dominates response time; the SampleHandler exists to avoid such passes.
 //
 // We stand in for the disk with an in-memory table wrapped in a Store that
-// (a) accounts every full scan and row read, so experiments can report pass
-// counts alongside wall time, and (b) optionally injects a per-row delay to
-// model slower media in demonstrations. The substitution preserves the
-// relevant behaviour: scans remain the dominant, linear-in-|T| cost, and
-// the Find/Combine/Create decision logic is exercised identically.
+// (a) accounts every full scan, row read, and inverted-index lookup, so
+// experiments can report pass counts alongside wall time, and (b)
+// optionally injects a per-row delay to model slower media in
+// demonstrations. The substitution preserves the relevant behaviour: scans
+// remain the dominant, linear-in-|T| cost, index lookups cost their posting
+// entries, and the Find/Combine/Create decision logic is exercised
+// identically.
 package storage
 
 import (
@@ -19,10 +21,15 @@ import (
 	"smartdrill/internal/table"
 )
 
-// Stats counts the I/O the store has served.
+// Stats counts the I/O the store has served. Index reads are accounted
+// separately from scans so pass-count experiments (Figure 5 style) stay
+// honest when rule filters are answered from posting lists instead of full
+// passes.
 type Stats struct {
-	FullScans int64 // complete passes over the backing table
-	RowsRead  int64 // total rows delivered to scan callbacks
+	FullScans     int64 // complete passes over the backing table
+	RowsRead      int64 // total rows delivered to scan callbacks
+	IndexLookups  int64 // rule filters answered from the inverted index
+	IndexRowsRead int64 // posting-list entries read by those lookups
 }
 
 // Store wraps the authoritative full table behind a scan interface with
@@ -34,9 +41,11 @@ type Store struct {
 	// emulate slow media. Tests leave it zero; demos may set it.
 	PerRowDelay time.Duration
 
-	mu        sync.Mutex
-	fullScans int64
-	rowsRead  int64
+	mu            sync.Mutex
+	fullScans     int64
+	rowsRead      int64
+	indexLookups  int64
+	indexRowsRead int64
 }
 
 // NewStore wraps t.
@@ -72,17 +81,42 @@ func (s *Store) Scan(fn func(i int) bool) {
 	s.mu.Unlock()
 }
 
+// FilterRows returns the row indices covered by r, answered from the
+// table's shared inverted index and accounted as index I/O: the lookup is
+// charged the posting entries it read, not a full pass. PerRowDelay applies
+// per posting entry, keeping the slow-media model consistent between the
+// two access paths.
+func (s *Store) FilterRows(r rule.Rule) []int {
+	rows, read := s.t.Index().Lookup(r)
+	if s.PerRowDelay > 0 {
+		for i := int64(0); i < read; i++ {
+			spin(s.PerRowDelay)
+		}
+	}
+	s.mu.Lock()
+	s.indexLookups++
+	s.indexRowsRead += read
+	s.mu.Unlock()
+	return rows
+}
+
 // Stats returns a snapshot of accumulated I/O counters.
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return Stats{FullScans: s.fullScans, RowsRead: s.rowsRead}
+	return Stats{
+		FullScans:     s.fullScans,
+		RowsRead:      s.rowsRead,
+		IndexLookups:  s.indexLookups,
+		IndexRowsRead: s.indexRowsRead,
+	}
 }
 
 // ResetStats zeroes the counters (between experiment trials).
 func (s *Store) ResetStats() {
 	s.mu.Lock()
 	s.fullScans, s.rowsRead = 0, 0
+	s.indexLookups, s.indexRowsRead = 0, 0
 	s.mu.Unlock()
 }
 

@@ -74,6 +74,30 @@ func TestCountExact(t *testing.T) {
 	}
 }
 
+func TestFilterRowsAccounting(t *testing.T) {
+	tab := fixture(t)
+	s := NewStore(tab)
+	even, err := tab.EncodeRule(map[string]string{"A": "even"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := s.FilterRows(even)
+	if want := tab.FilterIndicesScan(even); len(rows) != len(want) {
+		t.Fatalf("FilterRows returned %d rows, scan %d", len(rows), len(want))
+	}
+	st := s.Stats()
+	if st.IndexLookups != 1 || st.IndexRowsRead != 5 {
+		t.Fatalf("index stats = %+v, want 1 lookup reading 5 postings", st)
+	}
+	if st.FullScans != 0 || st.RowsRead != 0 {
+		t.Fatalf("FilterRows must not account as a scan: %+v", st)
+	}
+	s.ResetStats()
+	if st := s.Stats(); st.IndexLookups != 0 || st.IndexRowsRead != 0 {
+		t.Fatalf("reset must clear index stats: %+v", st)
+	}
+}
+
 func TestNumRowsNoIO(t *testing.T) {
 	s := NewStore(fixture(t))
 	if s.NumRows() != 10 {

@@ -1,0 +1,221 @@
+package table
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"smartdrill/internal/rule"
+)
+
+func randomIndexedTable(rng *rand.Rand, cols, vals, n int) *Table {
+	names := make([]string, cols)
+	for c := range names {
+		names[c] = string(rune('A' + c))
+	}
+	b := MustBuilder(names, nil)
+	row := make([]string, cols)
+	for i := 0; i < n; i++ {
+		for c := range row {
+			row[c] = string(rune('a' + rng.Intn(vals)))
+		}
+		b.MustAddRow(row)
+	}
+	return b.Build()
+}
+
+func randomRule(rng *rand.Rand, tab *Table) rule.Rule {
+	r := rule.Trivial(tab.NumCols())
+	for c := 0; c < tab.NumCols(); c++ {
+		switch rng.Intn(3) {
+		case 0:
+			r[c] = rule.Value(rng.Intn(tab.DistinctCount(c)))
+		}
+	}
+	return r
+}
+
+func TestPostingsMatchColumn(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	tab := randomIndexedTable(rng, 3, 4, 200)
+	ix := tab.Index()
+	for c := 0; c < tab.NumCols(); c++ {
+		total := 0
+		for v := 0; v < tab.DistinctCount(c); v++ {
+			prev := int32(-1)
+			for _, i := range ix.Postings(c, rule.Value(v)) {
+				if i <= prev {
+					t.Fatalf("col %d value %d: postings not strictly ascending", c, v)
+				}
+				prev = i
+				if tab.Value(c, int(i)) != rule.Value(v) {
+					t.Fatalf("col %d: posting row %d holds %d, want %d", c, i, tab.Value(c, int(i)), v)
+				}
+				total++
+			}
+		}
+		if total != tab.NumRows() {
+			t.Fatalf("col %d: postings cover %d rows, want %d", c, total, tab.NumRows())
+		}
+	}
+	if ix.Postings(0, rule.Value(tab.DistinctCount(0))) != nil {
+		t.Fatal("out-of-dictionary value must yield nil postings")
+	}
+	if ix.Postings(0, rule.Star) != nil {
+		t.Fatal("Star must yield nil postings")
+	}
+}
+
+func TestFilterIndicesMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 50; trial++ {
+		tab := randomIndexedTable(rng, 4, 3, 150)
+		for probe := 0; probe < 10; probe++ {
+			r := randomRule(rng, tab)
+			got := tab.FilterIndices(r)
+			want := tab.FilterIndicesScan(r)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d rule %v: index %d rows, scan %d", trial, r, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d rule %v: row %d: index %d, scan %d", trial, r, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestFilterIndicesTrivialAndEmpty(t *testing.T) {
+	b := MustBuilder([]string{"A", "B"}, nil)
+	b.MustAddRow([]string{"x", "p"})
+	b.MustAddRow([]string{"y", "q"})
+	b.MustAddRow([]string{"x", "p"})
+	tab := b.Build()
+	all := tab.FilterIndices(rule.Trivial(2))
+	if len(all) != tab.NumRows() {
+		t.Fatalf("trivial rule covers %d rows, want %d", len(all), tab.NumRows())
+	}
+	// "x" and "q" never co-occur: the posting-list intersection is empty
+	// even though both lists are non-empty.
+	impossible, err := tab.EncodeRule(map[string]string{"A": "x", "B": "q"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tab.FilterIndices(impossible); len(got) != 0 {
+		t.Fatalf("impossible rule matched %d rows", len(got))
+	}
+}
+
+func TestFilterIndicesEmptyPostingList(t *testing.T) {
+	// A Select-derived table shares the parent's dictionaries, so a value
+	// can be in-dictionary with zero rows here. Its empty coverage must
+	// come back as an empty (non-nil-meaning) row set: ViewOf interprets
+	// nil as "all rows", the exact opposite.
+	b := MustBuilder([]string{"A"}, nil)
+	b.MustAddRow([]string{"x"})
+	b.MustAddRow([]string{"y"})
+	b.MustAddRow([]string{"x"})
+	parent := b.Build()
+	onlyX := parent.Select([]int{0, 2})
+	yr, err := parent.EncodeRule(map[string]string{"A": "y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := onlyX.FilterIndices(yr)
+	if len(rows) != 0 {
+		t.Fatalf("absent value matched %d rows", len(rows))
+	}
+	if v := onlyX.ViewOf(rows); v.NumRows() != 0 {
+		t.Fatalf("empty coverage produced a %d-row view (nil/all-rows confusion)", v.NumRows())
+	}
+}
+
+func TestIndexConcurrentBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	tab := randomIndexedTable(rng, 4, 3, 500)
+	want := make(map[string]int)
+	for probe := 0; probe < 8; probe++ {
+		r := randomRule(rng, tab)
+		want[r.Key()] = len(tab.FilterIndicesScan(r))
+	}
+	// Many goroutines race to build the lazy per-column posting lists and
+	// the shared Index allocation itself (run under -race in CI).
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for probe := 0; probe < 50; probe++ {
+				r := randomRule(rng, tab)
+				rows := tab.Index().FilterIndices(r)
+				if n, ok := want[r.Key()]; ok && n != len(rows) {
+					t.Errorf("rule %v: %d rows, want %d", r, len(rows), n)
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+}
+
+func TestViewSemantics(t *testing.T) {
+	b := MustBuilder([]string{"A", "B"}, []string{"M"})
+	b.MustAddRow([]string{"x", "p"}, 1)
+	b.MustAddRow([]string{"y", "p"}, 2)
+	b.MustAddRow([]string{"x", "q"}, 3)
+	b.MustAddRow([]string{"y", "q"}, 4)
+	tab := b.Build()
+
+	all := tab.All()
+	if all.NumRows() != 4 || all.NumCols() != 2 || all.ParentRow(3) != 3 {
+		t.Fatalf("full view misreports shape: %d x %d", all.NumRows(), all.NumCols())
+	}
+	sub := tab.ViewOf([]int{2, 0})
+	if sub.NumRows() != 2 || sub.ParentRow(0) != 2 {
+		t.Fatalf("sub view misreports shape")
+	}
+	if sub.Value(1, 0) != tab.Value(1, 2) || sub.MeasureValue(0, 1) != 1 {
+		t.Fatal("view does not share parent arrays")
+	}
+	xr, _ := tab.EncodeRule(map[string]string{"A": "x"})
+	if !sub.Covers(xr, 0) || !sub.Covers(xr, 1) {
+		t.Fatal("view Covers must test the parent row")
+	}
+	if got := sub.Subset([]int{1}).ParentRow(0); got != 0 {
+		t.Fatalf("Subset composed wrong: parent row %d, want 0", got)
+	}
+	qr, _ := tab.EncodeRule(map[string]string{"B": "q"})
+	ref := sub.Refine(qr)
+	if ref.NumRows() != 1 || ref.ParentRow(0) != 2 {
+		t.Fatalf("Refine kept %d rows", ref.NumRows())
+	}
+	if empty := sub.Refine(rule.Rule{rule.Star, rule.Star - 1}); empty.NumRows() != 0 {
+		t.Fatal("Refine with impossible rule must be empty, not full")
+	}
+	mat := sub.Materialize()
+	if mat.NumRows() != 2 || mat.Value(0, 0) != tab.Value(0, 2) {
+		t.Fatal("Materialize copied wrong rows")
+	}
+}
+
+func TestViewOfDuplicateRows(t *testing.T) {
+	b := MustBuilder([]string{"A"}, nil)
+	b.MustAddRow([]string{"x"})
+	b.MustAddRow([]string{"y"})
+	tab := b.Build()
+	v := tab.ViewOf([]int{0, 0, 1, 0})
+	if v.NumRows() != 4 {
+		t.Fatalf("duplicate view has %d rows", v.NumRows())
+	}
+	xr, _ := tab.EncodeRule(map[string]string{"A": "x"})
+	n := 0
+	for i := 0; i < v.NumRows(); i++ {
+		if v.Covers(xr, i) {
+			n++
+		}
+	}
+	if n != 3 {
+		t.Fatalf("duplicate rows counted %d times, want 3", n)
+	}
+}

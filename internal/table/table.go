@@ -10,6 +10,7 @@ package table
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"smartdrill/internal/rule"
 )
@@ -64,6 +65,12 @@ type Table struct {
 
 	measureNames []string
 	measures     [][]float64 // column-major, parallel to measureNames
+
+	// idx is the table's lazily allocated inverted index (see Index). It is
+	// part of the table's identity, not its value: every session over a
+	// shared dataset reuses the same posting lists.
+	idxOnce sync.Once
+	idx     *Index
 }
 
 // NumRows returns the number of tuples.
@@ -147,7 +154,18 @@ func (t *Table) Count(r rule.Rule) int {
 }
 
 // FilterIndices returns the row indices covered by r, in ascending order.
+// It is answered by posting-list intersection on the table's inverted
+// index (built lazily per referenced column), not by a full scan; use
+// FilterIndicesScan for the scan-based reference path.
 func (t *Table) FilterIndices(r rule.Rule) []int {
+	return t.Index().FilterIndices(r)
+}
+
+// FilterIndicesScan returns the row indices covered by r, in ascending
+// order, by a full scan. It is the reference implementation the index path
+// is tested and benchmarked against (and the honest baseline for
+// scan-vs-index experiments).
+func (t *Table) FilterIndicesScan(r rule.Rule) []int {
 	var idx []int
 	for i := 0; i < t.n; i++ {
 		if t.Covers(r, i) {
@@ -158,8 +176,9 @@ func (t *Table) FilterIndices(r rule.Rule) []int {
 }
 
 // Select materializes a new Table containing exactly the given rows (in the
-// given order), sharing dictionaries with t. It is the substrate for both
-// rule-filtered views (Problem 1 → Problem 2 reduction) and samples.
+// given order), sharing dictionaries with t. The drill-down hot path uses
+// zero-copy Views instead (see View); Select remains for callers that want
+// an independent dense table (tests, reference baselines).
 func (t *Table) Select(rows []int) *Table {
 	out := &Table{
 		colNames:     t.colNames,

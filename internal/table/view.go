@@ -1,0 +1,119 @@
+package table
+
+import "smartdrill/internal/rule"
+
+// View is a zero-copy subset of a parent Table's rows: it shares the
+// parent's column arrays, measure arrays, and dictionaries, adding only a
+// list of parent row indices. Views replace the copying Filter/Select on
+// the drill-down hot path — materializing a million-row coverage set per
+// expansion is exactly the cost the paper's interactivity budget cannot
+// afford. A View is immutable and safe for concurrent reads, like its
+// parent.
+//
+// Row positions are view-local: position i of a view with an explicit row
+// list refers to parent row rows[i]. A nil row list denotes the whole
+// parent table, with zero per-access indirection beyond one branch.
+type View struct {
+	t    *Table
+	rows []int // parent row indices; nil = all rows of t
+}
+
+// All returns the view spanning every row of t.
+func (t *Table) All() *View { return &View{t: t} }
+
+// ViewOf returns the view of t consisting of the given parent row indices,
+// in the given order (duplicates allowed — samples drawn with replacement
+// use them). The slice is retained, not copied; callers must not mutate it
+// afterwards.
+func (t *Table) ViewOf(rows []int) *View { return &View{t: t, rows: rows} }
+
+// Table returns the parent table whose arrays the view shares.
+func (v *View) Table() *Table { return v.t }
+
+// NumRows returns the number of rows in the view.
+func (v *View) NumRows() int {
+	if v.rows == nil {
+		return v.t.n
+	}
+	return len(v.rows)
+}
+
+// NumCols returns the number of categorical columns (same as the parent).
+func (v *View) NumCols() int { return v.t.NumCols() }
+
+// DistinctCount returns the parent dictionary size of column c. Views share
+// dictionaries, so value ids seen through a view index the same dictionary
+// as the parent's.
+func (v *View) DistinctCount(c int) int { return v.t.DistinctCount(c) }
+
+// ParentRow maps view position i to the parent table's row index.
+func (v *View) ParentRow(i int) int {
+	if v.rows == nil {
+		return i
+	}
+	return v.rows[i]
+}
+
+// Value returns the encoded value at (column c, view position i).
+func (v *View) Value(c, i int) rule.Value {
+	if v.rows != nil {
+		i = v.rows[i]
+	}
+	return v.t.cols[c][i]
+}
+
+// MeasureValue returns measure column m at view position i.
+func (v *View) MeasureValue(m, i int) float64 {
+	if v.rows != nil {
+		i = v.rows[i]
+	}
+	return v.t.measures[m][i]
+}
+
+// Covers reports whether rule r covers the tuple at view position i.
+func (v *View) Covers(r rule.Rule, i int) bool {
+	if v.rows != nil {
+		i = v.rows[i]
+	}
+	return v.t.Covers(r, i)
+}
+
+// Subset returns the view of the parent rows at the given view positions —
+// the zero-copy analogue of Select for probe samples.
+func (v *View) Subset(positions []int) *View {
+	rows := make([]int, len(positions))
+	for j, p := range positions {
+		rows[j] = v.ParentRow(p)
+	}
+	return &View{t: v.t, rows: rows}
+}
+
+// Refine returns the view restricted to the rows covered by r, scanning
+// only the view's own rows (never the full parent).
+func (v *View) Refine(r rule.Rule) *View {
+	n := v.NumRows()
+	var rows []int
+	for i := 0; i < n; i++ {
+		if v.Covers(r, i) {
+			rows = append(rows, v.ParentRow(i))
+		}
+	}
+	if rows == nil {
+		rows = []int{} // distinguish "empty result" from "all rows"
+	}
+	return &View{t: v.t, rows: rows}
+}
+
+// Materialize copies the view's rows into an independent dense Table
+// (sharing dictionaries). Tests use it to cross-check view-backed results
+// against the copying path.
+func (v *View) Materialize() *Table {
+	rows := v.rows
+	if rows == nil {
+		rows = make([]int, v.t.n)
+		for i := range rows {
+			rows[i] = i
+		}
+	}
+	return v.t.Select(rows)
+}
