@@ -1,0 +1,27 @@
+# Development entry points. CI runs the same commands (.github/workflows/ci.yml).
+
+GO ?= go
+
+.PHONY: test race bench bench-check smoke
+
+test:
+	$(GO) build ./... && $(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/server/ ./internal/drill/ ./internal/table/ ./internal/brs/
+
+# bench re-records the BRS perf trajectory (ns/op, allocs/op, search
+# counters) into BENCH_3.json; commit the refreshed file alongside perf
+# work. Promote it to the regression baseline once the numbers are
+# intentional: cp BENCH_3.json BENCH_baseline.json
+bench:
+	$(GO) run ./cmd/benchjson -out BENCH_3.json
+
+# bench-check is the CI guard: fails when allocs/op regresses >20% against
+# the checked-in baseline (allocation counts are machine-stable; wall
+# times are recorded but not gated).
+bench-check:
+	$(GO) run ./cmd/benchjson -out BENCH_3.json -baseline BENCH_baseline.json -check
+
+smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...

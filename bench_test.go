@@ -11,9 +11,9 @@ package smartdrill
 
 import (
 	"fmt"
-	"sync"
 	"testing"
 
+	"smartdrill/internal/benchcfg"
 	"smartdrill/internal/brs"
 	"smartdrill/internal/datagen"
 	"smartdrill/internal/drill"
@@ -26,41 +26,16 @@ import (
 	"smartdrill/internal/workload"
 )
 
-// Lazily generated shared datasets (generation excluded from timings).
-var (
-	storeOnce sync.Once
-	storeTab  *table.Table
+// Shared lazily-generated datasets live in internal/benchcfg so
+// cmd/benchjson (and its CI regression gate) measures exactly these
+// workloads.
+const benchCensusN = benchcfg.CensusRows
 
-	marketingOnce sync.Once
-	marketingTab  *table.Table
+func benchStore() *table.Table { return benchcfg.StoreSales() }
 
-	censusOnce sync.Once
-	censusTab  *table.Table
-)
+func benchMarketing() *table.Table { return benchcfg.Marketing() }
 
-const benchCensusN = 100000
-
-func benchStore() *table.Table {
-	storeOnce.Do(func() { storeTab = datagen.StoreSales(42) })
-	return storeTab
-}
-
-func benchMarketing() *table.Table {
-	marketingOnce.Do(func() {
-		full := datagen.Marketing(datagen.MarketingN, 7)
-		t, err := full.ProjectFirst(7)
-		if err != nil {
-			panic(err)
-		}
-		marketingTab = t
-	})
-	return marketingTab
-}
-
-func benchCensus() *table.Table {
-	censusOnce.Do(func() { censusTab = datagen.CensusProjected(benchCensusN, 7, 7) })
-	return censusTab
-}
+func benchCensus() *table.Table { return benchcfg.Census() }
 
 // BenchmarkTables1to3 reproduces the paper's running example end to end:
 // expand the trivial rule (Table 2), then the Walmart rule (Table 3).
@@ -505,6 +480,35 @@ func BenchmarkRepeatedDrilldown(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, _, err := brs.Run(tab.ViewOf(tab.FilterIndices(base)), w, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBRS measures the raw BRS hot path — full-table search, K=4 —
+// on the three evaluation datasets, with the index warmed (the server's
+// steady state after dataset registration). cmd/benchjson records these
+// configurations in BENCH_3.json; the /prior variants run the same search
+// with cross-step reuse and postings-driven counting disabled (the
+// pre-optimization path) for before/after comparison.
+func BenchmarkBRS(b *testing.B) {
+	for _, c := range benchcfg.BRSCases() {
+		tab := c.Tab()
+		w := weight.NewSize(tab.NumCols())
+		tab.Index().Warm()
+		b.Run(c.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := brs.Run(tab.All(), w, brs.Options{K: 4, MaxWeight: c.MW}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(c.Name+"/prior", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := brs.Options{K: 4, MaxWeight: c.MW, DisableReuse: true, DisableIndex: true}
+				if _, _, err := brs.Run(tab.All(), w, opts); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -1,0 +1,159 @@
+// Command benchjson records the BRS performance trajectory: it runs the
+// BenchmarkBRS configurations (full-table search, K=4, warmed index, on
+// the Census, Marketing, and StoreSales datasets) through the testing
+// package's benchmark driver — the programmatic equivalent of
+//
+//	go test -bench=BenchmarkBRS -benchmem
+//
+// — captures each run's brs.Stats counters, and writes everything as JSON
+// so successive PRs leave a machine-readable perf trail.
+//
+//	go run ./cmd/benchjson -out BENCH_3.json
+//
+// With -baseline pointing at a checked-in earlier emission and -check set,
+// the tool exits nonzero when any benchmark's allocs/op regresses more
+// than -tolerance (default 20%) over the baseline — the CI guard that
+// keeps string keys and per-candidate allocations from creeping back into
+// the BRS inner loops. allocs/op is the compared metric because it is
+// stable across machines; ns/op is recorded for humans.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"smartdrill/internal/benchcfg"
+	"smartdrill/internal/brs"
+	"smartdrill/internal/weight"
+)
+
+type benchResult struct {
+	Name        string    `json:"name"`
+	NsPerOp     int64     `json:"ns_per_op"`
+	AllocsPerOp int64     `json:"allocs_per_op"`
+	BytesPerOp  int64     `json:"bytes_per_op"`
+	Iterations  int       `json:"iterations"`
+	Rules       int       `json:"rules"`
+	Stats       brs.Stats `json:"brs_stats"`
+}
+
+type benchFile struct {
+	GeneratedAt string        `json:"generated_at"`
+	GoVersion   string        `json:"go_version"`
+	Benchmarks  []benchResult `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_3.json", "output JSON path")
+	baseline := flag.String("baseline", "", "earlier benchjson emission to compare against")
+	check := flag.Bool("check", false, "exit nonzero when allocs/op regresses past -tolerance vs -baseline")
+	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional allocs/op regression")
+	flag.Parse()
+
+	file := benchFile{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+	}
+	for _, c := range benchcfg.BRSCases() {
+		name := "BRS/" + c.Name
+		fmt.Fprintf(os.Stderr, "benchjson: running %s...\n", name)
+		tab := c.Tab() // generation excluded from timings
+		tab.Index().Warm()
+		w := weight.NewSize(tab.NumCols())
+		opts := brs.Options{K: 4, MaxWeight: c.MW}
+
+		// One instrumented run for result shape and search counters (BRS is
+		// deterministic, so every timed iteration repeats these numbers).
+		results, stats, err := brs.Run(tab.All(), w, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := brs.Run(tab.All(), w, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		file.Benchmarks = append(file.Benchmarks, benchResult{
+			Name:        name,
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Iterations:  r.N,
+			Rules:       len(results),
+			Stats:       stats,
+		})
+		fmt.Fprintf(os.Stderr, "benchjson: %s: %d ns/op, %d allocs/op, reused=%d postings=%d\n",
+			name, r.NsPerOp(), r.AllocsPerOp(), stats.CandidatesReused, stats.PostingsRead)
+	}
+
+	buf, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %s\n", *out)
+
+	if *baseline == "" {
+		return
+	}
+	old, err := readBench(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: baseline: %v\n", err)
+		os.Exit(1)
+	}
+	failed := compare(old, file, *tolerance)
+	if failed && *check {
+		os.Exit(1)
+	}
+}
+
+func readBench(path string) (benchFile, error) {
+	var f benchFile
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	return f, json.Unmarshal(buf, &f)
+}
+
+// compare reports each benchmark's allocs/op against the baseline and
+// returns true when any regresses past the tolerance (or disappeared).
+func compare(old, new benchFile, tolerance float64) (failed bool) {
+	byName := make(map[string]benchResult, len(new.Benchmarks))
+	for _, b := range new.Benchmarks {
+		byName[b.Name] = b
+	}
+	for _, o := range old.Benchmarks {
+		n, ok := byName[o.Name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: FAIL %s: present in baseline, missing from this run\n", o.Name)
+			failed = true
+			continue
+		}
+		if o.AllocsPerOp > 0 {
+			ratio := float64(n.AllocsPerOp) / float64(o.AllocsPerOp)
+			if ratio > 1+tolerance {
+				fmt.Fprintf(os.Stderr, "benchjson: FAIL %s: allocs/op %d vs baseline %d (%.0f%% regression > %.0f%% tolerance)\n",
+					o.Name, n.AllocsPerOp, o.AllocsPerOp, (ratio-1)*100, tolerance*100)
+				failed = true
+				continue
+			}
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: ok   %s: allocs/op %d vs baseline %d\n", o.Name, n.AllocsPerOp, o.AllocsPerOp)
+	}
+	return failed
+}

@@ -1,0 +1,76 @@
+// Package benchcfg defines the canonical BRS benchmark workloads shared
+// by the BenchmarkBRS suite (bench_test.go) and cmd/benchjson. The CI
+// allocation-regression gate compares benchjson output against a
+// checked-in baseline, so both consumers must measure exactly the same
+// dataset constructions and mw parameters — defining them once here keeps
+// the gate and the human-run benchmarks from silently diverging.
+package benchcfg
+
+import (
+	"sync"
+
+	"smartdrill/internal/datagen"
+	"smartdrill/internal/table"
+)
+
+// CensusRows is the synthetic Census size used throughout the paper-scale
+// benchmarks.
+const CensusRows = 100000
+
+// Lazily generated shared datasets: generation is excluded from timings
+// and each table is built once per process however many benchmarks touch
+// it.
+var (
+	censusOnce sync.Once
+	censusTab  *table.Table
+
+	marketingOnce sync.Once
+	marketingTab  *table.Table
+
+	storeOnce sync.Once
+	storeTab  *table.Table
+)
+
+// Census returns the shared 100k-row, 7-column synthetic Census table.
+func Census() *table.Table {
+	censusOnce.Do(func() { censusTab = datagen.CensusProjected(CensusRows, 7, 7) })
+	return censusTab
+}
+
+// Marketing returns the shared Marketing table projected to 7 columns, as
+// in the paper's experiments.
+func Marketing() *table.Table {
+	marketingOnce.Do(func() {
+		t, err := datagen.Marketing(datagen.MarketingN, 7).ProjectFirst(7)
+		if err != nil {
+			panic(err)
+		}
+		marketingTab = t
+	})
+	return marketingTab
+}
+
+// StoreSales returns the shared department-store running example
+// (seed 42, the bundled-CSV ground truth).
+func StoreSales() *table.Table {
+	storeOnce.Do(func() { storeTab = datagen.StoreSales(42) })
+	return storeTab
+}
+
+// BRSCase is one full-table BRS benchmark configuration (K=4, Size
+// weighting, warmed index).
+type BRSCase struct {
+	Name string
+	Tab  func() *table.Table
+	MW   float64
+}
+
+// BRSCases lists the configurations BenchmarkBRS runs and benchjson
+// records in BENCH_3.json.
+func BRSCases() []BRSCase {
+	return []BRSCase{
+		{"Census", Census, 4},
+		{"Marketing", Marketing, 5},
+		{"StoreSales", StoreSales, 3},
+	}
+}

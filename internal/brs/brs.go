@@ -9,6 +9,25 @@
 // marginal rule in level-wise passes over the table, pruning candidate
 // super-rules whose marginal value is upper-bounded below the best already
 // found.
+//
+// Three hot-path optimizations sit on top of the textbook algorithm, all
+// result-preserving (and individually ablatable via Options):
+//
+//   - Packed candidate identity: candidates are deduplicated, looked up,
+//     and ordered by a fixed-size rule.PackedKey instead of heap-allocated
+//     Rule.Key() strings, so the inner loops never allocate per candidate.
+//
+//   - Cross-step count reuse: candidate aggregate masses are invariant
+//     across the K greedy steps, so counted candidates (and each
+//     candidate's generated super-rule set) live on the runner and are
+//     reused by later steps; after each selection one cheap maintenance
+//     pass over the selected rule's coverage re-derives every cached
+//     marginal against the new topW, instead of recounting everything.
+//
+//   - Postings-driven counting: when the view is the full table or a
+//     sorted row set, a per-level cost model routes counting to
+//     intersections of the table's posting lists (level-1 counts under
+//     Count are just posting lengths) instead of row scans.
 package brs
 
 import (
@@ -47,6 +66,14 @@ type Options struct {
 	Agg score.Aggregator
 	// DisablePruning turns off the sub-rule upper-bound pruning (ablation).
 	DisablePruning bool
+	// DisableReuse turns off cross-step candidate reuse (ablation, and the
+	// equivalence suite's reference): every greedy step rebuilds topW and
+	// recounts every candidate from scratch, as the textbook algorithm is
+	// written.
+	DisableReuse bool
+	// DisableIndex turns off postings-driven counting (ablation, and the
+	// equivalence suite's reference): every level is counted by row scans.
+	DisableIndex bool
 	// MaxCandidatesPerLevel caps the candidate set per pass as a memory
 	// safety valve; 0 means DefaultMaxCandidates. When the cap is hit the
 	// result may be suboptimal; Stats.CandidateCapHit records it.
@@ -79,13 +106,29 @@ type Result struct {
 }
 
 // Stats instruments a run for the performance experiments (Figure 5) and
-// the pruning ablation.
+// the pruning/reuse/index ablations.
 type Stats struct {
-	Passes            int   // table passes across all greedy steps
-	CandidatesCounted int   // rules whose marginal value was measured
-	CandidatesPruned  int   // rules dropped by the upper-bound test
-	RowsScanned       int64 // total row visits
-	CandidateCapHit   bool  // a level hit MaxCandidatesPerLevel
+	Passes            int   `json:"passes"`             // row-scan passes across all greedy steps
+	CandidatesCounted int   `json:"candidates_counted"` // rules whose aggregate mass was measured
+	CandidatesPruned  int   `json:"candidates_pruned"`  // rules dropped by the upper-bound test
+	CandidatesReused  int   `json:"candidates_reused"`  // counted rules served from the cross-step cache
+	RowsScanned       int64 `json:"rows_scanned"`       // total row visits by scan passes
+	PostingsRead      int64 `json:"postings_read"`      // posting entries read by index-driven counting
+	IndexLevels       int   `json:"index_levels"`       // counting/maintenance steps answered from postings
+	CandidateCapHit   bool  `json:"candidate_cap_hit"`  // a level hit MaxCandidatesPerLevel
+}
+
+// Add accumulates o into s (CandidateCapHit ORs). Sessions use it to keep
+// running totals across repeated expansions.
+func (s *Stats) Add(o Stats) {
+	s.Passes += o.Passes
+	s.CandidatesCounted += o.CandidatesCounted
+	s.CandidatesPruned += o.CandidatesPruned
+	s.CandidatesReused += o.CandidatesReused
+	s.RowsScanned += o.RowsScanned
+	s.PostingsRead += o.PostingsRead
+	s.IndexLevels += o.IndexLevels
+	s.CandidateCapHit = s.CandidateCapHit || o.CandidateCapHit
 }
 
 // Run executes BRS on the view v and returns up to opts.K rules ordered by
@@ -103,24 +146,40 @@ func Run(v *table.View, w weight.Weighter, opts Options) ([]Result, Stats, error
 	}
 	var selected []Result
 	for step := 0; step < opts.K; step++ {
-		best := run.findBestMarginal(resultsToRules(selected))
+		best := run.findBestMarginal()
 		if best == nil || best.marginal <= 0 {
 			break
 		}
 		selected = append(selected, Result{
 			Rule:   best.r,
-			Weight: weight.WeightRule(run.w, best.r),
+			Weight: best.weight,
 			Count:  best.count,
 			MCount: 0, // recomputed below once ordering is final
 		})
+		run.applySelection(best)
 	}
 	// Order by descending weight and fill marginal counts in that order.
-	sort.SliceStable(selected, func(i, j int) bool {
+	// Each tie-break key is built once, not on every comparison.
+	keys := make([]string, len(selected))
+	for i := range selected {
+		keys[i] = selected[i].Rule.Key()
+	}
+	order := make([]int, len(selected))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		i, j := order[a], order[b]
 		if selected[i].Weight != selected[j].Weight {
 			return selected[i].Weight > selected[j].Weight
 		}
-		return selected[i].Rule.Key() < selected[j].Rule.Key()
+		return keys[i] < keys[j]
 	})
+	ordered := make([]Result, len(selected))
+	for a, i := range order {
+		ordered[a] = selected[i]
+	}
+	selected = ordered
 	rules := resultsToRules(selected)
 	mcs := score.MCountsView(run.v, run.w, run.agg, rules)
 	for i := range selected {
@@ -155,6 +214,7 @@ func newRunner(v *table.View, w weight.Weighter, opts Options) (*runner, error) 
 	run := &runner{
 		v: v, parent: v.Table(), w: w, agg: agg, mw: mw, base: base,
 		prune: !opts.DisablePruning, maxCand: maxCand, par: opts.Workers,
+		noReuse: opts.DisableReuse, noIndex: opts.DisableIndex,
 	}
 	if !opts.BaseCovered && !base.IsTrivial() {
 		// One pass narrows the view so every subsequent pass iterates only
@@ -163,7 +223,20 @@ func newRunner(v *table.View, w weight.Weighter, opts Options) (*runner, error) 
 		run.stats.RowsScanned += int64(v.NumRows())
 		run.v = v.Refine(base)
 	}
+	run.baseMask = base.Mask()
 	run.freeCols = run.freeColumns()
+	_, run.countAgg = agg.(score.CountAgg)
+	if !run.noIndex {
+		// Postings-driven counting needs the view to be a sorted row set so
+		// posting intersections enumerate view positions; samples (drawn
+		// with replacement, shuffled) fail this and always scan.
+		run.sorted = run.v.Ascending()
+		run.fullTable = run.sorted && run.v.NumRows() == run.parent.NumRows()
+		if run.sorted {
+			run.ix = run.parent.Index()
+		}
+	}
+	run.store = newCandStore()
 	return run, nil
 }
 
@@ -179,18 +252,41 @@ func resultsToRules(rs []Result) []rule.Rule {
 // rn.v, whose every row covers rn.base, so per-row base checks are gone
 // from the inner loops; coverage tests against candidates touch only the
 // base's free columns.
+//
+// The cross-step caches live here: topW (weight of the best selected rule
+// covering each view row, maintained incrementally by applySelection), the
+// candidate store (every candidate materialized this run, with counted
+// masses and current marginals), and the cached level-1 candidate list.
 type runner struct {
-	v        *table.View
-	parent   *table.Table // v's parent, for aggregate mass and sub-rule tests
-	w        weight.Weighter
-	agg      score.Aggregator
-	mw       float64
-	base     rule.Rule
-	freeCols []int // columns the base leaves starred
-	prune    bool
-	maxCand  int
-	par      int
+	v         *table.View
+	parent    *table.Table // v's parent, for aggregate mass and sub-rule tests
+	ix        *table.Index // parent's inverted index; nil when unusable
+	w         weight.Weighter
+	agg       score.Aggregator
+	countAgg  bool // agg is the plain Count aggregate
+	mw        float64
+	base      rule.Rule
+	baseMask  rule.Mask
+	freeCols  []int // columns the base leaves starred
+	prune     bool
+	maxCand   int
+	par       int
+	noReuse   bool
+	noIndex   bool
+	sorted    bool // view rows ascending: postings-driven counting possible
+	fullTable bool // view spans every parent row
+
+	topW     []float64 // W(TOP(t, selection)) per view row; nil until first selection
+	selected []selectedRule
+	store    candStore
+	level1   []*cand // cached single-extension candidates (step 1's pass)
+	gen      int     // generation-merge epoch, see generateCandidates
 	stats    Stats
+}
+
+type selectedRule struct {
+	r rule.Rule
+	w float64
 }
 
 // coversFreeParent reports whether r covers the parent-table row pi,
@@ -207,58 +303,105 @@ func (rn *runner) coversFreeParent(r rule.Rule, pi int) bool {
 	return true
 }
 
-// cand is one candidate rule with accumulated statistics.
+// cand is one candidate rule with accumulated statistics and cross-step
+// cache state. Identity is the packed key (pk) when the rule fits
+// rule.MaxPackedValues free values; deeper rules fall back to the string
+// key, built lazily.
 type cand struct {
-	r        rule.Rule
-	key      string // cached r.Key(), used for dedup and stable ordering
-	weight   float64
-	count    float64 // aggregate mass covered
-	marginal float64 // marginal value vs the current selection
+	r      rule.Rule
+	pk     rule.PackedKey
+	packed bool
+	skey   string    // lazy Rule.Key(); identity and ordering fallback
+	mask   rule.Mask // full instantiated-column mask (base included)
+	weight float64
+
+	count    float64 // aggregate mass covered (step-invariant once counted)
+	marginal float64 // marginal value vs the *current* selection
+	counted  bool    // mass has been measured
+	expanded bool    // children holds every supported one-column extension
+	children []*cand
+	lastGen  int // epoch marker deduplicating the cross-parent child merge
+}
+
+// key returns the candidate's string key, building it at most once. Only
+// ordering fallbacks and overflow (unpackable) candidates ever call it.
+func (c *cand) key() string {
+	if c.skey == "" {
+		c.skey = c.r.Key()
+	}
+	return c.skey
+}
+
+// candLess orders candidates identically to the old string-key order:
+// packed keys compare in Rule.Key() byte order by construction, so the two
+// representations sort consistently even when mixed.
+func candLess(a, b *cand) bool {
+	if a.packed && b.packed {
+		return a.pk.Compare(b.pk) < 0
+	}
+	return a.key() < b.key()
+}
+
+// candStore is the run-wide candidate registry (C in Algorithm 2, hoisted
+// out of the per-step procedure so steps 2..K reuse step 1's counting
+// work). counted lists counted candidates in counting order — the
+// deterministic order marginal-maintenance accumulators are merged in.
+type candStore struct {
+	packed  map[rule.PackedKey]*cand
+	over    map[string]*cand // candidates too deep for a packed key
+	counted []*cand
+}
+
+func newCandStore() candStore {
+	return candStore{packed: make(map[rule.PackedKey]*cand)}
+}
+
+// byPK looks up a packed candidate; nil when absent.
+func (cs *candStore) byPK(pk rule.PackedKey) *cand { return cs.packed[pk] }
+
+// addOver registers an overflow candidate, allocating the map lazily
+// (overflow needs > rule.MaxPackedValues instantiated free columns, which
+// no realistic drill-down reaches).
+func (cs *candStore) addOver(key string, c *cand) {
+	if cs.over == nil {
+		cs.over = make(map[string]*cand)
+	}
+	cs.over[key] = c
+}
+
+// markCounted flags c as counted and appends it to the counted order.
+func (rn *runner) markCounted(c *cand) {
+	c.counted = true
+	rn.store.counted = append(rn.store.counted, c)
+	rn.stats.CandidatesCounted++
 }
 
 // findBestMarginal implements Algorithm 2: level-wise candidate counting
-// with sub-rule upper-bound pruning against threshold H.
-func (rn *runner) findBestMarginal(selected []rule.Rule) *cand {
-	n := rn.v.NumRows()
-	if n == 0 {
+// with sub-rule upper-bound pruning against threshold H. Candidates
+// already counted in earlier greedy steps are served from the runner's
+// store — their counts are invariant and their marginals are kept current
+// by applySelection — so only genuinely new candidates touch the data.
+func (rn *runner) findBestMarginal() *cand {
+	if rn.v.NumRows() == 0 || len(rn.freeCols) == 0 {
 		return nil
 	}
-
-	// One pass to fix wS[i]: weight of the best selected rule covering view
-	// row i (W(RS) in Algorithm 2). Selected rules all derive from the same
-	// base, so this is O(|v|·|S|).
-	topW := make([]float64, n)
-	if len(selected) > 0 {
-		sw := make([]float64, len(selected))
-		for j, r := range selected {
-			sw[j] = weight.WeightRule(rn.w, r)
-		}
-		rn.parallelRows(n, func(lo, hi, _ int) {
-			for i := lo; i < hi; i++ {
-				pi := rn.v.ParentRow(i)
-				for j, r := range selected {
-					if sw[j] > topW[i] && rn.coversFreeParent(r, pi) {
-						topW[i] = sw[j]
-					}
-				}
-			}
-		})
-		rn.stats.Passes++
-		rn.stats.RowsScanned += int64(n)
+	if rn.noReuse {
+		rn.store = newCandStore()
+		rn.level1 = nil
+		rn.rebuildTopW()
 	}
 
-	freeCols := rn.freeCols
-	if len(freeCols) == 0 {
-		return nil
-	}
-
-	counted := make(map[string]*cand) // C in Algorithm 2: all counted rules
 	var best *cand
 	H := 0.0
 
-	// Level 1: one pass counts every single-extension rule base+(c,v).
-	prev := rn.countLevelOne(freeCols, topW, counted)
-	for _, c := range prev {
+	// Level 1: every single-extension rule base+(c,v), counted once per run
+	// (one pass, or posting lengths) and reused by later steps.
+	if rn.level1 == nil {
+		rn.level1 = rn.countLevelOne()
+	} else {
+		rn.stats.CandidatesReused += len(rn.level1)
+	}
+	for _, c := range rn.level1 {
 		if best == nil || c.marginal > best.marginal {
 			best = c
 		}
@@ -268,27 +411,40 @@ func (rn *runner) findBestMarginal(selected []rule.Rule) *cand {
 	}
 
 	// Levels 2..: generate super-rules of the previous level's candidates,
-	// prune by upper bound, count survivors in one pass.
-	for level := 2; level <= len(freeCols); level++ {
-		next := rn.generateCandidates(prev, counted)
+	// prune uncounted ones by upper bound, count the survivors.
+	prev := rn.level1
+	for level := 2; level <= len(rn.freeCols); level++ {
+		next := rn.generateCandidates(prev)
 		if len(next) == 0 {
 			break
 		}
 		survivors := next[:0]
+		var toCount []*cand
 		for _, c := range next {
-			if rn.prune && rn.upperBound(c, counted) < H {
+			if c.counted {
+				// Cached from an earlier step: exact count and an
+				// up-to-date marginal, no bound test needed.
+				rn.stats.CandidatesReused++
+				survivors = append(survivors, c)
+				continue
+			}
+			if rn.prune && rn.upperBound(c) < H {
 				rn.stats.CandidatesPruned++
 				continue
 			}
 			survivors = append(survivors, c)
+			toCount = append(toCount, c)
 		}
 		if len(survivors) == 0 {
 			break
 		}
-		rn.countCandidates(survivors, topW)
+		if len(toCount) > 0 {
+			rn.countCandidates(toCount)
+			for _, c := range toCount {
+				rn.markCounted(c)
+			}
+		}
 		for _, c := range survivors {
-			counted[c.key] = c
-			rn.stats.CandidatesCounted++
 			if best == nil || c.marginal > best.marginal {
 				best = c
 				H = c.marginal
@@ -297,6 +453,109 @@ func (rn *runner) findBestMarginal(selected []rule.Rule) *cand {
 		prev = survivors
 	}
 	return best
+}
+
+// applySelection commits best as the step's selected rule and brings the
+// cross-step caches up to date: topW rises to best.weight on best's
+// coverage, and every cached marginal is re-derived in the same pass —
+// for each row whose topW changed, each counted candidate covering it
+// loses exactly the mass the new selection claims. One pass over best's
+// coverage (or a posting intersection when cheaper) replaces the full
+// topW rebuild plus per-candidate recount the textbook algorithm pays.
+func (rn *runner) applySelection(best *cand) {
+	rn.selected = append(rn.selected, selectedRule{best.r, best.weight})
+	if rn.noReuse {
+		return // findBestMarginal rebuilds topW and recounts from scratch
+	}
+	n := rn.v.NumRows()
+	if rn.topW == nil {
+		rn.topW = make([]float64, n)
+	}
+	counted := rn.store.counted
+	idx := rn.buildCandIndex(counted)
+	wSel := best.weight
+
+	// visit applies the topW update and marginal deltas for one covered
+	// view row, accumulating per-candidate deltas into deltas.
+	visit := func(pos, pi int, deltas []float64) {
+		old := rn.topW[pos]
+		if wSel <= old {
+			return
+		}
+		rn.topW[pos] = wSel
+		mass := rn.agg.Mass(rn.parent, pi)
+		for ci, col := range idx.cols {
+			for _, p := range idx.byVal[ci][rn.parent.Value(col, pi)] {
+				c := counted[p]
+				if !rn.coversFreeParent(c.r, pi) {
+					continue
+				}
+				d := max0(c.weight-wSel) - max0(c.weight-old)
+				if d != 0 {
+					deltas[p] += d * mass
+				}
+			}
+		}
+	}
+
+	if rn.planPostingsOne(best) {
+		deltas := make([]float64, len(counted))
+		read := rn.v.EachInAll(rn.candLists(best), func(pos, row int) {
+			visit(pos, row, deltas)
+		})
+		rn.stats.PostingsRead += read
+		rn.stats.IndexLevels++
+		for p, d := range deltas {
+			counted[p].marginal += d
+		}
+		return
+	}
+	nw := rn.workers()
+	perWorker := make([][]float64, nw)
+	for g := range perWorker {
+		perWorker[g] = make([]float64, len(counted))
+	}
+	rn.parallelRows(n, func(lo, hi, g int) {
+		deltas := perWorker[g]
+		for i := lo; i < hi; i++ {
+			pi := rn.v.ParentRow(i)
+			if !rn.coversFreeParent(best.r, pi) {
+				continue
+			}
+			visit(i, pi, deltas)
+		}
+	})
+	rn.stats.Passes++
+	rn.stats.RowsScanned += int64(n)
+	for g := 0; g < nw; g++ {
+		for p, d := range perWorker[g] {
+			counted[p].marginal += d
+		}
+	}
+}
+
+// rebuildTopW recomputes topW from the selected set with one pass — the
+// textbook per-step pass, kept for the DisableReuse reference path.
+func (rn *runner) rebuildTopW() {
+	if len(rn.selected) == 0 {
+		rn.topW = nil
+		return
+	}
+	n := rn.v.NumRows()
+	rn.topW = make([]float64, n)
+	topW := rn.topW
+	rn.parallelRows(n, func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			pi := rn.v.ParentRow(i)
+			for _, s := range rn.selected {
+				if s.w > topW[i] && rn.coversFreeParent(s.r, pi) {
+					topW[i] = s.w
+				}
+			}
+		}
+	})
+	rn.stats.Passes++
+	rn.stats.RowsScanned += int64(n)
 }
 
 // freeColumns lists columns not instantiated by the base rule.
@@ -310,55 +569,63 @@ func (rn *runner) freeColumns() []int {
 	return cols
 }
 
-// countLevelOne counts, in a single pass, every rule extending the base by
-// one (column, value) pair and returns the candidates. Column-major layout
-// lets us accumulate per (column, value-id) without hashing.
-func (rn *runner) countLevelOne(freeCols []int, topW []float64, counted map[string]*cand) []*cand {
-	v := rn.v
-	n := v.NumRows()
+// levelOneAcc is one free column's level-1 accumulator skeleton.
+type levelOneAcc struct {
+	col    int
+	weight float64
+	cnt    []float64
+	mv     []float64
+}
 
-	type colAcc struct {
-		col    int
-		weight float64
-		cnt    []float64
-		mv     []float64
-	}
-	accs := make([]colAcc, 0, len(freeCols))
-	baseMask := rn.base.Mask()
-	for _, c := range freeCols {
-		m := baseMask
+// countLevelOne counts every rule extending the base by one (column,
+// value) pair — by posting-list lengths when the view is the whole table
+// under Count (zero row reads), otherwise in a single column-major pass —
+// and registers the candidates in the store. Runs once per run unless
+// reuse is disabled.
+func (rn *runner) countLevelOne() []*cand {
+	v := rn.v
+	accs := make([]levelOneAcc, 0, len(rn.freeCols))
+	for _, c := range rn.freeCols {
+		m := rn.baseMask
 		m.Set(c)
 		wgt := rn.w.Weight(m)
 		if wgt > rn.mw {
 			continue // weight cap: super-rules only get heavier (monotone)
 		}
-		accs = append(accs, colAcc{
-			col:    c,
-			weight: wgt,
-			cnt:    make([]float64, v.DistinctCount(c)),
-			mv:     make([]float64, v.DistinctCount(c)),
-		})
+		accs = append(accs, levelOneAcc{col: c, weight: wgt})
 	}
 	if len(accs) == 0 {
 		return nil
 	}
+	virgin := len(rn.selected) == 0 // topW ≡ 0: marginal is weight·count
+
+	if virgin && rn.countAgg && rn.fullTable && rn.levelOneColumnsBuilt(accs) {
+		return rn.levelOneFromPostings(accs)
+	}
+
+	for a := range accs {
+		accs[a].cnt = make([]float64, v.DistinctCount(accs[a].col))
+		if !virgin {
+			accs[a].mv = make([]float64, v.DistinctCount(accs[a].col))
+		}
+	}
+	n := v.NumRows()
 	// One accumulator set per worker; merged after the pass.
 	nw := rn.workers()
-	perWorker := make([][]colAcc, nw)
+	perWorker := make([][]levelOneAcc, nw)
 	perWorker[0] = accs
 	for g := 1; g < nw; g++ {
-		cp := make([]colAcc, len(accs))
+		cp := make([]levelOneAcc, len(accs))
 		for a, acc := range accs {
-			cp[a] = colAcc{
-				col:    acc.col,
-				weight: acc.weight,
-				cnt:    make([]float64, len(acc.cnt)),
-				mv:     make([]float64, len(acc.mv)),
+			cp[a] = levelOneAcc{col: acc.col, weight: acc.weight, cnt: make([]float64, len(acc.cnt))}
+			if !virgin {
+				cp[a].mv = make([]float64, len(acc.mv))
 			}
 		}
 		perWorker[g] = cp
 	}
 	parent := rn.parent
+	topW := rn.topW
 	rn.parallelRows(n, func(lo, hi, g int) {
 		mine := perWorker[g]
 		for i := lo; i < hi; i++ {
@@ -366,6 +633,13 @@ func (rn *runner) countLevelOne(freeCols []int, topW []float64, counted map[stri
 			// parent row is resolved once per row for all accumulators.
 			pi := v.ParentRow(i)
 			mass := rn.agg.Mass(parent, pi)
+			if virgin {
+				for a := range mine {
+					acc := &mine[a]
+					acc.cnt[parent.Value(acc.col, pi)] += mass
+				}
+				continue
+			}
 			tw := topW[i]
 			for a := range mine {
 				acc := &mine[a]
@@ -381,7 +655,9 @@ func (rn *runner) countLevelOne(freeCols []int, topW []float64, counted map[stri
 		for a := range accs {
 			for v := range accs[a].cnt {
 				accs[a].cnt[v] += perWorker[g][a].cnt[v]
-				accs[a].mv[v] += perWorker[g][a].mv[v]
+				if !virgin {
+					accs[a].mv[v] += perWorker[g][a].mv[v]
+				}
 			}
 		}
 	}
@@ -395,20 +671,34 @@ func (rn *runner) countLevelOne(freeCols []int, topW []float64, counted map[stri
 			if acc.cnt[val] == 0 {
 				continue
 			}
-			r := rn.base.With(acc.col, rule.Value(val))
-			c := &cand{
-				r:        r,
-				key:      r.Key(),
-				weight:   acc.weight,
-				count:    acc.cnt[val],
-				marginal: acc.mv[val],
+			mv := acc.weight * acc.cnt[val]
+			if !virgin {
+				mv = acc.mv[val]
 			}
-			counted[c.key] = c
-			rn.stats.CandidatesCounted++
-			out = append(out, c)
+			out = append(out, rn.addLevelOne(acc, rule.Value(val), acc.cnt[val], mv))
 		}
 	}
 	return out
+}
+
+// addLevelOne materializes and registers one level-1 candidate.
+func (rn *runner) addLevelOne(acc *levelOneAcc, val rule.Value, count, marginal float64) *cand {
+	var pk rule.PackedKey
+	pk, _ = pk.Extend(acc.col, val) // one value always packs
+	m := rn.baseMask
+	m.Set(acc.col)
+	c := &cand{
+		r:        rn.base.With(acc.col, val),
+		pk:       pk,
+		packed:   true,
+		mask:     m,
+		weight:   acc.weight,
+		count:    count,
+		marginal: marginal,
+	}
+	rn.store.packed[pk] = c
+	rn.markCounted(c)
+	return c
 }
 
 // candIndex buckets candidate rules by the value they require in one
@@ -429,8 +719,8 @@ func (rn *runner) buildCandIndex(cands []*cand) candIndex {
 	slot := make(map[int]int) // column → position in idx.cols
 	for pos, c := range cands {
 		anchor := -1
-		for col, v := range c.r {
-			if v != rule.Star && rn.base[col] == rule.Star {
+		for _, col := range rn.freeCols {
+			if c.r[col] != rule.Star {
 				anchor = col
 				break
 			}
@@ -451,28 +741,70 @@ func (rn *runner) buildCandIndex(cands []*cand) candIndex {
 	return idx
 }
 
-// generateCandidates builds the next level: every one-column extension of a
-// previous-level candidate with a value that co-occurs in the data. Scanning
-// the table (rather than crossing dictionaries) guarantees every candidate
-// has nonzero support, the a-priori property.
+// generateCandidates builds the next level: every one-column extension of
+// a previous-level candidate with a value that co-occurs in the data.
+// Extension sets are step-invariant (they depend only on the view's rows),
+// so each parent's supported children are discovered once (expandParents)
+// and merged from the cache on later steps — a greedy step only pays a
+// generation pass for parents it is the first to reach.
+func (rn *runner) generateCandidates(prev []*cand) []*cand {
+	fresh := prev[:0:0]
+	for _, c := range prev {
+		if !c.expanded {
+			fresh = append(fresh, c)
+		}
+	}
+	if len(fresh) > 0 {
+		rn.expandParents(fresh)
+	}
+	// Merge the parents' child lists, deduplicating shared children (one
+	// rule reachable through several parents) by epoch marker.
+	rn.gen++
+	var next []*cand
+	for _, p := range prev {
+		for _, ch := range p.children {
+			if ch.lastGen == rn.gen {
+				continue
+			}
+			ch.lastGen = rn.gen
+			next = append(next, ch)
+			if len(next) >= rn.maxCand {
+				rn.stats.CandidateCapHit = true
+				sortCands(next)
+				return next
+			}
+		}
+	}
+	sortCands(next)
+	return next
+}
+
+// sortCands orders candidates deterministically (packed-key order, which
+// equals Rule.Key() order) so ties in marginal value resolve stably.
+func sortCands(cands []*cand) {
+	sort.Slice(cands, func(i, j int) bool { return candLess(cands[i], cands[j]) })
+}
+
+// expandParents discovers, in one pass, every supported one-column
+// extension of the given parents and caches them as the parents' children,
+// registering new candidates (uncounted) in the store.
 //
-// The pass is allocation-free: phase 1 marks, per (parent, star column),
+// The pass is allocation-light: phase 1 marks, per (parent, star column),
 // the distinct extension values seen among covered rows in boolean arrays;
-// phase 2 materializes and deduplicates each distinct extension exactly
-// once. (A naive per-row rule construction spends most of its time hashing
-// rule keys.)
-func (rn *runner) generateCandidates(prev []*cand, counted map[string]*cand) []*cand {
+// phase 2 materializes each distinct extension once, and only touches the
+// rule/key machinery for candidates the store has never seen.
+func (rn *runner) expandParents(parents []*cand) {
 	v := rn.v
 	n := v.NumRows()
-	idx := rn.buildCandIndex(prev)
+	idx := rn.buildCandIndex(parents)
 
 	// Phase 1: seen[p][si][val] marks that parent p extends with value val
 	// in its si-th star column.
-	starCols := make([][]int, len(prev))
-	seen := make([][][]bool, len(prev))
-	for p, c := range prev {
-		for col, val := range c.r {
-			if val == rule.Star {
+	starCols := make([][]int, len(parents))
+	seen := make([][][]bool, len(parents))
+	for p, c := range parents {
+		for _, col := range rn.freeCols {
+			if c.r[col] == rule.Star {
 				starCols[p] = append(starCols[p], col)
 				seen[p] = append(seen[p], make([]bool, v.DistinctCount(col)))
 			}
@@ -509,7 +841,7 @@ func (rn *runner) generateCandidates(prev []*cand, counted map[string]*cand) []*
 			pi := v.ParentRow(i)
 			for ci, col := range idx.cols {
 				for _, p := range idx.byVal[ci][parent.Value(col, pi)] {
-					if !rn.coversFreeParent(prev[p].r, pi) {
+					if !rn.coversFreeParent(parents[p].r, pi) {
 						continue
 					}
 					for si, sc := range starCols[p] {
@@ -538,46 +870,68 @@ func (rn *runner) generateCandidates(prev []*cand, counted map[string]*cand) []*
 	rn.stats.Passes++
 	rn.stats.RowsScanned += int64(n)
 
-	// Phase 2: materialize each distinct extension once.
-	dedup := make(map[string]*cand)
-	for p, c := range prev {
+	// Phase 2: materialize each distinct extension once; candidates the
+	// store already holds are linked, not rebuilt.
+	created := 0
+	for p, c := range parents {
 		for si, sc := range starCols[p] {
 			for val, ok := range seen[p][si] {
 				if !ok {
 					continue
 				}
-				ext := c.r.With(sc, rule.Value(val))
-				key := ext.Key()
-				if _, dup := dedup[key]; dup {
-					continue
+				child := rn.childOf(c, sc, rule.Value(val), &created)
+				if child != nil {
+					c.children = append(c.children, child)
 				}
-				if _, already := counted[key]; already {
-					continue
-				}
-				wgt := rn.w.Weight(ext.Mask())
-				if wgt > rn.mw {
-					continue
-				}
-				dedup[key] = &cand{r: ext, key: key, weight: wgt}
-				if len(dedup) >= rn.maxCand {
+				if created >= rn.maxCand {
+					// Abort without marking this parent expanded: a later
+					// step (with a smaller active candidate set) must be
+					// able to finish the enumeration. Re-expansion appends
+					// the already-linked children again, which the merge's
+					// epoch dedup absorbs.
 					rn.stats.CandidateCapHit = true
-					return sortedCands(dedup)
+					return
 				}
 			}
 		}
+		c.expanded = true
 	}
-	return sortedCands(dedup)
 }
 
-// sortedCands returns the deduplicated candidates in deterministic (key)
-// order so ties in marginal value resolve stably.
-func sortedCands(dedup map[string]*cand) []*cand {
-	out := make([]*cand, 0, len(dedup))
-	for _, c := range dedup {
-		out = append(out, c)
+// childOf resolves the extension of parent by (col, val) to its shared
+// cand — from the store when another parent (or an earlier step) already
+// materialized it, freshly registered otherwise. Overweight extensions
+// yield nil without touching the rule machinery; created counts new
+// registrations for the per-level cap.
+func (rn *runner) childOf(parent *cand, col int, val rule.Value, created *int) *cand {
+	m := parent.mask
+	m.Set(col)
+	wgt := rn.w.Weight(m)
+	if wgt > rn.mw {
+		return nil
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
-	return out
+	if parent.packed {
+		if pk, ok := parent.pk.Extend(col, val); ok {
+			if c := rn.store.byPK(pk); c != nil {
+				return c
+			}
+			c := &cand{r: parent.r.With(col, val), pk: pk, packed: true, mask: m, weight: wgt}
+			rn.store.packed[pk] = c
+			*created++
+			return c
+		}
+	}
+	// Overflow: the extension needs more than rule.MaxPackedValues free
+	// values; identity falls back to the string key.
+	ext := parent.r.With(col, val)
+	key := ext.Key()
+	if c := rn.store.over[key]; c != nil {
+		return c
+	}
+	c := &cand{r: ext, skey: key, mask: m, weight: wgt}
+	rn.store.addOver(key, c)
+	*created++
+	return c
 }
 
 // upperBound computes M from Algorithm 2 step 3.3.2: the tightest bound
@@ -585,26 +939,61 @@ func sortedCands(dedup map[string]*cand) []*cand {
 // candidate's immediate sub-rules. Any counted sub-rule bounds all its
 // super-rules' marginal values, because each tuple a super-rule covers is
 // covered by R' and can contribute at most mw − (mass already claimed).
-func (rn *runner) upperBound(c *cand, counted map[string]*cand) float64 {
+// Sub-rule keys derive from the packed key directly — no rule or string
+// materialization. Only free columns are dropped: sub-rules starring a
+// base column are never counted, so probing them cannot tighten the bound.
+func (rn *runner) upperBound(c *cand) float64 {
 	bound := math.Inf(1)
-	for _, sub := range c.r.ImmediateSubRules() {
-		if sc, ok := counted[sub.Key()]; ok {
-			b := sc.marginal + sc.count*(rn.mw-sc.weight)
-			if b < bound {
-				bound = b
+	consider := func(sc *cand) {
+		if sc == nil || !sc.counted {
+			return
+		}
+		if b := sc.marginal + sc.count*(rn.mw-sc.weight); b < bound {
+			bound = b
+		}
+	}
+	if c.packed {
+		for _, col := range rn.freeCols {
+			if !c.pk.Has(col) {
+				continue
 			}
+			sub, _ := c.pk.Drop(col)
+			consider(rn.store.byPK(sub))
+		}
+		return bound
+	}
+	for _, col := range rn.freeCols {
+		if c.r[col] == rule.Star {
+			continue
+		}
+		sub := c.r.Without(col)
+		if pk, ok := sub.PackKey(rn.baseMask); ok {
+			consider(rn.store.byPK(pk))
+		} else {
+			consider(rn.store.over[sub.Key()])
 		}
 	}
 	return bound
 }
 
-// countCandidates measures count and marginal value for each candidate in a
-// single pass, visiting only the candidates whose anchor value matches each
-// row (see candIndex).
-func (rn *runner) countCandidates(cands []*cand, topW []float64) {
+// countCandidates measures count and marginal value for each candidate,
+// routing to posting intersections or a row scan per the cost model.
+func (rn *runner) countCandidates(cands []*cand) {
+	if rn.planPostings(cands) {
+		rn.countCandidatesPostings(cands)
+		return
+	}
+	rn.countCandidatesScan(cands)
+}
+
+// countCandidatesScan is the scan kernel: one pass over the view, visiting
+// only the candidates whose anchor value matches each row (see candIndex).
+func (rn *runner) countCandidatesScan(cands []*cand) {
 	v := rn.v
 	n := v.NumRows()
 	idx := rn.buildCandIndex(cands)
+	virgin := len(rn.selected) == 0
+	topW := rn.topW
 	// Per-worker accumulators indexed by candidate position, merged after
 	// the pass.
 	nw := rn.workers()
@@ -612,11 +1001,17 @@ func (rn *runner) countCandidates(cands []*cand, topW []float64) {
 	mv := make([][]float64, nw)
 	for g := 0; g < nw; g++ {
 		cnt[g] = make([]float64, len(cands))
-		mv[g] = make([]float64, len(cands))
+		if !virgin {
+			mv[g] = make([]float64, len(cands))
+		}
 	}
 	parent := rn.parent
 	rn.parallelRows(n, func(lo, hi, g int) {
-		myCnt, myMV := cnt[g], mv[g]
+		myCnt := cnt[g]
+		var myMV []float64
+		if !virgin {
+			myMV = mv[g]
+		}
 		for i := lo; i < hi; i++ {
 			pi := v.ParentRow(i)
 			var mass float64
@@ -632,7 +1027,7 @@ func (rn *runner) countCandidates(cands []*cand, topW []float64) {
 						massSet = true
 					}
 					myCnt[pos] += mass
-					if c.weight > topW[i] {
+					if !virgin && c.weight > topW[i] {
 						myMV[pos] += (c.weight - topW[i]) * mass
 					}
 				}
@@ -642,9 +1037,23 @@ func (rn *runner) countCandidates(cands []*cand, topW []float64) {
 	for g := 0; g < nw; g++ {
 		for pos, c := range cands {
 			c.count += cnt[g][pos]
-			c.marginal += mv[g][pos]
+			if !virgin {
+				c.marginal += mv[g][pos]
+			}
+		}
+	}
+	if virgin {
+		for _, c := range cands {
+			c.marginal = c.weight * c.count
 		}
 	}
 	rn.stats.Passes++
 	rn.stats.RowsScanned += int64(n)
+}
+
+func max0(x float64) float64 {
+	if x > 0 {
+		return x
+	}
+	return 0
 }

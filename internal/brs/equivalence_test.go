@@ -1,0 +1,247 @@
+package brs
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"smartdrill/internal/rule"
+	"smartdrill/internal/score"
+	"smartdrill/internal/table"
+	"smartdrill/internal/weight"
+)
+
+// The fast path — packed candidate keys, cross-step count reuse, and
+// postings-driven counting — must be a pure access-path change: results
+// bit-identical under the Count aggregate to the reference configuration
+// (DisableReuse + DisableIndex, the textbook per-step algorithm), at any
+// worker count. CI runs this file under -race, so the shared lazy index
+// build is exercised concurrently with parallel passes.
+
+func sameResults(t *testing.T, label string, got, want []Result) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d rules, want %d\ngot %v\nwant %v", label, len(got), len(want), got, want)
+	}
+	for i := range want {
+		if !got[i].Rule.Equal(want[i].Rule) {
+			t.Fatalf("%s: rule %d = %v, want %v", label, i, got[i].Rule, want[i].Rule)
+		}
+		if got[i].Weight != want[i].Weight || got[i].Count != want[i].Count || got[i].MCount != want[i].MCount {
+			t.Fatalf("%s: rule %v stats (%v,%v,%v) != (%v,%v,%v)", label, got[i].Rule,
+				got[i].Weight, got[i].Count, got[i].MCount,
+				want[i].Weight, want[i].Count, want[i].MCount)
+		}
+	}
+}
+
+// TestFastPathMatchesReference fuzzes the three optimizations (separately
+// and combined) against the reference path on random tables: full-table
+// views with warmed posting lists, index-filtered base views, and
+// self-restricting runs, serial and parallel.
+func TestFastPathMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	var sawReuse, sawIndex bool
+	for trial := 0; trial < 25; trial++ {
+		cols := 3 + rng.Intn(3)
+		tab := randomTable(rng, cols, 2+rng.Intn(4), 100+rng.Intn(400))
+		tab.Index().Warm() // make the postings path eligible everywhere
+		var w weight.Weighter = weight.NewSize(cols)
+		if trial%2 == 1 {
+			w = weight.BitsFor(tab)
+		}
+		mw := w.MaxWeight(3)
+		ref := Options{K: 4, MaxWeight: mw, DisableReuse: true, DisableIndex: true}
+
+		configs := []struct {
+			name string
+			opts Options
+		}{
+			{"reuse-only", Options{K: 4, MaxWeight: mw, DisableIndex: true}},
+			{"index-only", Options{K: 4, MaxWeight: mw, DisableReuse: true}},
+			{"fast", Options{K: 4, MaxWeight: mw}},
+			{"fast-nopruning", Options{K: 4, MaxWeight: mw, DisablePruning: true}},
+		}
+		for _, workers := range []int{0, 4} {
+			refOpts := ref
+			refOpts.Workers = workers
+			want, _, err := Run(tab.All(), w, refOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, cfg := range configs {
+				opts := cfg.opts
+				opts.Workers = workers
+				got, stats, err := Run(tab.All(), w, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameResults(t, fmt.Sprintf("trial %d %s workers=%d", trial, cfg.name, workers), got, want)
+				if !opts.DisableReuse && len(got) > 1 && stats.CandidatesReused > 0 {
+					sawReuse = true
+				}
+				if !opts.DisableIndex && stats.IndexLevels > 0 {
+					sawIndex = true
+				}
+			}
+
+			// Base-restricted run over an index-backed ascending view.
+			base := rule.Trivial(cols).With(rng.Intn(cols), rule.Value(rng.Intn(2)))
+			bOpts := ref
+			bOpts.Workers, bOpts.Base, bOpts.BaseCovered = workers, base, true
+			bView := tab.ViewOf(tab.FilterIndices(base))
+			want, _, err = Run(bView, w, bOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fOpts := Options{K: 4, MaxWeight: mw, Workers: workers, Base: base, BaseCovered: true}
+			got, _, err := Run(bView, w, fOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameResults(t, fmt.Sprintf("trial %d base workers=%d", trial, workers), got, want)
+
+			// Self-restricting full view (BaseCovered false).
+			sOpts := fOpts
+			sOpts.BaseCovered = false
+			got, _, err = Run(tab.All(), w, sOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameResults(t, fmt.Sprintf("trial %d self-restrict workers=%d", trial, workers), got, want)
+		}
+	}
+	if !sawReuse {
+		t.Error("no trial exercised cross-step reuse (CandidatesReused == 0 everywhere)")
+	}
+	if !sawIndex {
+		t.Error("no trial exercised postings-driven counting (IndexLevels == 0 everywhere)")
+	}
+}
+
+// TestCrossStepReuseObservable pins the headline reuse claim: on a
+// multi-step run, later steps serve level-1 candidates from the cache
+// (CandidatesReused > 0) and counting work drops versus the reference.
+func TestCrossStepReuseObservable(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	tab := randomTable(rng, 5, 4, 600)
+	w := weight.NewSize(5)
+	fast, fs, err := Run(tab.All(), w, Options{K: 4, MaxWeight: 4, DisableIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, rs, err := Run(tab.All(), w, Options{K: 4, MaxWeight: 4, DisableReuse: true, DisableIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResults(t, "reuse vs reference", fast, ref)
+	if len(fast) < 2 {
+		t.Fatalf("expected a multi-step selection, got %d rules", len(fast))
+	}
+	if fs.CandidatesReused == 0 {
+		t.Fatalf("CandidatesReused = 0 on a %d-step run: %+v", len(fast), fs)
+	}
+	if fs.CandidatesCounted >= rs.CandidatesCounted {
+		t.Fatalf("reuse did not reduce counting: fast counted %d, reference %d",
+			fs.CandidatesCounted, rs.CandidatesCounted)
+	}
+	if fs.Passes >= rs.Passes {
+		t.Fatalf("reuse did not reduce passes: fast %d, reference %d", fs.Passes, rs.Passes)
+	}
+}
+
+// TestLevelOnePostingsPath pins the zero-row-read level 1: on a warmed
+// full-table Count run, the first level is answered from posting lengths
+// (IndexLevels > 0) and results still match the scan reference.
+func TestLevelOnePostingsPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	tab := randomTable(rng, 4, 3, 500)
+	tab.Index().Warm()
+	w := weight.NewSize(4)
+	got, stats, err := Run(tab.All(), w, Options{K: 3, MaxWeight: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.IndexLevels == 0 {
+		t.Fatalf("warmed full-table run never used postings: %+v", stats)
+	}
+	want, _, err := Run(tab.All(), w, Options{K: 3, MaxWeight: 4, DisableReuse: true, DisableIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResults(t, "level-1 postings vs reference", got, want)
+
+	// Cold index: the planner must not build columns itself; the run still
+	// succeeds by scanning and reads no postings.
+	cold := randomTable(rng, 4, 3, 500)
+	_, cs, err := Run(cold.All(), w, Options{K: 3, MaxWeight: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.PostingsRead != 0 || cs.IndexLevels != 0 {
+		t.Fatalf("cold run paid index builds: %+v", cs)
+	}
+	for c := 0; c < cold.NumCols(); c++ {
+		if cold.Index().ColumnBuilt(c) {
+			t.Fatalf("cold run built column %d's posting lists", c)
+		}
+	}
+}
+
+// TestSumAggregateSerialEquivalence: under Sum the kernels accumulate
+// per-candidate masses in ascending row order on both access paths, so
+// serial fast results are bit-identical to the serial reference even with
+// fractional masses.
+func TestSumAggregateSerialEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	for trial := 0; trial < 10; trial++ {
+		cols := 3
+		names := []string{"A", "B", "C"}
+		b := table.MustBuilder(names, []string{"M"})
+		row := make([]string, cols)
+		n := 200 + rng.Intn(200)
+		for i := 0; i < n; i++ {
+			for c := range row {
+				row[c] = string(rune('a' + rng.Intn(3)))
+			}
+			b.MustAddRow(row, rng.Float64()*10)
+		}
+		tab := b.Build()
+		tab.Index().Warm()
+		w := weight.NewSize(cols)
+		agg := score.SumAgg{Measure: 0}
+		want, _, err := Run(tab.All(), w, Options{K: 3, MaxWeight: 3, Agg: agg, DisableReuse: true, DisableIndex: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := Run(tab.All(), w, Options{K: 3, MaxWeight: 3, Agg: agg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResults(t, fmt.Sprintf("sum trial %d", trial), got, want)
+	}
+}
+
+// TestIncrementalFastMatchesReference streams with reuse on and compares
+// to the reference stream, rule for rule.
+func TestIncrementalFastMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 10; trial++ {
+		tab := randomTable(rng, 4, 3, 300)
+		tab.Index().Warm()
+		w := weight.NewSize(4)
+		collect := func(opts Options) []Result {
+			var out []Result
+			_, err := RunIncremental(tab.All(), w, opts, 4, time.Time{},
+				func(r Result) bool { out = append(out, r); return true })
+			if err != nil {
+				t.Fatal(err)
+			}
+			return out
+		}
+		want := collect(Options{MaxWeight: 4, DisableReuse: true, DisableIndex: true})
+		got := collect(Options{MaxWeight: 4})
+		sameResults(t, fmt.Sprintf("incremental trial %d", trial), got, want)
+	}
+}

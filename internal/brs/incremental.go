@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"time"
 
-	"smartdrill/internal/rule"
 	"smartdrill/internal/table"
 	"smartdrill/internal/weight"
 )
@@ -33,27 +32,27 @@ func RunIncremental(v *table.View, w weight.Weighter, opts Options, maxRules int
 	if err != nil {
 		return Stats{}, err
 	}
-	var selected []rule.Rule
 	firstGain := 0.0
 	for step := 0; maxRules <= 0 || step < maxRules; step++ {
 		if !deadline.IsZero() && !time.Now().Before(deadline) {
 			break
 		}
-		best := run.findBestMarginal(selected)
+		best := run.findBestMarginal()
 		if best == nil || best.marginal <= 0 {
 			break
 		}
+		gain := best.marginal // applySelection re-derives cached marginals
 		if step == 0 {
-			firstGain = best.marginal
-		} else if opts.MinGainRatio > 0 && best.marginal < opts.MinGainRatio*firstGain {
+			firstGain = gain
+		} else if opts.MinGainRatio > 0 && gain < opts.MinGainRatio*firstGain {
 			break // diminishing returns: stop flooding the display
 		}
-		selected = append(selected, best.r)
+		run.applySelection(best)
 		ok := yield(Result{
 			Rule:   best.r,
-			Weight: weight.WeightRule(w, best.r),
+			Weight: best.weight,
 			Count:  best.count,
-			MCount: best.marginal / weightOrOne(weight.WeightRule(w, best.r)),
+			MCount: gain / weightOrOne(best.weight),
 		})
 		if !ok {
 			break

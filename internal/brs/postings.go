@@ -1,0 +1,162 @@
+package brs
+
+import "smartdrill/internal/rule"
+
+// Postings-driven counting. A candidate's coverage within the view is the
+// intersection of the view's row set with the posting lists of the
+// candidate's instantiated free columns, so counting can be answered by
+// galloping merge walks (table.View.EachInAll) instead of scanning every
+// view row — and a level-1 count on the full table under Count is just a
+// posting-list length, read without touching a single row.
+//
+// A cost model decides per counting step which access path runs. Scan cost
+// is one visit per view row; postings cost per candidate is roughly
+// (number of lists) × (shortest list length), the work the galloping
+// intersection is bounded by. The planner only routes to columns whose
+// posting lists are already built (table.Index.ColumnBuilt): a build is a
+// full pass, and silently charging it to one counting step would make the
+// "cheap" path the expensive one. Warm indexes (the server warms every
+// dataset at registration) make the decision purely about read volume.
+//
+// The walk visits rows ascending — the order a scan visits them — so
+// accumulated masses are bit-identical to the scan kernel's.
+
+// postingsCostSlack is the fixed per-candidate overhead charged by the
+// cost model (list setup, gallop restarts).
+const postingsCostSlack = 16
+
+// estCandCost estimates the posting-entry work of intersecting c's lists,
+// or ok=false when some needed column has no built posting lists.
+func (rn *runner) estCandCost(c *cand) (cost int64, ok bool) {
+	lists := 0
+	shortest := int(^uint(0) >> 1)
+	for _, col := range rn.freeCols {
+		if c.r[col] == rule.Star {
+			continue
+		}
+		if !rn.ix.ColumnBuilt(col) {
+			return 0, false
+		}
+		l := rn.ix.PostingsLen(col, c.r[col])
+		lists++
+		if l < shortest {
+			shortest = l
+		}
+	}
+	if lists == 0 {
+		return 0, false
+	}
+	return int64(lists)*int64(shortest) + postingsCostSlack, true
+}
+
+// planPostings decides scan vs postings for counting cands: postings win
+// when their estimated total read volume undercuts one scan of the view.
+func (rn *runner) planPostings(cands []*cand) bool {
+	if rn.ix == nil || !rn.sorted || len(cands) == 0 {
+		return false
+	}
+	scanCost := int64(rn.v.NumRows())
+	var total int64
+	for _, c := range cands {
+		cost, ok := rn.estCandCost(c)
+		if !ok {
+			return false
+		}
+		total += cost
+		if total >= scanCost {
+			return false
+		}
+	}
+	return true
+}
+
+// planPostingsOne is planPostings for a single rule (the marginal-
+// maintenance walk over a selected rule's coverage).
+func (rn *runner) planPostingsOne(c *cand) bool {
+	if rn.ix == nil || !rn.sorted {
+		return false
+	}
+	cost, ok := rn.estCandCost(c)
+	return ok && cost < int64(rn.v.NumRows())
+}
+
+// candLists gathers the posting lists of c's instantiated free columns.
+func (rn *runner) candLists(c *cand) [][]int32 {
+	lists := make([][]int32, 0, len(rn.freeCols))
+	for _, col := range rn.freeCols {
+		if c.r[col] != rule.Star {
+			lists = append(lists, rn.ix.Postings(col, c.r[col]))
+		}
+	}
+	return lists
+}
+
+// countCandidatesPostings is the postings kernel: each candidate's count
+// and marginal accumulate over its intersection walk, candidates fanned
+// out across workers. Per-candidate accumulation is self-contained, so
+// results are bit-identical at any worker count.
+func (rn *runner) countCandidatesPostings(cands []*cand) {
+	virgin := len(rn.selected) == 0
+	topW := rn.topW
+	parent := rn.parent
+	reads := make([]int64, rn.workers())
+	rn.parallelRows(len(cands), func(lo, hi, g int) {
+		for i := lo; i < hi; i++ {
+			c := cands[i]
+			reads[g] += rn.v.EachInAll(rn.candLists(c), func(pos, row int) {
+				mass := rn.agg.Mass(parent, row)
+				c.count += mass
+				if !virgin {
+					if tw := topW[pos]; c.weight > tw {
+						c.marginal += (c.weight - tw) * mass
+					}
+				}
+			})
+			if virgin {
+				c.marginal = c.weight * c.count
+			}
+		}
+	})
+	for _, r := range reads {
+		rn.stats.PostingsRead += r
+	}
+	rn.stats.IndexLevels++
+}
+
+// levelOneColumnsBuilt reports whether every level-1 column already has
+// posting lists, the precondition for the length-only level-1 path.
+func (rn *runner) levelOneColumnsBuilt(accs []levelOneAcc) bool {
+	if rn.ix == nil {
+		return false
+	}
+	for a := range accs {
+		if !rn.ix.ColumnBuilt(accs[a].col) {
+			return false
+		}
+	}
+	return true
+}
+
+// levelOneFromPostings answers level 1 on a full-table view under Count
+// from posting-list lengths: Count(base+(c,v)) over the whole table is
+// len(postings(c,v)), and with nothing selected the marginal is
+// weight·count. Zero rows are read. Candidate order (column, then value
+// ascending) matches the scan path's, so downstream tie-breaks are
+// unchanged.
+func (rn *runner) levelOneFromPostings(accs []levelOneAcc) []*cand {
+	var out []*cand
+	for a := range accs {
+		acc := &accs[a]
+		dc := rn.v.DistinctCount(acc.col)
+		for val := 0; val < dc; val++ {
+			cnt := rn.ix.PostingsLen(acc.col, rule.Value(val))
+			if cnt == 0 {
+				continue
+			}
+			count := float64(cnt)
+			out = append(out, rn.addLevelOne(acc, rule.Value(val), count, acc.weight*count))
+		}
+	}
+	rn.stats.IndexLevels++
+	return out
+}

@@ -84,6 +84,11 @@ type Session struct {
 	LastMethod string
 	// LastStats holds the BRS statistics of the most recent expansion.
 	LastStats brs.Stats
+	// TotalStats accumulates BRS statistics across every expansion of the
+	// session — repeated drill-downs share the dataset's warmed posting
+	// lists, so TotalStats.CandidatesReused and .PostingsRead measure how
+	// much of a session's search work the caches absorbed.
+	TotalStats brs.Stats
 }
 
 // NewSession starts a session on t. The root node is the trivial rule with
@@ -190,7 +195,7 @@ func (s *Session) expand(n *Node, w weight.Weighter) error {
 	if err != nil {
 		return err
 	}
-	s.LastStats = stats
+	s.recordStats(stats)
 
 	n.Children = make([]*Node, 0, len(results))
 	for _, r := range results {
@@ -209,6 +214,15 @@ func (s *Session) expand(n *Node, w weight.Weighter) error {
 		s.prefetch()
 	}
 	return nil
+}
+
+// recordStats files one expansion's BRS statistics: the latest snapshot,
+// the session running totals, and the store's search-index accounting
+// (postings read by BRS counting are I/O the disk cost model must see).
+func (s *Session) recordStats(stats brs.Stats) {
+	s.LastStats = stats
+	s.TotalStats.Add(stats)
+	s.store.AccountSearchIndex(stats.PostingsRead)
 }
 
 // coveredView obtains the tuples covered by r as a zero-copy view: a

@@ -77,6 +77,6 @@ func (s *Session) expandStream(n *Node, w weight.Weighter, maxRules int, budget 
 	if err != nil {
 		return err
 	}
-	s.LastStats = stats
+	s.recordStats(stats)
 	return nil
 }

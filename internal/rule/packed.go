@@ -1,0 +1,143 @@
+package rule
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/bits"
+)
+
+// Packed candidate identity. BRS's inner loops dedup and look up candidate
+// rules millions of times per drill-down; identifying a candidate by a
+// heap-allocated Rule.Key() string makes every one of those operations an
+// allocation plus a string hash. PackedKey is the allocation-free
+// replacement: a fixed-size, comparable struct packing the candidate's
+// instantiated-column mask together with its instantiated value ids, usable
+// directly as a map key and ordered consistently with Rule.Key().
+//
+// Keys are always taken relative to a base mask (the columns a search's
+// base rule instantiates): base columns carry identical values on every
+// candidate of one search, so only the remaining "free" instantiated
+// columns need packing. Pack with the zero Mask to key a rule absolutely.
+
+// MaxPackedValues is the capacity of a PackedKey: the largest number of
+// free instantiated columns a packed rule may have. Deeper rules (beyond
+// any practical drill-down level) fall back to string keys at call sites.
+const MaxPackedValues = 16
+
+// PackedKey identifies a rule relative to a base mask: which free columns
+// it instantiates, and with which value ids (ascending column order).
+// PackedKey is comparable — two keys are == iff they identify the same
+// rule (relative to the same base) — and the zero PackedKey is the base
+// rule itself.
+type PackedKey struct {
+	mask Mask
+	vals [MaxPackedValues]Value
+}
+
+// PackKey packs the columns of r instantiated outside base. ok is false
+// when more than MaxPackedValues columns would need packing, in which case
+// the zero key is returned and the caller must fall back to Key().
+func (r Rule) PackKey(base Mask) (k PackedKey, ok bool) {
+	n := 0
+	for c, v := range r {
+		if v == Star || base.Has(c) {
+			continue
+		}
+		if n == MaxPackedValues {
+			return PackedKey{}, false
+		}
+		k.mask.Set(c)
+		k.vals[n] = v
+		n++
+	}
+	return k, true
+}
+
+// Size returns the number of packed (free instantiated) columns.
+func (k PackedKey) Size() int { return k.mask.Count() }
+
+// Has reports whether column c is packed in k.
+func (k PackedKey) Has(c int) bool { return k.mask.Has(c) }
+
+// Value returns the packed value of column c; it panics if c is not packed
+// (programmer error — guard with Has).
+func (k PackedKey) Value(c int) Value {
+	if !k.mask.Has(c) {
+		panic("rule: PackedKey.Value of unpacked column")
+	}
+	return k.vals[k.mask.CountBelow(c)]
+}
+
+// Extend returns k with column c packed at value v — the key of the
+// one-column super-rule — without materializing the rule. ok is false when
+// k is full or c is already packed.
+func (k PackedKey) Extend(c int, v Value) (PackedKey, bool) {
+	n := k.mask.Count()
+	if n == MaxPackedValues || k.mask.Has(c) {
+		return PackedKey{}, false
+	}
+	pos := k.mask.CountBelow(c)
+	copy(k.vals[pos+1:n+1], k.vals[pos:n])
+	k.vals[pos] = v
+	k.mask.Set(c)
+	return k, true
+}
+
+// Drop returns k with column c removed — the key of the immediate sub-rule
+// starring c out. ok is false when c is not packed.
+func (k PackedKey) Drop(c int) (PackedKey, bool) {
+	if !k.mask.Has(c) {
+		return PackedKey{}, false
+	}
+	n := k.mask.Count()
+	pos := k.mask.CountBelow(c)
+	copy(k.vals[pos:n-1], k.vals[pos+1:n])
+	k.vals[n-1] = 0 // keep unused slots zero so == stays meaningful
+	k.mask.Clear(c)
+	return k, true
+}
+
+// Compare orders packed keys identically to the byte order of the rules'
+// Key() encodings (the order BRS's deterministic tie-breaks are defined
+// in), for keys packed against the same base from rules of equal arity:
+// it walks the packed columns ascending and resolves the first column
+// where the keys disagree — a star on one side, or differing values — by
+// the varint byte order Key() would have produced.
+func (k PackedKey) Compare(o PackedKey) int {
+	ia, io := 0, 0
+	for w := range k.mask {
+		union := k.mask[w] | o.mask[w]
+		for union != 0 {
+			bit := uint64(1) << uint(bits.TrailingZeros64(union))
+			union &^= bit
+			va, vo := Star, Star
+			if k.mask[w]&bit != 0 {
+				va = k.vals[ia]
+				ia++
+			}
+			if o.mask[w]&bit != 0 {
+				vo = o.vals[io]
+				io++
+			}
+			if va != vo {
+				return compareValuesKeyOrder(va, vo)
+			}
+		}
+	}
+	return 0
+}
+
+// compareValuesKeyOrder compares two values in the byte order of their
+// varint encodings — the order in which they appear inside Rule.Key().
+// Zigzag varints are not numerically ordered (Star encodes between value 0
+// and value 1, and multi-byte encodings interleave), so this is the only
+// comparison that keeps packed ordering consistent with string keys.
+func compareValuesKeyOrder(a, b Value) int {
+	if a == b {
+		return 0
+	}
+	var ba, bb [binary.MaxVarintLen32]byte
+	na := binary.PutVarint(ba[:], int64(a))
+	nb := binary.PutVarint(bb[:], int64(b))
+	return bytes.Compare(ba[:na], bb[:nb])
+}

@@ -1,0 +1,202 @@
+package rule
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// randomRuleOver returns a random rule with the given arity: each column is
+// a star with probability ~1/2, otherwise a value in [0, maxVal). Values
+// beyond 63 exercise multi-byte varints in Key().
+func randomRuleOver(rng *rand.Rand, cols, maxVal int) Rule {
+	r := Trivial(cols)
+	for c := range r {
+		if rng.Intn(2) == 0 {
+			r[c] = Value(rng.Intn(maxVal))
+		}
+	}
+	return r
+}
+
+func sign(n int) int {
+	switch {
+	case n < 0:
+		return -1
+	case n > 0:
+		return 1
+	}
+	return 0
+}
+
+// TestPackedKeyRoundTrip is the property test for the packed candidate
+// key: over random rules up to MaxColumns wide, packing must round-trip
+// every instantiated (column, value) pair, equality of keys must coincide
+// with rule equality, and Compare must order keys exactly as the rules'
+// Key() strings order.
+func TestPackedKeyRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 2000; trial++ {
+		cols := 1 + rng.Intn(MaxColumns)
+		maxVal := 1 + rng.Intn(300) // crosses the 1-byte varint boundary
+		a := randomRuleOver(rng, cols, maxVal)
+		b := randomRuleOver(rng, cols, maxVal)
+		if rng.Intn(4) == 0 {
+			b = a.Clone() // force equal keys regularly
+		}
+
+		ka, oka := a.PackKey(Mask{})
+		kb, okb := b.PackKey(Mask{})
+		if oka != (a.Size() <= MaxPackedValues) {
+			t.Fatalf("PackKey ok=%v for rule of size %d", oka, a.Size())
+		}
+		if !oka || !okb {
+			continue // overflow rules fall back to string keys by contract
+		}
+
+		// Round trip: mask and per-column values survive packing.
+		if ka.Size() != a.Size() {
+			t.Fatalf("packed size %d != rule size %d", ka.Size(), a.Size())
+		}
+		for c, v := range a {
+			if ka.Has(c) != (v != Star) {
+				t.Fatalf("trial %d: packed Has(%d)=%v for value %d", trial, c, ka.Has(c), v)
+			}
+			if v != Star && ka.Value(c) != v {
+				t.Fatalf("trial %d: packed value[%d]=%d, want %d", trial, c, ka.Value(c), v)
+			}
+		}
+
+		// Equality of keys ⇔ equality of rules.
+		if (ka == kb) != a.Equal(b) {
+			t.Fatalf("trial %d: key equality %v but rule equality %v\na=%v\nb=%v",
+				trial, ka == kb, a.Equal(b), a, b)
+		}
+
+		// Ordering agrees with the Key() string order.
+		want := sign(strings.Compare(a.Key(), b.Key()))
+		if got := sign(ka.Compare(kb)); got != want {
+			t.Fatalf("trial %d: Compare=%d, Key() order %d\na=%v\nb=%v", trial, got, want, a, b)
+		}
+		if ka.Compare(kb) != -kb.Compare(ka) {
+			t.Fatalf("trial %d: Compare not antisymmetric", trial)
+		}
+	}
+}
+
+// TestPackedKeyRelativeToBase checks that packing against a base mask
+// ignores base columns and still orders like Key() among rules sharing
+// the base's values.
+func TestPackedKeyRelativeToBase(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 1000; trial++ {
+		cols := 2 + rng.Intn(30)
+		base := Trivial(cols)
+		for c := 0; c < cols; c++ {
+			if rng.Intn(4) == 0 {
+				base[c] = Value(rng.Intn(90))
+			}
+		}
+		bm := base.Mask()
+		extend := func() Rule {
+			r := base.Clone()
+			for c := range r {
+				if r[c] == Star && rng.Intn(2) == 0 {
+					r[c] = Value(rng.Intn(90))
+				}
+			}
+			return r
+		}
+		a, b := extend(), extend()
+		ka, oka := a.PackKey(bm)
+		kb, okb := b.PackKey(bm)
+		if !oka || !okb {
+			continue
+		}
+		if ka.Size() != a.Size()-base.Size() {
+			t.Fatalf("packed %d free values, want %d", ka.Size(), a.Size()-base.Size())
+		}
+		if (ka == kb) != a.Equal(b) {
+			t.Fatalf("trial %d: relative key equality %v, rule equality %v", trial, ka == kb, a.Equal(b))
+		}
+		want := sign(strings.Compare(a.Key(), b.Key()))
+		if got := sign(ka.Compare(kb)); got != want {
+			t.Fatalf("trial %d: relative Compare=%d, Key() order %d\nbase=%v\na=%v\nb=%v",
+				trial, got, want, base, a, b)
+		}
+	}
+}
+
+// TestPackedKeyExtendDrop checks the lattice moves used by BRS: Extend
+// must equal packing the extended rule, Drop must equal packing the
+// immediate sub-rule, and both must leave vacated slots zeroed so map
+// equality keeps working.
+func TestPackedKeyExtendDrop(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 1000; trial++ {
+		cols := 1 + rng.Intn(40)
+		r := randomRuleOver(rng, cols, 200)
+		for r.Size() > MaxPackedValues-1 {
+			r[r.InstantiatedColumns()[0]] = Star
+		}
+		k, _ := r.PackKey(Mask{})
+
+		// Extend at a random star column.
+		var stars []int
+		for c, v := range r {
+			if v == Star {
+				stars = append(stars, c)
+			}
+		}
+		if len(stars) > 0 {
+			c := stars[rng.Intn(len(stars))]
+			v := Value(rng.Intn(200))
+			ext, ok := k.Extend(c, v)
+			if !ok {
+				t.Fatalf("Extend failed with %d/%d slots", k.Size(), MaxPackedValues)
+			}
+			want, _ := r.With(c, v).PackKey(Mask{})
+			if ext != want {
+				t.Fatalf("trial %d: Extend(%d,%d) != PackKey of extended rule", trial, c, v)
+			}
+			if _, ok := ext.Extend(c, v); ok {
+				t.Fatal("Extend of an already-packed column must fail")
+			}
+		}
+
+		// Drop at a random instantiated column.
+		inst := r.InstantiatedColumns()
+		if len(inst) > 0 {
+			c := inst[rng.Intn(len(inst))]
+			sub, ok := k.Drop(c)
+			if !ok {
+				t.Fatalf("Drop(%d) failed", c)
+			}
+			want, _ := r.Without(c).PackKey(Mask{})
+			if sub != want {
+				t.Fatalf("trial %d: Drop(%d) != PackKey of sub-rule", trial, c)
+			}
+			if _, ok := sub.Drop(c); ok {
+				t.Fatal("Drop of an unpacked column must fail")
+			}
+		}
+	}
+}
+
+func TestPackedKeyCapacity(t *testing.T) {
+	r := Trivial(MaxColumns)
+	for c := 0; c < MaxPackedValues; c++ {
+		r[c] = Value(c)
+	}
+	k, ok := r.PackKey(Mask{})
+	if !ok {
+		t.Fatalf("rule with exactly %d values must pack", MaxPackedValues)
+	}
+	if _, ok := k.Extend(MaxPackedValues, 1); ok {
+		t.Fatal("Extend beyond capacity must fail")
+	}
+	r[MaxPackedValues] = 1
+	if _, ok := r.PackKey(Mask{}); ok {
+		t.Fatalf("rule with %d values must not pack", MaxPackedValues+1)
+	}
+}

@@ -62,17 +62,30 @@ func (s SumAgg) Name() string {
 
 // SortByWeightDesc orders rules in descending weight (stable, with rule key
 // as tiebreaker for determinism). Per Lemma 1 this ordering maximizes the
-// score of any fixed rule set.
+// score of any fixed rule set. Weights and tie-break keys are computed once
+// per rule, not on every comparison.
 func SortByWeightDesc(w weight.Weighter, rules []rule.Rule) []rule.Rule {
-	out := make([]rule.Rule, len(rules))
-	copy(out, rules)
-	sort.SliceStable(out, func(i, j int) bool {
-		wi, wj := weight.WeightRule(w, out[i]), weight.WeightRule(w, out[j])
-		if wi != wj {
-			return wi > wj
+	weights := make([]float64, len(rules))
+	keys := make([]string, len(rules))
+	for i, r := range rules {
+		weights[i] = weight.WeightRule(w, r)
+		keys[i] = r.Key()
+	}
+	order := make([]int, len(rules))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		i, j := order[a], order[b]
+		if weights[i] != weights[j] {
+			return weights[i] > weights[j]
 		}
-		return out[i].Key() < out[j].Key()
+		return keys[i] < keys[j]
 	})
+	out := make([]rule.Rule, len(rules))
+	for a, i := range order {
+		out[a] = rules[i]
+	}
 	return out
 }
 

@@ -167,10 +167,13 @@ type drillRequest struct {
 }
 
 // drillResponse returns the expanded (or collapsed) subtree plus the access
-// method BRS used to obtain tuples ("direct", "Find", "Combine", "Create").
+// method BRS used to obtain tuples ("direct", "Find", "Combine", "Create")
+// and, for expansions, the search statistics of the BRS run — clients can
+// watch candidate reuse and postings-vs-scan routing per request.
 type drillResponse struct {
-	Access string    `json:"access,omitempty"`
-	Node   *nodeJSON `json:"node"`
+	Access string                  `json:"access,omitempty"`
+	Search *smartdrill.SearchStats `json:"search,omitempty"`
+	Node   *nodeJSON               `json:"node"`
 }
 
 func (s *Server) handleDrill(w http.ResponseWriter, r *http.Request) {
@@ -202,8 +205,10 @@ func (s *Server) handleDrill(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	stats := sess.eng.LastSearchStats()
 	resp := drillResponse{
 		Access: sess.eng.LastAccessMethod(),
+		Search: &stats,
 		Node:   encodeNode(sess.eng, n, req.Path),
 	}
 	sess.mu.Unlock()

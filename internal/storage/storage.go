@@ -30,6 +30,11 @@ type Stats struct {
 	RowsRead      int64 // total rows delivered to scan callbacks
 	IndexLookups  int64 // rule filters answered from the inverted index
 	IndexRowsRead int64 // posting-list entries read by those lookups
+	// SearchIndexRead counts posting entries read by BRS's postings-driven
+	// candidate counting (reported via AccountSearchIndex), kept separate
+	// from rule-filter lookups so both access paths stay individually
+	// visible in pass-count experiments.
+	SearchIndexRead int64
 }
 
 // Store wraps the authoritative full table behind a scan interface with
@@ -41,11 +46,12 @@ type Store struct {
 	// emulate slow media. Tests leave it zero; demos may set it.
 	PerRowDelay time.Duration
 
-	mu            sync.Mutex
-	fullScans     int64
-	rowsRead      int64
-	indexLookups  int64
-	indexRowsRead int64
+	mu              sync.Mutex
+	fullScans       int64
+	rowsRead        int64
+	indexLookups    int64
+	indexRowsRead   int64
+	searchIndexRead int64
 }
 
 // NewStore wraps t.
@@ -100,15 +106,28 @@ func (s *Store) FilterRows(r rule.Rule) []int {
 	return rows
 }
 
+// AccountSearchIndex charges posting entries read by index-driven
+// candidate counting performed outside the store's own lookup path (BRS
+// reports its Stats.PostingsRead here after each search).
+func (s *Store) AccountSearchIndex(entries int64) {
+	if entries == 0 {
+		return
+	}
+	s.mu.Lock()
+	s.searchIndexRead += entries
+	s.mu.Unlock()
+}
+
 // Stats returns a snapshot of accumulated I/O counters.
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Stats{
-		FullScans:     s.fullScans,
-		RowsRead:      s.rowsRead,
-		IndexLookups:  s.indexLookups,
-		IndexRowsRead: s.indexRowsRead,
+		FullScans:       s.fullScans,
+		RowsRead:        s.rowsRead,
+		IndexLookups:    s.indexLookups,
+		IndexRowsRead:   s.indexRowsRead,
+		SearchIndexRead: s.searchIndexRead,
 	}
 }
 
@@ -117,6 +136,7 @@ func (s *Store) ResetStats() {
 	s.mu.Lock()
 	s.fullScans, s.rowsRead = 0, 0
 	s.indexLookups, s.indexRowsRead = 0, 0
+	s.searchIndexRead = 0
 	s.mu.Unlock()
 }
 

@@ -3,6 +3,7 @@ package table
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"smartdrill/internal/rule"
 )
@@ -23,6 +24,7 @@ type Index struct {
 
 type colPostings struct {
 	once  sync.Once
+	built atomic.Bool
 	lists [][]int32 // lists[v] = ascending rows with Value(c, row) == v
 }
 
@@ -54,8 +56,21 @@ func (ix *Index) buildCol(c int) {
 			lists[v] = append(lists[v], int32(i))
 		}
 		cp.lists = lists
+		cp.built.Store(true)
 	})
 }
+
+// ColumnBuilt reports whether column c's posting lists are already
+// materialized. Cost planners (BRS's scan-vs-postings decision) use it to
+// avoid charging a surprise build pass to a single counting step: the
+// planner only routes work to columns that are already paid for.
+func (ix *Index) ColumnBuilt(c int) bool { return ix.cols[c].built.Load() }
+
+// PostingsLen returns the number of rows holding value v in column c —
+// Count(base+(c,v)) on the full table — building the column's lists on
+// first use. Level-1 BRS counting under the Count aggregate reads only
+// these lengths, no posting entries.
+func (ix *Index) PostingsLen(c int, v rule.Value) int { return len(ix.Postings(c, v)) }
 
 // Postings returns the ascending row list for value v of column c, building
 // the column's lists on first use. The returned slice must not be modified.

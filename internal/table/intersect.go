@@ -1,0 +1,131 @@
+package table
+
+import "sort"
+
+// Posting intersection over views. BRS's postings-driven counting answers
+// "which of this view's rows does candidate R cover?" by intersecting the
+// posting lists of R's instantiated columns with the view's row set,
+// instead of scanning every view row. The walk below visits the common
+// rows in ascending order — the same order a scan visits them — so
+// aggregate accumulation is bit-identical between the two access paths.
+
+// Ascending reports whether the view's rows form a strictly increasing
+// sequence of parent rows — i.e. the view is a sorted row *set*. The
+// full-table view is ascending; index-backed rule filters are ascending by
+// construction; sampled views (shuffled, possibly with replacement) are
+// not and must be counted by scans.
+func (v *View) Ascending() bool {
+	for i := 1; i < len(v.rows); i++ {
+		if v.rows[i] <= v.rows[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// EachInAll calls fn(pos, row) for every view position pos whose parent
+// row appears in all of the given ascending posting lists, in ascending
+// row order, and returns the number of posting entries examined (the I/O
+// charged in place of a scan). The view's rows must be ascending (see
+// Ascending); lists must be non-nil. The shortest list drives the walk and
+// the others advance by galloping, so cost is governed by the most
+// selective column, not the table.
+func (v *View) EachInAll(lists [][]int32, fn func(pos, row int)) int64 {
+	if len(lists) == 0 {
+		return 0
+	}
+	// Order by length ascending without mutating the caller's slice.
+	ordered := make([][]int32, len(lists))
+	copy(ordered, lists)
+	sort.Slice(ordered, func(i, j int) bool { return len(ordered[i]) < len(ordered[j]) })
+	driver := ordered[0]
+	if len(driver) == 0 {
+		return 0
+	}
+	read := int64(len(driver))
+	offs := make([]int, len(ordered))
+	vo := 0
+outer:
+	for _, r := range driver {
+		for j := 1; j < len(ordered); j++ {
+			o := gallop32(ordered[j], offs[j], r)
+			read += int64(o - offs[j])
+			offs[j] = o
+			if o == len(ordered[j]) {
+				break outer // this list is exhausted; no further common rows
+			}
+			if ordered[j][o] != r {
+				continue outer
+			}
+		}
+		pos := int(r)
+		if v.rows != nil {
+			vo = gallopInt(v.rows, vo, int(r))
+			if vo == len(v.rows) {
+				break
+			}
+			if v.rows[vo] != int(r) {
+				continue
+			}
+			pos = vo
+		}
+		fn(pos, int(r))
+	}
+	return read
+}
+
+// gallop32 returns the smallest index i in [from, len(a)] with a[i] >=
+// target, probing exponentially from `from` before binary-searching the
+// bracketed range — O(log distance) instead of O(distance) when the
+// target is near, which it is on intersection walks.
+func gallop32(a []int32, from int, target int32) int {
+	if from >= len(a) || a[from] >= target {
+		return from
+	}
+	step := 1
+	lo := from
+	for lo+step < len(a) && a[lo+step] < target {
+		lo += step
+		step <<= 1
+	}
+	hi := lo + step
+	if hi > len(a) {
+		hi = len(a)
+	}
+	// Invariant: a[lo] < target, a[hi] >= target (or hi == len(a)).
+	for lo+1 < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if a[mid] < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}
+
+// gallopInt is gallop32 over an []int (the view's row list).
+func gallopInt(a []int, from, target int) int {
+	if from >= len(a) || a[from] >= target {
+		return from
+	}
+	step := 1
+	lo := from
+	for lo+step < len(a) && a[lo+step] < target {
+		lo += step
+		step <<= 1
+	}
+	hi := lo + step
+	if hi > len(a) {
+		hi = len(a)
+	}
+	for lo+1 < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if a[mid] < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}

@@ -1,0 +1,149 @@
+package table
+
+import (
+	"math/rand"
+	"testing"
+
+	"smartdrill/internal/rule"
+)
+
+func TestViewAscending(t *testing.T) {
+	b := MustBuilder([]string{"A"}, nil)
+	for i := 0; i < 10; i++ {
+		b.MustAddRow([]string{"x"})
+	}
+	tab := b.Build()
+	cases := []struct {
+		rows []int
+		want bool
+	}{
+		{nil, true}, // full table
+		{[]int{}, true},
+		{[]int{3}, true},
+		{[]int{0, 2, 5, 9}, true},
+		{[]int{0, 2, 2}, false}, // duplicate: a multiset, not a set
+		{[]int{5, 3}, false},
+	}
+	for _, c := range cases {
+		v := tab.All()
+		if c.rows != nil {
+			v = tab.ViewOf(c.rows)
+		}
+		if got := v.Ascending(); got != c.want {
+			t.Errorf("Ascending(%v) = %v, want %v", c.rows, got, c.want)
+		}
+	}
+}
+
+func TestColumnBuiltAndPostingsLen(t *testing.T) {
+	b := MustBuilder([]string{"A", "B"}, nil)
+	b.MustAddRow([]string{"x", "p"})
+	b.MustAddRow([]string{"y", "p"})
+	b.MustAddRow([]string{"x", "q"})
+	tab := b.Build()
+	ix := tab.Index()
+	if ix.ColumnBuilt(0) || ix.ColumnBuilt(1) {
+		t.Fatal("no column should be built before first use")
+	}
+	if n := ix.PostingsLen(0, 0); n != 2 {
+		t.Fatalf("PostingsLen(A,x) = %d, want 2", n)
+	}
+	if !ix.ColumnBuilt(0) {
+		t.Fatal("column A must report built after PostingsLen")
+	}
+	if ix.ColumnBuilt(1) {
+		t.Fatal("column B must stay lazy")
+	}
+}
+
+// TestEachInAll cross-checks the galloping intersection against a naive
+// reference over random tables, rules, and view subsets — full-table and
+// explicit ascending views, one to three posting lists.
+func TestEachInAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 200; trial++ {
+		cols := 1 + rng.Intn(3)
+		names := make([]string, cols)
+		for c := range names {
+			names[c] = string(rune('A' + c))
+		}
+		b := MustBuilder(names, nil)
+		n := 1 + rng.Intn(400)
+		row := make([]string, cols)
+		for i := 0; i < n; i++ {
+			for c := range row {
+				row[c] = string(rune('a' + rng.Intn(1+rng.Intn(6))))
+			}
+			b.MustAddRow(row)
+		}
+		tab := b.Build()
+		ix := tab.Index()
+
+		// Random rule over a random subset of columns.
+		r := rule.Trivial(cols)
+		var lists [][]int32
+		for c := 0; c < cols; c++ {
+			if rng.Intn(2) == 0 {
+				r[c] = rule.Value(rng.Intn(tab.DistinctCount(c)))
+				lists = append(lists, ix.Postings(c, r[c]))
+			}
+		}
+		if len(lists) == 0 {
+			continue
+		}
+
+		// Random ascending view (sometimes the full table).
+		v := tab.All()
+		if rng.Intn(2) == 0 {
+			var rows []int
+			for i := 0; i < n; i++ {
+				if rng.Intn(3) > 0 {
+					rows = append(rows, i)
+				}
+			}
+			if rows == nil {
+				rows = []int{}
+			}
+			v = tab.ViewOf(rows)
+		}
+
+		var gotPos, gotRow []int
+		v.EachInAll(lists, func(pos, row int) {
+			gotPos = append(gotPos, pos)
+			gotRow = append(gotRow, row)
+		})
+
+		var wantPos, wantRow []int
+		for i := 0; i < v.NumRows(); i++ {
+			if v.Covers(r, i) {
+				wantPos = append(wantPos, i)
+				wantRow = append(wantRow, v.ParentRow(i))
+			}
+		}
+		if len(gotPos) != len(wantPos) {
+			t.Fatalf("trial %d: %d matches, want %d (rule %v)", trial, len(gotPos), len(wantPos), r)
+		}
+		for i := range wantPos {
+			if gotPos[i] != wantPos[i] || gotRow[i] != wantRow[i] {
+				t.Fatalf("trial %d: match %d = (%d,%d), want (%d,%d)",
+					trial, i, gotPos[i], gotRow[i], wantPos[i], wantRow[i])
+			}
+		}
+	}
+}
+
+func TestGallop(t *testing.T) {
+	a := []int32{2, 4, 4, 8, 16, 32, 33}
+	for target := int32(0); target < 40; target++ {
+		for from := 0; from <= len(a); from++ {
+			got := gallop32(a, from, target)
+			want := from
+			for want < len(a) && a[want] < target {
+				want++
+			}
+			if got != want {
+				t.Fatalf("gallop32(from=%d, target=%d) = %d, want %d", from, target, got, want)
+			}
+		}
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"smartdrill/internal/baseline"
+	"smartdrill/internal/brs"
 	"smartdrill/internal/drill"
 	"smartdrill/internal/rule"
 	"smartdrill/internal/score"
@@ -264,6 +265,19 @@ func (e *Engine) DescribeRule(n *Node) string {
 // LastAccessMethod reports how the most recent drill-down obtained tuples:
 // "direct", "Find", "Combine", or "Create".
 func (e *Engine) LastAccessMethod() string { return e.s.LastMethod }
+
+// SearchStats holds BRS search statistics (passes, candidates counted,
+// pruned and reused, rows scanned, posting entries read).
+type SearchStats = brs.Stats
+
+// LastSearchStats returns the BRS statistics of the most recent
+// drill-down.
+func (e *Engine) LastSearchStats() SearchStats { return e.s.LastStats }
+
+// TotalSearchStats returns BRS statistics accumulated across every
+// drill-down of this engine's session — the cross-expansion view of how
+// much search work the candidate caches and posting lists absorbed.
+func (e *Engine) TotalSearchStats() SearchStats { return e.s.TotalStats }
 
 // TraditionalGroup is one value group of a classic drill-down.
 type TraditionalGroup struct {
