@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: test race bench bench-check smoke
+.PHONY: test race bench bench-check smoke large
 
 test:
 	$(GO) build ./... && $(GO) test ./...
@@ -10,18 +10,25 @@ test:
 race:
 	$(GO) test -race ./internal/server/ ./internal/drill/ ./internal/table/ ./internal/brs/
 
-# bench re-records the BRS perf trajectory (ns/op, allocs/op, search
-# counters) into BENCH_3.json; commit the refreshed file alongside perf
-# work. Promote it to the regression baseline once the numbers are
-# intentional: cp BENCH_3.json BENCH_baseline.json
+# bench re-records the search perf trajectory (exact BRS plus the sampled
+# million-row drill pipeline: ns/op, allocs/op, search counters) into
+# BENCH_4.json; commit the refreshed file alongside perf work. Promote it
+# to the regression baseline once the numbers are intentional:
+# cp BENCH_4.json BENCH_baseline.json
 bench:
-	$(GO) run ./cmd/benchjson -out BENCH_3.json
+	$(GO) run ./cmd/benchjson -out BENCH_4.json
 
 # bench-check is the CI guard: fails when allocs/op regresses >20% against
 # the checked-in baseline (allocation counts are machine-stable; wall
 # times are recorded but not gated).
 bench-check:
-	$(GO) run ./cmd/benchjson -out BENCH_3.json -baseline BENCH_baseline.json -check
+	$(GO) run ./cmd/benchjson -out BENCH_4.json -baseline BENCH_baseline.json -check
 
 smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# large runs the gated million-row acceptance check: provisional answers
+# within the interactive budget where exact BRS is seconds-slow, refined
+# to exact counts on the same session.
+large:
+	SMARTDRILL_LARGE=1 $(GO) test -run TestMillionRow -v .

@@ -516,6 +516,62 @@ func BenchmarkBRS(b *testing.B) {
 	}
 }
 
+// BenchmarkSampledDrill measures the approximate interactive pipeline's
+// cold path at million-row scale: session creation, one Create scan, and
+// a provisional BRS expansion over the sample (confidence-bounded counts).
+// Exact BRS on the same table is seconds-slow — BenchmarkBRS/Census runs
+// ~1.8s at 100k rows and BRS scales linearly — so this is the path that
+// keeps million-row drill-downs interactive. The /refine variant measures
+// the background half: re-counting each displayed rule exactly with one
+// accounted pass. cmd/benchjson records both in BENCH_4.json.
+func BenchmarkSampledDrill(b *testing.B) {
+	for _, c := range benchcfg.SampledCases() {
+		tab := c.Tab()
+		tab.Index().Warm()
+		cfg := drill.Config{
+			K: 4, MaxWeight: c.MW,
+			Weighter:        weight.NewSize(tab.NumCols()),
+			SampleMemory:    c.Memory,
+			MinSampleSize:   c.MinSS,
+			SampleThreshold: c.Threshold,
+		}
+		b.Run(c.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := cfg
+				cfg.Seed = int64(i + 1)
+				s, err := drill.NewSession(tab, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := s.Expand(s.Root()); err != nil {
+					b.Fatal(err)
+				}
+				if s.LastMethod == "direct" {
+					b.Fatal("expansion was not sampled")
+				}
+			}
+		})
+		b.Run(c.Name+"/refine", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				cfg := cfg
+				cfg.Seed = int64(i + 1)
+				s, err := drill.NewSession(tab, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := s.Expand(s.Root()); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				for _, n := range s.ProvisionalNodes() {
+					s.RefineNode(n)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkAblationParallel measures BRS speedup from parallel passes.
 func BenchmarkAblationParallel(b *testing.B) {
 	tab := benchCensus()

@@ -1,14 +1,16 @@
-// Command benchjson records the BRS performance trajectory: it runs the
-// BenchmarkBRS configurations (full-table search, K=4, warmed index, on
-// the Census, Marketing, and StoreSales datasets) through the testing
-// package's benchmark driver — the programmatic equivalent of
+// Command benchjson records the search-performance trajectory: it runs
+// the BenchmarkBRS configurations (full-table exact search, K=4, warmed
+// index, on the Census, Marketing, and StoreSales datasets) and the
+// BenchmarkSampledDrill configurations (cold provisional expansion plus
+// exact refinement at million-row scale) through the testing package's
+// benchmark driver — the programmatic equivalent of
 //
-//	go test -bench=BenchmarkBRS -benchmem
+//	go test -bench='BenchmarkBRS|BenchmarkSampledDrill' -benchmem
 //
 // — captures each run's brs.Stats counters, and writes everything as JSON
 // so successive PRs leave a machine-readable perf trail.
 //
-//	go run ./cmd/benchjson -out BENCH_3.json
+//	go run ./cmd/benchjson -out BENCH_4.json
 //
 // With -baseline pointing at a checked-in earlier emission and -check set,
 // the tool exits nonzero when any benchmark's allocs/op regresses more
@@ -29,6 +31,7 @@ import (
 
 	"smartdrill/internal/benchcfg"
 	"smartdrill/internal/brs"
+	"smartdrill/internal/drill"
 	"smartdrill/internal/weight"
 )
 
@@ -49,7 +52,7 @@ type benchFile struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_3.json", "output JSON path")
+	out := flag.String("out", "BENCH_4.json", "output JSON path")
 	baseline := flag.String("baseline", "", "earlier benchjson emission to compare against")
 	check := flag.Bool("check", false, "exit nonzero when allocs/op regresses past -tolerance vs -baseline")
 	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional allocs/op regression")
@@ -93,6 +96,85 @@ func main() {
 		})
 		fmt.Fprintf(os.Stderr, "benchjson: %s: %d ns/op, %d allocs/op, reused=%d postings=%d\n",
 			name, r.NsPerOp(), r.AllocsPerOp(), stats.CandidatesReused, stats.PostingsRead)
+	}
+
+	for _, c := range benchcfg.SampledCases() {
+		name := "SampledDrill/" + c.Name
+		fmt.Fprintf(os.Stderr, "benchjson: running %s...\n", name)
+		tab := c.Tab() // generation excluded from timings
+		tab.Index().Warm()
+		cfg := drill.Config{
+			K: 4, MaxWeight: c.MW,
+			Weighter:        weight.NewSize(tab.NumCols()),
+			SampleMemory:    c.Memory,
+			MinSampleSize:   c.MinSS,
+			SampleThreshold: c.Threshold,
+		}
+		// expand runs the cold interactive path: fresh session, one Create
+		// scan, provisional BRS over the sample.
+		expand := func(seed int64) (*drill.Session, error) {
+			cfg := cfg
+			cfg.Seed = seed
+			s, err := drill.NewSession(tab, cfg)
+			if err != nil {
+				return nil, err
+			}
+			return s, s.Expand(s.Root())
+		}
+		probe, err := expand(1)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		if probe.LastMethod == "direct" {
+			// Config drift routed the expansion down the exact path; the
+			// numbers would silently stop measuring the sampled pipeline.
+			fmt.Fprintf(os.Stderr, "benchjson: %s: expansion was not sampled (threshold/minSS drift?)\n", name)
+			os.Exit(1)
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := expand(int64(i + 1)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		file.Benchmarks = append(file.Benchmarks, benchResult{
+			Name:        name,
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Iterations:  r.N,
+			Rules:       len(probe.Root().Children),
+			Stats:       probe.LastStats,
+		})
+		fmt.Fprintf(os.Stderr, "benchjson: %s: %d ns/op, %d allocs/op, sampled_rows=%d\n",
+			name, r.NsPerOp(), r.AllocsPerOp(), probe.LastStats.SampledRowsScanned)
+
+		rr := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				s, err := expand(int64(i + 1))
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				for _, n := range s.ProvisionalNodes() {
+					s.RefineNode(n)
+				}
+			}
+		})
+		file.Benchmarks = append(file.Benchmarks, benchResult{
+			Name:        name + "/refine",
+			NsPerOp:     rr.NsPerOp(),
+			AllocsPerOp: rr.AllocsPerOp(),
+			BytesPerOp:  rr.AllocedBytesPerOp(),
+			Iterations:  rr.N,
+			Rules:       len(probe.Root().Children),
+		})
+		fmt.Fprintf(os.Stderr, "benchjson: %s/refine: %d ns/op\n", name, rr.NsPerOp())
 	}
 
 	buf, err := json.MarshalIndent(file, "", "  ")

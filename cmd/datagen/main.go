@@ -1,9 +1,14 @@
 // Command datagen writes the synthetic evaluation datasets to CSV so they
-// can be explored with cmd/smartdrill or external tools.
+// can be explored with cmd/smartdrill, served by cmd/smartdrilld, or fed
+// to external tools.
 //
 // Usage:
 //
-//	datagen -dataset store|marketing|census [-n ROWS] [-seed S] -out file.csv
+//	datagen -dataset store|marketing|census [-n ROWS] [-cols K] [-seed S] -out file.csv
+//
+// -cols projects the census dataset to its first K columns (the paper's
+// experiments use 7), which generates million-row tables in seconds — the
+// input for the sampled drill-down demo in the README.
 package main
 
 import (
@@ -20,6 +25,7 @@ func main() {
 	var (
 		dataset = flag.String("dataset", "", "store, marketing, or census")
 		n       = flag.Int("n", 0, "row count (0 = dataset default)")
+		cols    = flag.Int("cols", 0, "project census to its first K columns (0 = all 68)")
 		seed    = flag.Int64("seed", 42, "generation seed")
 		out     = flag.String("out", "", "output CSV path")
 	)
@@ -43,7 +49,11 @@ func main() {
 		if rows <= 0 {
 			rows = 200000
 		}
-		t = datagen.Census(rows, *seed)
+		if *cols > 0 {
+			t = datagen.CensusProjected(rows, *cols, *seed)
+		} else {
+			t = datagen.Census(rows, *seed)
+		}
 	default:
 		log.Fatalf("datagen: unknown -dataset %q", *dataset)
 	}

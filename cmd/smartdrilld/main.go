@@ -8,7 +8,7 @@
 //
 //	smartdrilld [-addr :8080] [-dataset name=path.csv[:measure,...]]...
 //	            [-demo] [-max-sessions 1024] [-workers N] [-k 3]
-//	            [-stream-budget 5s]
+//	            [-stream-budget 5s] [-background-refine=true]
 //
 // Each -dataset flag registers one CSV file under a name; the optional
 // colon-suffix lists measure (numeric) columns. -demo registers the
@@ -87,17 +87,19 @@ func main() {
 		workers      = flag.Int("workers", 0, "default BRS worker goroutines per expansion (0 = serial)")
 		k            = flag.Int("k", 3, "default rules per expansion")
 		streamBudget = flag.Duration("stream-budget", 5*time.Second, "default anytime budget for /drill/stream")
+		bgRefine     = flag.Bool("background-refine", true, "re-count provisional sampled drill results exactly in the background")
 	)
 	flag.Var(&datasets, "dataset", "register a CSV dataset as name=path.csv[:measure,...] (repeatable)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "smartdrilld ", log.LstdFlags|log.Lmicroseconds)
 	srv := server.New(server.Config{
-		MaxSessions:  *maxSessions,
-		Workers:      *workers,
-		DefaultK:     *k,
-		StreamBudget: *streamBudget,
-		Logger:       logger,
+		MaxSessions:      *maxSessions,
+		Workers:          *workers,
+		DefaultK:         *k,
+		StreamBudget:     *streamBudget,
+		BackgroundRefine: *bgRefine,
+		Logger:           logger,
 	})
 
 	if len(datasets.specs) == 0 {

@@ -17,6 +17,13 @@ import (
 // benchmarks.
 const CensusRows = 100000
 
+// CensusLargeRows is the million-row scale the sampled pipeline targets:
+// exact BRS is seconds-slow here (it is ~1.8s at 100k and scales
+// linearly), so interactive answers must come from samples. The paper's
+// real Census extract is ~2.5M rows; 1M keeps CI tractable while being
+// firmly past the interactivity cliff.
+const CensusLargeRows = 1000000
+
 // Lazily generated shared datasets: generation is excluded from timings
 // and each table is built once per process however many benchmarks touch
 // it.
@@ -29,6 +36,9 @@ var (
 
 	storeOnce sync.Once
 	storeTab  *table.Table
+
+	censusLargeOnce sync.Once
+	censusLargeTab  *table.Table
 )
 
 // Census returns the shared 100k-row, 7-column synthetic Census table.
@@ -55,6 +65,36 @@ func Marketing() *table.Table {
 func StoreSales() *table.Table {
 	storeOnce.Do(func() { storeTab = datagen.StoreSales(42) })
 	return storeTab
+}
+
+// CensusLarge returns the shared 1M-row, 7-column synthetic Census table
+// the sampled-pipeline benchmarks run on.
+func CensusLarge() *table.Table {
+	censusLargeOnce.Do(func() { censusLargeTab = datagen.CensusProjected(CensusLargeRows, 7, 7) })
+	return censusLargeTab
+}
+
+// SampledCase is one sampled-drill benchmark configuration: a cold
+// expansion on a table large enough that exact BRS is seconds-slow,
+// answered provisionally from a uniform sample within the interactive
+// budget and refined to exact counts afterwards.
+type SampledCase struct {
+	Name string
+	Tab  func() *table.Table
+	// Memory (M) and MinSS parameterize the SampleHandler; Threshold
+	// routes (sub)views that can exceed it onto the sampled path.
+	Memory, MinSS, Threshold int
+	// MW is the BRS max-weight parameter (fixed so runs skip the probe and
+	// measure only the pipeline).
+	MW float64
+}
+
+// SampledCases lists the configurations BenchmarkSampledDrill runs and
+// benchjson records in BENCH_4.json.
+func SampledCases() []SampledCase {
+	return []SampledCase{
+		{"Census1M", CensusLarge, 50000, 5000, 100000, 4},
+	}
 }
 
 // BRSCase is one full-table BRS benchmark configuration (K=4, Size

@@ -64,6 +64,14 @@ type Options struct {
 	// Agg is the aggregated mass; nil means Count. Sum over a measure column
 	// implements the Section 6.3 extension.
 	Agg score.Aggregator
+	// SampleScale declares the view a uniform sample of a larger (sub)table
+	// and scales every emitted Count/MCount by this factor, so results are
+	// table-level estimates instead of sample-local masses (Section 4: BRS
+	// over a sample, displayed counts scaled by Ns). Rule selection is
+	// unaffected — a uniform scale preserves every marginal-value
+	// comparison — but Stats.SampledRowsScanned records the sample rows the
+	// search read. 0 or 1 means the view is exact.
+	SampleScale float64
 	// DisablePruning turns off the sub-rule upper-bound pruning (ablation).
 	DisablePruning bool
 	// DisableReuse turns off cross-step candidate reuse (ablation, and the
@@ -116,6 +124,11 @@ type Stats struct {
 	PostingsRead      int64 `json:"postings_read"`      // posting entries read by index-driven counting
 	IndexLevels       int   `json:"index_levels"`       // counting/maintenance steps answered from postings
 	CandidateCapHit   bool  `json:"candidate_cap_hit"`  // a level hit MaxCandidatesPerLevel
+	// SampledRowsScanned is the portion of RowsScanned read from a uniform
+	// sample rather than the authoritative table (runs with SampleScale
+	// set). Sessions accumulate it so the approximate pipeline's in-memory
+	// reads stay visible next to real table I/O.
+	SampledRowsScanned int64 `json:"sampled_rows_scanned"`
 }
 
 // Add accumulates o into s (CandidateCapHit ORs). Sessions use it to keep
@@ -129,6 +142,7 @@ func (s *Stats) Add(o Stats) {
 	s.PostingsRead += o.PostingsRead
 	s.IndexLevels += o.IndexLevels
 	s.CandidateCapHit = s.CandidateCapHit || o.CandidateCapHit
+	s.SampledRowsScanned += o.SampledRowsScanned
 }
 
 // Run executes BRS on the view v and returns up to opts.K rules ordered by
@@ -153,7 +167,7 @@ func Run(v *table.View, w weight.Weighter, opts Options) ([]Result, Stats, error
 		selected = append(selected, Result{
 			Rule:   best.r,
 			Weight: best.weight,
-			Count:  best.count,
+			Count:  best.count * run.scale,
 			MCount: 0, // recomputed below once ordering is final
 		})
 		run.applySelection(best)
@@ -183,9 +197,9 @@ func Run(v *table.View, w weight.Weighter, opts Options) ([]Result, Stats, error
 	rules := resultsToRules(selected)
 	mcs := score.MCountsView(run.v, run.w, run.agg, rules)
 	for i := range selected {
-		selected[i].MCount = mcs[i]
+		selected[i].MCount = mcs[i] * run.scale
 	}
-	return selected, run.stats, nil
+	return selected, run.finalStats(), nil
 }
 
 // newRunner normalizes options and restricts the view to Base's coverage
@@ -211,10 +225,14 @@ func newRunner(v *table.View, w weight.Weighter, opts Options) (*runner, error) 
 	if maxCand <= 0 {
 		maxCand = DefaultMaxCandidates
 	}
+	scale := opts.SampleScale
+	if scale <= 0 {
+		scale = 1
+	}
 	run := &runner{
 		v: v, parent: v.Table(), w: w, agg: agg, mw: mw, base: base,
 		prune: !opts.DisablePruning, maxCand: maxCand, par: opts.Workers,
-		noReuse: opts.DisableReuse, noIndex: opts.DisableIndex,
+		noReuse: opts.DisableReuse, noIndex: opts.DisableIndex, scale: scale,
 	}
 	if !opts.BaseCovered && !base.IsTrivial() {
 		// One pass narrows the view so every subsequent pass iterates only
@@ -228,8 +246,13 @@ func newRunner(v *table.View, w weight.Weighter, opts Options) (*runner, error) 
 	_, run.countAgg = agg.(score.CountAgg)
 	if !run.noIndex {
 		// Postings-driven counting needs the view to be a sorted row set so
-		// posting intersections enumerate view positions; samples (drawn
-		// with replacement, shuffled) fail this and always scan.
+		// posting intersections enumerate view positions. The full table,
+		// index-backed rule filters, and handler-served samples (sorted row
+		// sets since the sampled pipeline) all qualify; probe subsets drawn
+		// with replacement fail the check and always scan. For sample views
+		// the cost planner weighs intersecting the master table's posting
+		// lists against scanning the (much smaller) sample and routes to
+		// whichever reads less.
 		run.sorted = run.v.Ascending()
 		run.fullTable = run.sorted && run.v.NumRows() == run.parent.NumRows()
 		if run.sorted {
@@ -273,8 +296,9 @@ type runner struct {
 	par       int
 	noReuse   bool
 	noIndex   bool
-	sorted    bool // view rows ascending: postings-driven counting possible
-	fullTable bool // view spans every parent row
+	scale     float64 // SampleScale normalized: emitted masses multiply by it
+	sorted    bool    // view rows ascending: postings-driven counting possible
+	fullTable bool    // view spans every parent row
 
 	topW     []float64 // W(TOP(t, selection)) per view row; nil until first selection
 	selected []selectedRule
@@ -1049,6 +1073,16 @@ func (rn *runner) countCandidatesScan(cands []*cand) {
 	}
 	rn.stats.Passes++
 	rn.stats.RowsScanned += int64(n)
+}
+
+// finalStats snapshots the run's statistics, attributing scanned rows to
+// the sample when the view was one (SampleScale set): every row a sampled
+// run visits is an in-memory sample tuple, not authoritative table I/O.
+func (rn *runner) finalStats() Stats {
+	if rn.scale != 1 {
+		rn.stats.SampledRowsScanned = rn.stats.RowsScanned
+	}
+	return rn.stats
 }
 
 func max0(x float64) float64 {

@@ -51,14 +51,14 @@ func RunIncremental(v *table.View, w weight.Weighter, opts Options, maxRules int
 		ok := yield(Result{
 			Rule:   best.r,
 			Weight: best.weight,
-			Count:  best.count,
-			MCount: gain / weightOrOne(best.weight),
+			Count:  best.count * run.scale,
+			MCount: gain / weightOrOne(best.weight) * run.scale,
 		})
 		if !ok {
 			break
 		}
 	}
-	return run.stats, nil
+	return run.finalStats(), nil
 }
 
 // weightOrOne guards the MCount back-calculation (marginal = Σ (W−wS) per

@@ -1,0 +1,88 @@
+package brs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"smartdrill/internal/weight"
+)
+
+// TestSampleScaleScalesCounts: a run with SampleScale must select exactly
+// the rules of the unscaled run (uniform scaling preserves every marginal
+// comparison) while emitting Count/MCount multiplied by the scale — the
+// table-level estimates the drill layer displays.
+func TestSampleScaleScalesCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tab := randomTable(rng, 4, 5, 3000)
+	w := weight.NewSize(tab.NumCols())
+	const scale = 2.5
+
+	base, baseStats, err := Run(tab.All(), w, Options{K: 4, MaxWeight: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled, scaledStats, err := Run(tab.All(), w, Options{K: 4, MaxWeight: 3, SampleScale: scale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base) == 0 || len(base) != len(scaled) {
+		t.Fatalf("rule counts differ: %d vs %d", len(base), len(scaled))
+	}
+	for i := range base {
+		if !base[i].Rule.Equal(scaled[i].Rule) || base[i].Weight != scaled[i].Weight {
+			t.Fatalf("rule %d: selection changed under scaling: %v vs %v", i, base[i], scaled[i])
+		}
+		if got, want := scaled[i].Count, base[i].Count*scale; math.Abs(got-want) > 1e-9 {
+			t.Fatalf("rule %d: Count = %g, want %g", i, got, want)
+		}
+		if got, want := scaled[i].MCount, base[i].MCount*scale; math.Abs(got-want) > 1e-9 {
+			t.Fatalf("rule %d: MCount = %g, want %g", i, got, want)
+		}
+	}
+	// Rows scanned by a sampled run are sample reads; exact runs read none.
+	if baseStats.SampledRowsScanned != 0 {
+		t.Fatalf("exact run claims %d sampled rows", baseStats.SampledRowsScanned)
+	}
+	if scaledStats.SampledRowsScanned != scaledStats.RowsScanned {
+		t.Fatalf("sampled run: SampledRowsScanned %d != RowsScanned %d",
+			scaledStats.SampledRowsScanned, scaledStats.RowsScanned)
+	}
+}
+
+// TestSampleScaleIncremental pins the same contract on the anytime driver.
+func TestSampleScaleIncremental(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	tab := randomTable(rng, 4, 5, 2000)
+	w := weight.NewSize(tab.NumCols())
+	const scale = 4.0
+
+	collect := func(s float64) []Result {
+		var out []Result
+		_, err := RunIncremental(tab.All(), w, Options{MaxWeight: 3, SampleScale: s}, 4, time.Time{}, func(r Result) bool {
+			out = append(out, r)
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	base := collect(0)
+	scaled := collect(scale)
+	if len(base) == 0 || len(base) != len(scaled) {
+		t.Fatalf("rule counts differ: %d vs %d", len(base), len(scaled))
+	}
+	for i := range base {
+		if !base[i].Rule.Equal(scaled[i].Rule) {
+			t.Fatalf("rule %d changed under scaling", i)
+		}
+		if got, want := scaled[i].Count, base[i].Count*scale; math.Abs(got-want) > 1e-9 {
+			t.Fatalf("rule %d: Count = %g, want %g", i, got, want)
+		}
+		if got, want := scaled[i].MCount, base[i].MCount*scale; math.Abs(got-want) > 1e-9 {
+			t.Fatalf("rule %d: MCount = %g, want %g", i, got, want)
+		}
+	}
+}

@@ -36,6 +36,16 @@ type Config struct {
 	// otherwise expansions scan the table directly.
 	SampleMemory  int
 	MinSampleSize int
+	// SampleThreshold routes individual expansions when the handler is
+	// enabled: a (sub)view that can exceed this many rows is searched on a
+	// uniform sample (provisional, confidence-bounded results), smaller
+	// ones exactly through the inverted index. 0 samples every expansion
+	// (the pre-threshold behavior).
+	SampleThreshold int
+	// DisableSampling forces every expansion down the exact path even when
+	// SampleMemory/MinSampleSize are set — the ablation that keeps results
+	// bit-identical to a session configured without sampling.
+	DisableSampling bool
 	// Prefetch rebuilds samples for likely next drill-downs after each
 	// expansion (Section 4.3) and upgrades displayed counts to exact.
 	Prefetch bool
@@ -111,7 +121,7 @@ func NewSession(t *table.Table, cfg Config) (*Session, error) {
 		store: storage.NewStore(t),
 		cfg:   cfg,
 	}
-	if cfg.SampleMemory > 0 && cfg.MinSampleSize > 0 && t.NumRows() > cfg.MinSampleSize {
+	if !cfg.DisableSampling && cfg.SampleMemory > 0 && cfg.MinSampleSize > 0 && t.NumRows() > cfg.MinSampleSize {
 		h, err := sampling.NewHandler(s.store, cfg.SampleMemory, cfg.MinSampleSize, sampling.NewTestRNG(cfg.Seed))
 		if err != nil {
 			return nil, err
@@ -191,22 +201,24 @@ func (s *Session) expand(n *Node, w weight.Weighter) error {
 		BaseCovered: true, // coveredView delivers exactly the rule's coverage
 		Agg:         s.cfg.Agg,
 		Workers:     s.cfg.Workers,
+		SampleScale: scale, // BRS emits table-level estimates directly
 	})
 	if err != nil {
 		return err
 	}
 	s.recordStats(stats)
 
+	bound := scale * float64(view.NumRows()) // the enclosing view's scaled size
 	n.Children = make([]*Node, 0, len(results))
 	for _, r := range results {
 		child := &Node{
 			Rule:   r.Rule,
 			Weight: r.Weight,
-			Count:  r.Count * scale,
+			Count:  r.Count,
 			Exact:  exact,
 			parent: n,
 		}
-		child.CILow, child.CIHigh = countCI(s.cfg.Agg, exact, scale, r.Count)
+		child.CILow, child.CIHigh = countCI(s.cfg.Agg, exact, scale, r.Count, bound)
 		n.Children = append(n.Children, child)
 	}
 
@@ -223,6 +235,7 @@ func (s *Session) recordStats(stats brs.Stats) {
 	s.LastStats = stats
 	s.TotalStats.Add(stats)
 	s.store.AccountSearchIndex(stats.PostingsRead)
+	s.store.AccountSampledRead(stats.SampledRowsScanned)
 }
 
 // coveredView obtains the tuples covered by r as a zero-copy view: a
@@ -231,7 +244,7 @@ func (s *Session) recordStats(stats brs.Stats) {
 // no materialized copy). scale converts view aggregates to table
 // estimates; exact reports whether they need no scaling.
 func (s *Session) coveredView(r rule.Rule) (view *table.View, scale float64, exact bool, err error) {
-	if s.handler != nil {
+	if s.useSample(r) {
 		v, err := s.handler.GetSample(r)
 		if err != nil {
 			return nil, 0, false, err
@@ -246,15 +259,125 @@ func (s *Session) coveredView(r rule.Rule) (view *table.View, scale float64, exa
 	return s.tab.ViewOf(s.store.FilterRows(r)), 1, true, nil
 }
 
-// countCI returns the 95% display bounds for a child whose raw
-// (pre-scaling) aggregate is raw. Exact counts and aggregates without
-// interval support (Sum) get the degenerate interval at the displayed
-// value.
-func countCI(agg score.Aggregator, exact bool, scale, raw float64) (lo, hi float64) {
-	if _, isCount := agg.(score.CountAgg); !exact && isCount && scale > 0 {
-		return sampling.CountInterval(int(raw), 1/scale, 1.96)
+// useSample decides an expansion's access path: the sampled pipeline runs
+// only when a handler exists and the (sub)view can exceed SampleThreshold
+// rows. The decision reads catalog metadata and posting-list lengths —
+// never rows — so routing itself costs nothing at interactive scale.
+func (s *Session) useSample(r rule.Rule) bool {
+	if s.handler == nil {
+		return false
 	}
-	return raw * scale, raw * scale
+	if s.cfg.SampleThreshold <= 0 {
+		return true
+	}
+	return s.coverageUpperBound(r) > s.cfg.SampleThreshold
+}
+
+// coverageUpperBound cheaply upper-bounds Count(r): the shortest already-
+// built posting list among r's instantiated columns, falling back to the
+// table size when r is trivial or no list is warm. Overestimating is safe
+// — it keeps possibly-large views on the sampled path; the exact path is
+// chosen only when the bound proves the view small.
+func (s *Session) coverageUpperBound(r rule.Rule) int {
+	bound := s.tab.NumRows()
+	ix := s.tab.Index()
+	for _, c := range r.InstantiatedColumns() {
+		if !ix.ColumnBuilt(c) {
+			continue
+		}
+		if l := ix.PostingsLen(c, r[c]); l < bound {
+			bound = l
+		}
+	}
+	return bound
+}
+
+// countCI returns the 95% display bounds for a child whose displayed
+// (already scaled) aggregate is count, clamped to bound — the enclosing
+// view's scaled size, so no child interval ever claims more mass than its
+// parent holds. Exact counts and aggregates without interval support
+// (Sum) get the degenerate interval at the displayed value.
+func countCI(agg score.Aggregator, exact bool, scale, count, bound float64) (lo, hi float64) {
+	if _, isCount := agg.(score.CountAgg); !exact && isCount && scale > 0 {
+		n := int(math.Round(count / scale)) // sample tuples the rule matched
+		lo, hi = sampling.CountInterval(n, 1/scale, 1.96)
+		return sampling.ClampUpper(lo, hi, bound)
+	}
+	return count, count
+}
+
+// RefineNode upgrades a provisional (sample-estimated) node to its exact
+// aggregate — the paper's background count refinement: provisional rules
+// answer instantly from the sample, and the authoritative count arrives
+// once the store has re-counted the rule with one accounted pass
+// (Store.CountExact under Count, an aggregate scan under Sum). It reports
+// whether the node changed; exact nodes are left untouched, as are nodes
+// that have left the displayed tree (a background refiner can lose a race
+// with a collapse or re-expansion — paying a full pass for an orphaned
+// node would be pure waste and would distort the store's pass accounting).
+func (s *Session) RefineNode(n *Node) bool {
+	if n.Exact || !s.displayed(n) {
+		return false
+	}
+	var exact float64
+	if _, isCount := s.cfg.Agg.(score.CountAgg); isCount {
+		exact = float64(s.store.CountExact(n.Rule))
+	} else {
+		s.store.Scan(func(i int) bool {
+			if s.tab.Covers(n.Rule, i) {
+				exact += s.cfg.Agg.Mass(s.tab, i)
+			}
+			return true
+		})
+	}
+	n.Count = exact
+	n.CILow, n.CIHigh = exact, exact
+	n.Exact = true
+	return true
+}
+
+// displayed reports whether n is still part of the session's displayed
+// tree: every link of its parent chain must still list it (or its
+// ancestor) as a child, and the chain must end at the root. Collapse and
+// re-expansion replace child slices, so orphaned nodes fail the check.
+func (s *Session) displayed(n *Node) bool {
+	for cur := n; ; {
+		p := cur.parent
+		if p == nil {
+			return cur == s.root
+		}
+		attached := false
+		for _, c := range p.Children {
+			if c == cur {
+				attached = true
+				break
+			}
+		}
+		if !attached {
+			return false
+		}
+		cur = p
+	}
+}
+
+// ProvisionalNodes lists displayed nodes whose counts are still sample
+// estimates, in display (pre-order) order — the refiner's work queue.
+func (s *Session) ProvisionalNodes() []*Node { return s.ProvisionalNodesIn(s.root) }
+
+// ProvisionalNodesIn is ProvisionalNodes restricted to n's subtree.
+func (s *Session) ProvisionalNodesIn(n *Node) []*Node {
+	var out []*Node
+	var walk func(m *Node)
+	walk = func(m *Node) {
+		if !m.Exact {
+			out = append(out, m)
+		}
+		for _, c := range m.Children {
+			walk(c)
+		}
+	}
+	walk(n)
+	return out
 }
 
 // prefetch rebuilds samples for the displayed tree's likely next

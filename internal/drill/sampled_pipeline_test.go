@@ -1,0 +1,361 @@
+package drill
+
+// Tests for the approximate interactive pipeline: sampled-vs-exact
+// convergence, the DisableSampling ablation's bit-identity, threshold
+// routing, and the provisional→exact refinement lifecycle.
+
+import (
+	"testing"
+
+	"smartdrill/internal/datagen"
+	"smartdrill/internal/rule"
+	"smartdrill/internal/score"
+	"smartdrill/internal/table"
+)
+
+// topKeys returns the rule keys of a node's children.
+func topKeys(n *Node) map[string]bool {
+	out := make(map[string]bool, len(n.Children))
+	for _, c := range n.Children {
+		out[c.Rule.Key()] = true
+	}
+	return out
+}
+
+func jaccard(a, b map[string]bool) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	inter := 0
+	for k := range a {
+		if b[k] {
+			inter++
+		}
+	}
+	return float64(inter) / float64(len(a)+len(b)-inter)
+}
+
+// TestSampledTopKConvergence: the sampled top-k converges to the exact
+// top-k as the sample rate approaches 1 — small samples may disagree on
+// tail rules, near-exhaustive samples must essentially reproduce the
+// exact list.
+func TestSampledTopKConvergence(t *testing.T) {
+	tab := datagen.CensusProjected(30000, 7, 7)
+	exact, err := NewSession(tab, Config{K: 4, MaxWeight: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := exact.Expand(exact.Root()); err != nil {
+		t.Fatal(err)
+	}
+	exactKeys := topKeys(exact.Root())
+	if len(exactKeys) == 0 {
+		t.Fatal("exact expansion returned no rules")
+	}
+
+	avgJaccard := func(minSS int) float64 {
+		total := 0.0
+		const seeds = 5
+		for seed := int64(1); seed <= seeds; seed++ {
+			s, err := NewSession(tab, Config{
+				K: 4, MaxWeight: 4,
+				SampleMemory:  tab.NumRows(),
+				MinSampleSize: minSS,
+				Seed:          seed,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Expand(s.Root()); err != nil {
+				t.Fatal(err)
+			}
+			if s.LastMethod == "direct" {
+				t.Fatalf("minSS=%d seed=%d: expansion was not sampled", minSS, seed)
+			}
+			total += jaccard(topKeys(s.Root()), exactKeys)
+		}
+		return total / seeds
+	}
+
+	small := avgJaccard(1500)
+	large := avgJaccard(10000)
+	nearFull := avgJaccard(29000) // rate ≈ 0.97
+
+	if nearFull < 0.9 {
+		t.Errorf("near-exhaustive sample: top-k Jaccard %.2f, want ≥ 0.9", nearFull)
+	}
+	if large < 0.6 {
+		t.Errorf("minSS=10000: top-k Jaccard %.2f, want ≥ 0.6", large)
+	}
+	if small > nearFull+1e-9 && small == 1 {
+		t.Errorf("convergence inverted: Jaccard %.2f at minSS=1500 vs %.2f near-full", small, nearFull)
+	}
+	t.Logf("top-k Jaccard vs exact: minSS=1500 %.2f, 10000 %.2f, 29000 %.2f", small, large, nearFull)
+}
+
+// sameTree compares two displayed trees field by field.
+func sameTree(t *testing.T, a, b *Node) {
+	t.Helper()
+	if a.Rule.Key() != b.Rule.Key() || a.Weight != b.Weight || a.Count != b.Count ||
+		a.Exact != b.Exact || a.CILow != b.CILow || a.CIHigh != b.CIHigh {
+		t.Fatalf("nodes differ:\n  %+v\n  %+v", a, b)
+	}
+	if len(a.Children) != len(b.Children) {
+		t.Fatalf("child counts differ at %v: %d vs %d", a.Rule, len(a.Children), len(b.Children))
+	}
+	for i := range a.Children {
+		sameTree(t, a.Children[i], b.Children[i])
+	}
+}
+
+// TestDisableSamplingBitIdentical: the ablation switch must reproduce a
+// session configured without sampling exactly — same rules, same counts,
+// same intervals — two levels deep.
+func TestDisableSamplingBitIdentical(t *testing.T) {
+	tab := datagen.CensusProjected(20000, 7, 7)
+	plain, err := NewSession(tab, Config{K: 4, MaxWeight: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ablated, err := NewSession(tab, Config{
+		K: 4, MaxWeight: 4,
+		SampleMemory:    20000,
+		MinSampleSize:   2000,
+		SampleThreshold: 100,
+		DisableSampling: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ablated.Handler() != nil {
+		t.Fatal("DisableSampling left a sample handler alive")
+	}
+	for _, s := range []*Session{plain, ablated} {
+		if err := s.Expand(s.Root()); err != nil {
+			t.Fatal(err)
+		}
+		if s.LastMethod != "direct" {
+			t.Fatalf("access method %q, want direct", s.LastMethod)
+		}
+		for _, c := range s.Root().Children {
+			if err := s.Expand(c); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	sameTree(t, plain.Root(), ablated.Root())
+}
+
+// TestSampleThresholdRouting: expansions route by (sub)view size — large
+// views go to the sampled path with provisional counts, views provably
+// smaller than the threshold are answered exactly.
+func TestSampleThresholdRouting(t *testing.T) {
+	tab := datagen.CensusProjected(30000, 7, 7)
+	tab.Index().Warm() // posting lengths drive the routing bound
+	s, err := NewSession(tab, Config{
+		K: 4, MaxWeight: 4,
+		SampleMemory:    30000,
+		MinSampleSize:   2000,
+		SampleThreshold: 5000,
+		Seed:            1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The root view (30000 rows) exceeds the threshold: sampled.
+	if err := s.Expand(s.Root()); err != nil {
+		t.Fatal(err)
+	}
+	if s.LastMethod == "direct" {
+		t.Fatal("root expansion should have sampled")
+	}
+	for _, c := range s.Root().Children {
+		if c.Exact {
+			t.Fatalf("sampled child %v claims exactness", c.Rule)
+		}
+		if c.CILow > c.Count || c.CIHigh < c.Count {
+			t.Fatalf("child %v: count %g outside CI [%g, %g]", c.Rule, c.Count, c.CILow, c.CIHigh)
+		}
+		// The clamped upper bound never exceeds the enclosing view's size.
+		if c.CIHigh > float64(tab.NumRows()) {
+			t.Fatalf("child %v: CI hi %g exceeds table size", c.Rule, c.CIHigh)
+		}
+	}
+
+	// A rule provably below the threshold is answered exactly despite the
+	// handler being live.
+	small := findSmallRule(t, tab, 5000)
+	n := &Node{Rule: small}
+	if err := s.Expand(n); err != nil {
+		t.Fatal(err)
+	}
+	if s.LastMethod != "direct" {
+		t.Fatalf("small view answered via %q, want direct", s.LastMethod)
+	}
+	for _, c := range n.Children {
+		if !c.Exact {
+			t.Fatalf("exact-path child %v marked provisional", c.Rule)
+		}
+	}
+}
+
+// findSmallRule returns a single-column rule whose coverage is below max.
+func findSmallRule(t *testing.T, tab *table.Table, max int) rule.Rule {
+	t.Helper()
+	for c := 0; c < tab.NumCols(); c++ {
+		for v := 0; v < tab.DistinctCount(c); v++ {
+			r := rule.Trivial(tab.NumCols()).With(c, rule.Value(v))
+			if n := tab.Count(r); n > 0 && n < max {
+				return r
+			}
+		}
+	}
+	t.Fatal("no small rule in table")
+	return nil
+}
+
+// TestRefineNodeLifecycle: provisional nodes refine to the authoritative
+// count with one accounted pass, become exact, and refuse double work.
+func TestRefineNodeLifecycle(t *testing.T) {
+	tab := datagen.CensusProjected(25000, 7, 7)
+	s, err := NewSession(tab, Config{
+		K: 4, MaxWeight: 4,
+		SampleMemory:  25000,
+		MinSampleSize: 2000,
+		Seed:          3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Expand(s.Root()); err != nil {
+		t.Fatal(err)
+	}
+	prov := s.ProvisionalNodes()
+	if len(prov) == 0 {
+		t.Fatal("sampled expansion produced no provisional nodes")
+	}
+	scansBefore := s.Store().Stats().FullScans
+	for _, n := range prov {
+		if !s.RefineNode(n) {
+			t.Fatalf("node %v did not refine", n.Rule)
+		}
+		truth := float64(tab.Count(n.Rule))
+		if n.Count != truth {
+			t.Fatalf("node %v: refined count %g != exact %g", n.Rule, n.Count, truth)
+		}
+		if !n.Exact || n.CILow != truth || n.CIHigh != truth {
+			t.Fatalf("node %v: lifecycle state wrong after refine: %+v", n.Rule, n)
+		}
+		if s.RefineNode(n) {
+			t.Fatalf("node %v refined twice", n.Rule)
+		}
+	}
+	if got := s.Store().Stats().FullScans - scansBefore; got != int64(len(prov)) {
+		t.Fatalf("refinement charged %d full scans, want %d (one per node)", got, len(prov))
+	}
+	if len(s.ProvisionalNodes()) != 0 {
+		t.Fatal("provisional nodes remain after refining all")
+	}
+}
+
+// TestRefineSkipsOrphanedNodes: a background refiner can lose the race
+// with a collapse or re-expansion; refining the orphaned node must be a
+// no-op, not a wasted full pass.
+func TestRefineSkipsOrphanedNodes(t *testing.T) {
+	tab := datagen.CensusProjected(25000, 7, 7)
+	s, err := NewSession(tab, Config{
+		K: 4, MaxWeight: 4,
+		SampleMemory:  25000,
+		MinSampleSize: 2000,
+		Seed:          3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Expand(s.Root()); err != nil {
+		t.Fatal(err)
+	}
+	orphan := s.Root().Children[0]
+	s.Collapse(s.Root())
+	scans := s.Store().Stats().FullScans
+	if s.RefineNode(orphan) {
+		t.Fatal("refined a node no longer in the displayed tree")
+	}
+	if got := s.Store().Stats().FullScans; got != scans {
+		t.Fatalf("orphan refinement paid %d passes", got-scans)
+	}
+	if orphan.Exact {
+		t.Fatal("orphan mutated")
+	}
+}
+
+// TestRefineNodeSumAggregate: refinement under Sum replaces the scaled
+// estimate with the exact mass (an aggregate scan, not a tuple count —
+// the distinction the PR-2 display bugfix guards).
+func TestRefineNodeSumAggregate(t *testing.T) {
+	tab := buildSalesTable(30000, 5)
+	m, err := tab.MeasureIndex("Sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := score.SumAgg{Measure: m, Label: "Sales"}
+	s, err := NewSession(tab, Config{
+		K: 3, MaxWeight: 2, Agg: agg,
+		SampleMemory: 20000, MinSampleSize: 4000, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Expand(s.Root()); err != nil {
+		t.Fatal(err)
+	}
+	prov := s.ProvisionalNodes()
+	if len(prov) == 0 {
+		t.Fatal("no provisional nodes under Sum sampling")
+	}
+	for _, n := range prov {
+		if !s.RefineNode(n) {
+			t.Fatalf("node %v did not refine", n.Rule)
+		}
+		truth := 0.0
+		for i := 0; i < tab.NumRows(); i++ {
+			if tab.Covers(n.Rule, i) {
+				truth += agg.Mass(tab, i)
+			}
+		}
+		if n.Count != truth {
+			t.Fatalf("node %v: refined sum %g != exact %g", n.Rule, n.Count, truth)
+		}
+		if !n.Exact {
+			t.Fatalf("node %v not exact after refine", n.Rule)
+		}
+	}
+}
+
+// TestSampledSessionAccounting: sampled searches report their in-memory
+// sample reads through the session totals and the store's counters.
+func TestSampledSessionAccounting(t *testing.T) {
+	tab := datagen.CensusProjected(25000, 7, 7)
+	s, err := NewSession(tab, Config{
+		K: 4, MaxWeight: 4,
+		SampleMemory:  25000,
+		MinSampleSize: 2000,
+		Seed:          5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Expand(s.Root()); err != nil {
+		t.Fatal(err)
+	}
+	if s.LastStats.SampledRowsScanned == 0 {
+		t.Fatal("sampled expansion recorded no sampled rows")
+	}
+	if s.TotalStats.SampledRowsScanned != s.LastStats.SampledRowsScanned {
+		t.Fatalf("session totals %d != last stats %d",
+			s.TotalStats.SampledRowsScanned, s.LastStats.SampledRowsScanned)
+	}
+	if got := s.Store().Stats().SampledRowsRead; got != s.LastStats.SampledRowsScanned {
+		t.Fatalf("store sampled reads %d != search's %d", got, s.LastStats.SampledRowsScanned)
+	}
+}

@@ -52,6 +52,7 @@ func (s *Session) expandStream(n *Node, w weight.Weighter, maxRules int, budget 
 	if budget > 0 {
 		deadline = time.Now().Add(budget)
 	}
+	bound := scale * float64(view.NumRows()) // the enclosing view's scaled size
 	stats, err := brs.RunIncremental(view, w, brs.Options{
 		MaxWeight:    mw,
 		Base:         n.Rule,
@@ -59,15 +60,16 @@ func (s *Session) expandStream(n *Node, w weight.Weighter, maxRules int, budget 
 		Agg:          s.cfg.Agg,
 		Workers:      s.cfg.Workers,
 		MinGainRatio: 0.01, // drop the long tail of near-worthless rules
+		SampleScale:  scale,
 	}, maxRules, deadline, func(r brs.Result) bool {
 		child := &Node{
 			Rule:   r.Rule,
 			Weight: r.Weight,
-			Count:  r.Count * scale,
+			Count:  r.Count,
 			Exact:  exact,
 			parent: n,
 		}
-		child.CILow, child.CIHigh = countCI(s.cfg.Agg, exact, scale, r.Count)
+		child.CILow, child.CIHigh = countCI(s.cfg.Agg, exact, scale, r.Count, bound)
 		n.Children = append(n.Children, child)
 		if onRule == nil {
 			return true

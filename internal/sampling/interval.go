@@ -14,12 +14,23 @@ import "math"
 // count estimate for a rule matching n sample tuples under inclusion
 // probability p ∈ (0, 1]. z = 1.96 gives the conventional 95% interval.
 // The lower bound is clamped at n (the matches themselves are real tuples).
+//
+// n == 0 is not evidence of absence: the normal approximation collapses to
+// a zero-width interval there, claiming certainty exactly where the sample
+// says the least. The rule of three applies instead — zero matches under
+// inclusion probability p rules out true counts above ≈ 3/p at 95%
+// confidence (P(no match) = (1−p)^C ≤ 0.05 ⇒ C ≲ 3/p) — so absent rules
+// admit the mass they could be hiding. Note the n == 0 bound is calibrated
+// at 95% regardless of z; every caller displays 95% intervals today.
 func CountInterval(n int, p, z float64) (lo, hi float64) {
 	if p <= 0 {
 		return 0, math.Inf(1)
 	}
 	if p >= 1 {
 		return float64(n), float64(n) // exhaustive sample: exact
+	}
+	if n == 0 {
+		return 0, 3 / p
 	}
 	est := float64(n) / p
 	se := math.Sqrt(float64(n)*(1-p)) / p
@@ -31,11 +42,32 @@ func CountInterval(n int, p, z float64) (lo, hi float64) {
 	return lo, hi
 }
 
+// ClampUpper caps an interval's upper bound at the enclosing (parent)
+// bound: a child rule cannot cover more mass than the view it was searched
+// in holds, however wide the raw standard-error band is. The interval
+// stays well-formed (hi never drops below lo; lo is already a hard lower
+// bound on the true count).
+func ClampUpper(lo, hi, bound float64) (float64, float64) {
+	if hi > bound {
+		hi = bound
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}
+
 // Interval95 returns the 95% confidence interval on a view's estimated
-// count for a rule matching n of its tuples.
+// count for a rule matching n of its tuples, clamped to the view's own
+// scaled size (the enclosing bound: every tuple the rule covers lies in
+// the view).
 func (v *View) Interval95(n int) (lo, hi float64) {
 	if v.Scale <= 0 {
 		return 0, math.Inf(1)
 	}
-	return CountInterval(n, 1/v.Scale, 1.96)
+	lo, hi = CountInterval(n, 1/v.Scale, 1.96)
+	if v.EstimatedCount > 0 {
+		return ClampUpper(lo, hi, v.EstimatedCount)
+	}
+	return lo, hi
 }

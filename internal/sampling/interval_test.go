@@ -82,6 +82,100 @@ func TestIntervalCoverage(t *testing.T) {
 	}
 }
 
+// TestCountIntervalZeroMatches is the regression test for the empty-sample
+// bug: a rule absent from the sample was reported as exactly zero, hiding
+// up to 3/p tuples of true mass. The rule-of-three upper bound admits them.
+func TestCountIntervalZeroMatches(t *testing.T) {
+	for _, p := range []float64{0.001, 0.01, 0.1, 0.5} {
+		lo, hi := CountInterval(0, p, 1.96)
+		if lo != 0 {
+			t.Fatalf("p=%g: lo = %g, want 0", p, lo)
+		}
+		if want := 3 / p; hi != want {
+			t.Fatalf("p=%g: hi = %g, want rule-of-three bound %g", p, hi, want)
+		}
+	}
+	// An exhaustive sample with zero matches really is an exact zero.
+	if lo, hi := CountInterval(0, 1, 1.96); lo != 0 || hi != 0 {
+		t.Fatalf("exhaustive zero = [%g,%g], want [0,0]", lo, hi)
+	}
+}
+
+// TestCountIntervalZeroCoverage validates the rule-of-three bound
+// empirically: for a rule with true count C, samples at inclusion
+// probability p that happen to miss it entirely must still produce an
+// upper bound at or above C in ≥ 90% of such trials.
+func TestCountIntervalZeroCoverage(t *testing.T) {
+	tab := stripes(10000, 100) // 100 rows per value
+	filter, _ := tab.EncodeRule(map[string]string{"A": "a"})
+	const trueCount = 100.0
+	misses, covered := 0, 0
+	for seed := int64(0); seed < 400; seed++ {
+		store := storage.NewStore(tab)
+		s := CreateSample(store, rule.Trivial(1), 100, NewTestRNG(seed)) // p = 0.01
+		n := 0
+		for _, i := range s.Rows {
+			if tab.Covers(filter, i) {
+				n++
+			}
+		}
+		if n > 0 {
+			continue
+		}
+		misses++
+		if _, hi := CountInterval(0, s.Rate(), 1.96); hi >= trueCount {
+			covered++
+		}
+	}
+	if misses == 0 {
+		t.Skip("no trial missed the rule entirely")
+	}
+	if frac := float64(covered) / float64(misses); frac < 0.90 {
+		t.Fatalf("rule-of-three bound covered the true count in only %.0f%% of %d empty-sample trials", 100*frac, misses)
+	}
+}
+
+// TestInterval95ClampedToViewSize is the regression test for the unclamped
+// upper bound: on a small skewed sample the ±z band can exceed the
+// enclosing view's own scaled size, displaying a child interval wider than
+// its parent's count.
+func TestInterval95ClampedToViewSize(t *testing.T) {
+	// 10 sampled rows at p = 0.02 → estimated view size 500. A rule
+	// matching all 10 sample rows has raw hi ≈ 500 + 1.96·√(10·0.98)/0.02
+	// ≈ 810, well past the view's own 500.
+	v := &View{Scale: 50, EstimatedCount: 500}
+	loRaw, hiRaw := CountInterval(10, 1.0/50, 1.96)
+	if hiRaw <= v.EstimatedCount {
+		t.Fatalf("test premise broken: raw hi %g does not exceed view size %g", hiRaw, v.EstimatedCount)
+	}
+	lo, hi := v.Interval95(10)
+	if lo != loRaw {
+		t.Fatalf("clamp moved the lower bound: %g != %g", lo, loRaw)
+	}
+	if hi != v.EstimatedCount {
+		t.Fatalf("hi = %g, want clamped to view size %g", hi, v.EstimatedCount)
+	}
+	// Intervals already inside the bound are untouched.
+	lo2, hi2 := v.Interval95(1)
+	wantLo, wantHi := CountInterval(1, 1.0/50, 1.96)
+	wantLo, wantHi = ClampUpper(wantLo, wantHi, 500)
+	if lo2 != wantLo || hi2 != wantHi {
+		t.Fatalf("small-n interval = [%g,%g], want [%g,%g]", lo2, hi2, wantLo, wantHi)
+	}
+}
+
+func TestClampUpperWellFormed(t *testing.T) {
+	if lo, hi := ClampUpper(40, 90, 100); lo != 40 || hi != 90 {
+		t.Fatalf("inside bound changed: [%g,%g]", lo, hi)
+	}
+	if lo, hi := ClampUpper(40, 90, 60); lo != 40 || hi != 60 {
+		t.Fatalf("clamp failed: [%g,%g]", lo, hi)
+	}
+	if lo, hi := ClampUpper(40, 90, 10); lo != 40 || hi != 40 {
+		t.Fatalf("bound below lo must collapse to [lo,lo]: [%g,%g]", lo, hi)
+	}
+}
+
 func TestViewInterval95(t *testing.T) {
 	v := &View{Scale: 4} // p = 0.25
 	lo, hi := v.Interval95(100)

@@ -14,6 +14,7 @@ package sampling
 
 import (
 	"math/rand"
+	"sort"
 
 	"smartdrill/internal/rule"
 	"smartdrill/internal/storage"
@@ -34,6 +35,26 @@ type Sample struct {
 	ExactCount int
 
 	lastUsed int64 // eviction clock
+	sorted   []int // cached ascending view of Rows; see sortedRows
+}
+
+// sortedRows returns the sample's rows as an ascending row set, computed
+// once per sample and cached so repeat serves (Find, the cascade's fast
+// path) are zero-cost. Rows itself keeps its reservoir insertion order —
+// budget trims drop a uniform suffix, which a sorted slice would bias —
+// and a trim invalidates the cache by the length check.
+func (s *Sample) sortedRows() []int {
+	if s.sorted != nil && len(s.sorted) == len(s.Rows) {
+		return s.sorted
+	}
+	if sort.IntsAreSorted(s.Rows) {
+		s.sorted = s.Rows
+	} else {
+		s.sorted = make([]int, len(s.Rows))
+		copy(s.sorted, s.Rows)
+		sort.Ints(s.sorted)
+	}
+	return s.sorted
 }
 
 // Rate returns the per-tuple inclusion probability of the sample.

@@ -53,6 +53,14 @@ type createRequest struct {
 	SampleMemory  int  `json:"sample_memory"`
 	MinSampleSize int  `json:"min_sample_size"`
 	Prefetch      bool `json:"prefetch"`
+	// SampleThreshold routes expansions by (sub)view size: views that can
+	// exceed this many rows are searched on a sample (provisional,
+	// confidence-bounded counts, refined to exact afterwards), smaller
+	// ones exactly. 0 samples every expansion when sampling is enabled.
+	SampleThreshold int `json:"sample_threshold"`
+	// DisableSampling forces exact search even when the sampling fields
+	// are set — the ablation/debugging switch.
+	DisableSampling bool `json:"disable_sampling"`
 	// Sum optimizes the named measure column instead of tuple counts.
 	Sum string `json:"sum"`
 	// Seed fixes the sampling RNG for reproducible sessions.
@@ -122,6 +130,12 @@ func (s *Server) buildEngine(d dataset, req createRequest) (*smartdrill.Engine, 
 		if req.Prefetch {
 			opts = append(opts, smartdrill.WithPrefetch())
 		}
+		if req.SampleThreshold > 0 {
+			opts = append(opts, smartdrill.WithSampleThreshold(req.SampleThreshold))
+		}
+	}
+	if req.DisableSampling {
+		opts = append(opts, smartdrill.WithSamplingDisabled())
 	}
 	if req.Sum != "" {
 		o, err := smartdrill.WithSum(d.table, req.Sum)
@@ -211,7 +225,17 @@ func (s *Server) handleDrill(w http.ResponseWriter, r *http.Request) {
 		Search: &stats,
 		Node:   encodeNode(sess.eng, n, req.Path),
 	}
+	var provisional []*smartdrill.Node
+	if s.cfg.BackgroundRefine {
+		provisional = sess.eng.ProvisionalNodesIn(n)
+	}
 	sess.mu.Unlock()
+	if len(provisional) > 0 {
+		// Respond with the provisional estimates immediately; exact counts
+		// arrive in the background and show up on the next /tree fetch.
+		s.refiners.Add(1)
+		go s.refineNodes(sess, provisional)
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 

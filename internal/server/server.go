@@ -61,6 +61,13 @@ type Config struct {
 	// ShutdownGrace bounds how long Shutdown waits for in-flight requests.
 	// Default 10s.
 	ShutdownGrace time.Duration
+	// BackgroundRefine re-counts provisional (sample-estimated) drill
+	// results exactly in a background goroutine after each /drill response,
+	// so a later /tree fetch shows authoritative counts without the analyst
+	// paying for the passes. The SSE stream endpoint refines inline (refine
+	// events) regardless of this setting. Off by default so tests and
+	// embedders get deterministic trees; cmd/smartdrilld enables it.
+	BackgroundRefine bool
 	// Logger receives request logs; nil logs to stderr.
 	Logger *log.Logger
 }
@@ -104,6 +111,10 @@ type Server struct {
 
 	mu       sync.RWMutex
 	datasets map[string]dataset
+
+	// refiners tracks in-flight background refinement goroutines so tests
+	// and embedders can await quiescence (WaitRefiners).
+	refiners sync.WaitGroup
 
 	handler http.Handler
 }
@@ -162,6 +173,24 @@ func (s *Server) Handler() http.Handler { return s.handler }
 
 // SessionCount reports the number of live sessions.
 func (s *Server) SessionCount() int { return s.store.len() }
+
+// WaitRefiners blocks until every in-flight background refinement
+// goroutine has finished — for tests and embedders that need the
+// provisional→exact lifecycle settled before inspecting session trees.
+func (s *Server) WaitRefiners() { s.refiners.Wait() }
+
+// refineNodes is the background refiner: it re-counts each provisional
+// node exactly (one accounted pass per node), taking the session lock per
+// node so live drill requests on the same session interleave with
+// refinement instead of queueing behind all the passes.
+func (s *Server) refineNodes(sess *session, nodes []*smartdrill.Node) {
+	defer s.refiners.Done()
+	for _, n := range nodes {
+		sess.mu.Lock()
+		sess.eng.RefineNode(n)
+		sess.mu.Unlock()
+	}
+}
 
 func (s *Server) routes() http.Handler {
 	mux := http.NewServeMux()

@@ -25,8 +25,14 @@ import (
 //	max_rules  stop after this many rules (default 0 = budget-bound only)
 //
 // Events: one "rule" event per discovered rule carrying the child's
-// nodeJSON, then a single "done" event with summary statistics. Client
-// disconnects cancel the search at the next rule boundary.
+// nodeJSON. When the search answered from a sample (large views on a
+// sampled session), rule counts are provisional estimates with confidence
+// intervals; after the search the stream re-counts each provisional rule
+// exactly and pushes one "refine" event per rule — the same nodeJSON with
+// the exact count, exact:true, and no CI — so the display converges to
+// authoritative numbers without a new request. A single "done" event with
+// summary statistics ends the stream. Client disconnects cancel the search
+// (and any pending refinement) at the next event boundary.
 func (s *Server) handleDrillStream(w http.ResponseWriter, r *http.Request) {
 	sess, ok := s.lookupSession(w, r)
 	if !ok {
@@ -64,12 +70,13 @@ func (s *Server) handleDrillStream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// The stream holds the session lock for its whole duration: a
-	// concurrent drill would mutate the tree under the running search.
+	// The search phase holds the session lock for its whole (budgeted)
+	// duration: a concurrent drill would mutate the tree under the running
+	// incremental search.
 	sess.mu.Lock()
-	defer sess.mu.Unlock()
 	n, err := sess.eng.NodeByPath(path)
 	if err != nil {
+		sess.mu.Unlock()
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
@@ -94,8 +101,44 @@ func (s *Server) handleDrillStream(w http.ResponseWriter, r *http.Request) {
 		rules++
 		return true
 	})
+	access := sess.eng.LastAccessMethod()
+	children := append([]*smartdrill.Node{}, n.Children...)
+	sess.mu.Unlock()
+
+	// Refinement phase: replace every provisional count the search just
+	// streamed with the exact one (one accounted pass per rule), pushing a
+	// refine event as each lands. The analyst saw provisional rules within
+	// the interactive budget; the authoritative counts follow on the same
+	// connection. Unlike the search, refinement takes the session lock per
+	// node (the background refiner's discipline), so concurrent requests on
+	// this session interleave with the passes instead of queueing behind
+	// them — RefineNode skips any child a concurrent drill orphans.
+	refined := 0
+	if err == nil {
+		for i, child := range children {
+			if ctx.Err() != nil {
+				break // client went away; stop paying for passes
+			}
+			if child.Exact {
+				continue
+			}
+			sess.mu.Lock()
+			var payload *nodeJSON
+			if sess.eng.RefineNode(child) {
+				payload = encodeNode(sess.eng, child, append(path, i))
+			}
+			sess.mu.Unlock()
+			if payload != nil {
+				writeSSE(w, "refine", payload)
+				flusher.Flush()
+				refined++
+			}
+		}
+	}
 	done := map[string]any{
 		"rules":      rules,
+		"refined":    refined,
+		"access":     access,
 		"elapsed_ms": time.Since(start).Milliseconds(),
 	}
 	if err != nil {

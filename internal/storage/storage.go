@@ -35,6 +35,13 @@ type Stats struct {
 	// from rule-filter lookups so both access paths stay individually
 	// visible in pass-count experiments.
 	SearchIndexRead int64
+	// SampledRowsRead counts rows the search read from in-memory uniform
+	// samples instead of the authoritative table (the approximate
+	// pipeline's working set, reported via AccountSampledRead). These are
+	// memory reads, not disk I/O — the whole point of the sampled path —
+	// but experiments need them visible to report how much work the
+	// samples absorbed.
+	SampledRowsRead int64
 }
 
 // Store wraps the authoritative full table behind a scan interface with
@@ -52,6 +59,7 @@ type Store struct {
 	indexLookups    int64
 	indexRowsRead   int64
 	searchIndexRead int64
+	sampledRowsRead int64
 }
 
 // NewStore wraps t.
@@ -118,6 +126,18 @@ func (s *Store) AccountSearchIndex(entries int64) {
 	s.mu.Unlock()
 }
 
+// AccountSampledRead charges rows the search read from in-memory uniform
+// samples (BRS reports its Stats.SampledRowsScanned here after each
+// sampled search).
+func (s *Store) AccountSampledRead(rows int64) {
+	if rows == 0 {
+		return
+	}
+	s.mu.Lock()
+	s.sampledRowsRead += rows
+	s.mu.Unlock()
+}
+
 // Stats returns a snapshot of accumulated I/O counters.
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
@@ -128,6 +148,7 @@ func (s *Store) Stats() Stats {
 		IndexLookups:    s.indexLookups,
 		IndexRowsRead:   s.indexRowsRead,
 		SearchIndexRead: s.searchIndexRead,
+		SampledRowsRead: s.sampledRowsRead,
 	}
 }
 
@@ -137,6 +158,7 @@ func (s *Store) ResetStats() {
 	s.fullScans, s.rowsRead = 0, 0
 	s.indexLookups, s.indexRowsRead = 0, 0
 	s.searchIndexRead = 0
+	s.sampledRowsRead = 0
 	s.mu.Unlock()
 }
 

@@ -6,6 +6,8 @@ import (
 	"io"
 	"os"
 	"strconv"
+
+	"smartdrill/internal/rule"
 )
 
 // Automatic schema detection (Section 6.2): the drill-down framework is
@@ -17,6 +19,15 @@ import (
 // bucketized into a categorical "<name>_bucket" column. Low-cardinality
 // numeric columns (already-bucketized codes, booleans, ratings) stay
 // categorical, matching how the paper's datasets arrive pre-bucketized.
+//
+// The reader streams: each record is dictionary-encoded the moment it is
+// read, so peak transient memory is the encoded table itself (4 bytes per
+// cell plus one interned string per distinct value) — never a [][]string
+// of every cell, which on a million-row CSV costs an order of magnitude
+// more than the table it produces. Numeric classification needs no second
+// pass over the rows either: a column is all-numeric exactly when every
+// entry of its dictionary parses, so the decision reads distinct values,
+// not cells.
 
 // AutoOptions tunes ReadCSVAuto. Zero values mean: maxDistinct 20,
 // 6 buckets, equi-depth.
@@ -41,40 +52,67 @@ func (o AutoOptions) withDefaults() AutoOptions {
 }
 
 // ReadCSVAuto loads a CSV with automatic numeric-column detection and
-// bucketization. It returns the table plus the names of the columns that
-// were detected as numeric.
+// bucketization, in one streaming pass (see the package comment above on
+// memory). It returns the table plus the names of the columns that were
+// detected as numeric.
 func ReadCSVAuto(r io.Reader, opts AutoOptions) (*Table, []string, error) {
 	opts = opts.withDefaults()
 	cr := csv.NewReader(r)
-	records, err := cr.ReadAll()
+	cr.ReuseRecord = true // field strings are fresh per record; only the slice is reused
+	header, err := cr.Read()
+	if err == io.EOF {
+		return nil, nil, fmt.Errorf("table: empty CSV")
+	}
 	if err != nil {
 		return nil, nil, fmt.Errorf("table: reading CSV: %w", err)
 	}
-	if len(records) == 0 {
-		return nil, nil, fmt.Errorf("table: empty CSV")
-	}
-	header := records[0]
-	rows := records[1:]
+	header = append([]string{}, header...)
+	nc := len(header)
 
-	// Classify columns.
-	numeric := make([]bool, len(header))
-	parsed := make([][]float64, len(header))
-	for c := range header {
-		vals := make([]float64, 0, len(rows))
-		distinct := map[string]struct{}{}
+	// Stream every row into provisional per-column dictionary encodings.
+	dicts := make([]*Dictionary, nc)
+	ids := make([][]rule.Value, nc)
+	for c := range dicts {
+		dicts[c] = NewDictionary()
+	}
+	rows := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("table: reading CSV: %w", err)
+		}
+		for c := 0; c < nc; c++ {
+			ids[c] = append(ids[c], dicts[c].Encode(rec[c]))
+		}
+		rows++
+	}
+
+	// Classify columns from their dictionaries: all-numeric means every
+	// distinct value parses, and only high-cardinality numeric columns are
+	// bucketized.
+	numeric := make([]bool, nc)
+	idFloat := make([][]float64, nc) // value id → parsed float, numeric columns only
+	for c := 0; c < nc; c++ {
+		d := dicts[c]
+		if rows == 0 || d.Len() <= opts.MaxDistinct {
+			continue
+		}
+		fv := make([]float64, d.Len())
 		allNumeric := true
-		for _, rec := range rows {
-			v, err := strconv.ParseFloat(rec[c], 64)
+		for id := range fv {
+			v, err := strconv.ParseFloat(d.Decode(rule.Value(id)), 64)
 			if err != nil {
 				allNumeric = false
 				break
 			}
-			vals = append(vals, v)
-			distinct[rec[c]] = struct{}{}
+			fv[id] = v
 		}
-		if allNumeric && len(distinct) > opts.MaxDistinct && len(rows) > 0 {
+		if allNumeric {
 			numeric[c] = true
-			parsed[c] = vals
+			idFloat[c] = fv
 		}
 	}
 
@@ -90,40 +128,40 @@ func ReadCSVAuto(r io.Reader, opts AutoOptions) (*Table, []string, error) {
 			catNames = append(catNames, name)
 		}
 	}
-	labels := make([][]string, len(header))
-	for c := range header {
-		if !numeric[c] {
-			continue
-		}
-		ls, _, err := Bucketize(parsed[c], opts.Buckets, opts.Scheme)
-		if err != nil {
-			return nil, nil, err
-		}
-		labels[c] = ls
-	}
-
 	b, err := NewBuilder(catNames, measNames)
 	if err != nil {
 		return nil, nil, err
 	}
-	cat := make([]string, len(catNames))
-	meas := make([]float64, len(measNames))
-	for i, rec := range rows {
-		ci, mi := 0, 0
-		for c := range header {
-			if numeric[c] {
-				cat[ci] = labels[c][i]
-				meas[mi] = parsed[c][i]
-				mi++
-			} else {
-				cat[ci] = rec[c]
-			}
-			ci++
+	// Fill the table's column arrays directly: categorical columns adopt
+	// the provisional encodings as-is (same dictionaries, same ids — no
+	// re-encoding pass), numeric columns materialize their per-row floats
+	// once for bucket boundaries and the measure array.
+	t := b.t
+	mi := 0
+	for c := 0; c < nc; c++ { // final column order equals header order
+		if !numeric[c] {
+			t.dicts[c] = dicts[c]
+			t.cols[c] = ids[c]
+			continue
 		}
-		if err := b.AddRow(cat, meas); err != nil {
-			return nil, nil, fmt.Errorf("table: row %d: %w", i+2, err)
+		vals := make([]float64, rows)
+		for i, id := range ids[c] {
+			vals[i] = idFloat[c][id]
 		}
+		labels, _, err := Bucketize(vals, opts.Buckets, opts.Scheme)
+		if err != nil {
+			return nil, nil, err
+		}
+		col := make([]rule.Value, rows)
+		for i, l := range labels {
+			col[i] = t.dicts[c].Encode(l)
+		}
+		t.cols[c] = col
+		t.measures[mi] = vals
+		mi++
+		ids[c] = nil // the provisional encoding is dead; free it eagerly
 	}
+	t.n = rows
 	return b.Build(), numericNames, nil
 }
 

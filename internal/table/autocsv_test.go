@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+
+	"smartdrill/internal/rule"
 )
 
 func autoFixture() string {
@@ -86,6 +88,49 @@ func TestReadCSVAutoErrors(t *testing.T) {
 	}
 	if _, _, err := ReadCSVAutoFile("/nonexistent.csv", AutoOptions{}); err == nil {
 		t.Error("missing file must fail")
+	}
+}
+
+// TestReadCSVAutoStreamingContent pins the streaming reader's output to
+// the slurping implementation it replaced: cell values, measure values,
+// and dictionary id order (first-seen) must be unchanged.
+func TestReadCSVAutoStreamingContent(t *testing.T) {
+	tab, _, err := ReadCSVAuto(strings.NewReader(autoFixture()), AutoOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	age, err := tab.MeasureIndex("Age")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < tab.NumRows(); i++ {
+		wantStore := fmt.Sprintf("s%d", i%4)
+		if got := tab.Dict(0).Decode(tab.Value(0, i)); got != wantStore {
+			t.Fatalf("row %d Store = %q, want %q", i, got, wantStore)
+		}
+		wantRating := fmt.Sprintf("%d", i%3)
+		if got := tab.Dict(2).Decode(tab.Value(2, i)); got != wantRating {
+			t.Fatalf("row %d Rating = %q, want %q", i, got, wantRating)
+		}
+		if got := tab.Measure(age)[i]; got != float64(18+i) {
+			t.Fatalf("row %d Age measure = %g, want %d", i, got, 18+i)
+		}
+	}
+	// First-seen dictionary order: s0 < s1 < s2 < s3.
+	for id := 0; id < 4; id++ {
+		if got := tab.Dict(0).Decode(rule.Value(id)); got != fmt.Sprintf("s%d", id) {
+			t.Fatalf("dict id %d = %q, want first-seen order", id, got)
+		}
+	}
+}
+
+func TestReadCSVAutoHeaderOnly(t *testing.T) {
+	tab, numeric, err := ReadCSVAuto(strings.NewReader("A,B\n"), AutoOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 0 || tab.NumCols() != 2 || len(numeric) != 0 {
+		t.Fatalf("header-only CSV: rows=%d cols=%d numeric=%v", tab.NumRows(), tab.NumCols(), numeric)
 	}
 }
 

@@ -10,6 +10,7 @@ package table
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 
 	"smartdrill/internal/rule"
@@ -30,11 +31,16 @@ func NewDictionary() *Dictionary {
 	return &Dictionary{byValue: make(map[string]rule.Value)}
 }
 
-// Encode returns the id for s, interning it if unseen.
+// Encode returns the id for s, interning it if unseen. Interned strings
+// are cloned: callers routinely pass substrings of larger buffers (CSV
+// readers return fields slicing one backing line per record), and keeping
+// such a substring alive would pin its whole backing array for the
+// table's lifetime.
 func (d *Dictionary) Encode(s string) rule.Value {
 	if id, ok := d.byValue[s]; ok {
 		return id
 	}
+	s = strings.Clone(s)
 	id := rule.Value(len(d.values))
 	d.byValue[s] = id
 	d.values = append(d.values, s)

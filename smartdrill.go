@@ -164,6 +164,21 @@ func WithSampling(memory, minSS int) Option {
 	}
 }
 
+// WithSampleThreshold routes expansions by (sub)view size when sampling is
+// enabled: views that can exceed rows tuples are searched on a uniform
+// sample and display provisional, confidence-bounded counts; smaller views
+// are searched exactly. 0 (the default) samples every expansion.
+func WithSampleThreshold(rows int) Option {
+	return func(c *drill.Config) { c.SampleThreshold = rows }
+}
+
+// WithSamplingDisabled forces every expansion down the exact path even when
+// sampling options are set — the ablation switch: results are bit-identical
+// to a session configured without sampling.
+func WithSamplingDisabled() Option {
+	return func(c *drill.Config) { c.DisableSampling = true }
+}
+
 // WithPrefetch enables background-style sample reallocation after each
 // expansion, so the next drill-down is likely served from memory.
 func WithPrefetch() Option { return func(c *drill.Config) { c.Prefetch = true } }
@@ -232,6 +247,20 @@ func (e *Engine) Collapse(n *Node) { e.s.Collapse(n) }
 func (e *Engine) DrillDownStream(n *Node, maxRules int, budget time.Duration, onRule func(*Node) bool) error {
 	return e.s.ExpandStream(n, maxRules, budget, onRule)
 }
+
+// RefineNode replaces a provisional (sample-estimated) node count with the
+// exact aggregate, learned with one accounted pass over the table — the
+// provisional→exact half of the approximate pipeline. It reports whether
+// the node changed; exact nodes and nodes no longer in the displayed tree
+// (orphaned by a collapse or re-expansion) are untouched.
+func (e *Engine) RefineNode(n *Node) bool { return e.s.RefineNode(n) }
+
+// ProvisionalNodes lists displayed nodes whose counts are still sample
+// estimates, in display order — the refiner's work queue.
+func (e *Engine) ProvisionalNodes() []*Node { return e.s.ProvisionalNodes() }
+
+// ProvisionalNodesIn is ProvisionalNodes restricted to n's subtree.
+func (e *Engine) ProvisionalNodesIn(n *Node) []*Node { return e.s.ProvisionalNodesIn(n) }
 
 // ConfidenceInterval returns 95% bounds on a node's true count. For exact
 // counts both bounds equal Count.
