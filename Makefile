@@ -8,7 +8,7 @@ test:
 	$(GO) build ./... && $(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/server/ ./internal/drill/ ./internal/table/ ./internal/brs/
+	$(GO) test -race ./client/ ./internal/server/ ./internal/drill/ ./internal/table/ ./internal/brs/
 
 # bench re-records the search perf trajectory (exact BRS plus the sampled
 # million-row drill pipeline: ns/op, allocs/op, search counters) into

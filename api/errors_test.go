@@ -1,0 +1,56 @@
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+func TestErrorEnvelopeShape(t *testing.T) {
+	raw, err := json.Marshal(ErrorEnvelope{Error: &Error{Code: ErrNotFound, Message: "gone"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"error":{"code":"not_found","message":"gone"}}`
+	if string(raw) != want {
+		t.Fatalf("envelope = %s, want %s", raw, want)
+	}
+	// HTTPStatus never leaks into the body; the status line carries it.
+	var back ErrorEnvelope
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Error.HTTPStatus != 0 {
+		t.Fatalf("HTTPStatus round-tripped through JSON: %d", back.Error.HTTPStatus)
+	}
+}
+
+func TestErrorIsAnError(t *testing.T) {
+	var err error = &Error{Code: ErrBadRule, Message: "star on instantiated column"}
+	wrapped := fmt.Errorf("drilling: %w", err)
+	var apiErr *Error
+	if !errors.As(wrapped, &apiErr) || apiErr.Code != ErrBadRule {
+		t.Fatalf("errors.As failed to recover *Error from %v", wrapped)
+	}
+	if got := err.Error(); got != "bad_rule: star on instantiated column" {
+		t.Fatalf("Error() = %q", got)
+	}
+}
+
+func TestHTTPStatusMapping(t *testing.T) {
+	cases := map[ErrorCode]int{
+		ErrBadRequest: http.StatusBadRequest,
+		ErrBadRule:    http.StatusBadRequest,
+		ErrBudget:     http.StatusBadRequest,
+		ErrNotFound:   http.StatusNotFound,
+		ErrCanceled:   StatusCanceled,
+		ErrInternal:   http.StatusInternalServerError,
+	}
+	for code, want := range cases {
+		if got := HTTPStatus(code); got != want {
+			t.Errorf("HTTPStatus(%s) = %d, want %d", code, got, want)
+		}
+	}
+}

@@ -1,0 +1,265 @@
+// Package client is the Go SDK for the smart drill-down v1 HTTP API
+// served by cmd/smartdrilld. It speaks the api package's DTOs verbatim —
+// stable node IDs, the uniform error envelope, and the SSE streaming
+// events — so anything expressible in the wire contract is expressible
+// through the SDK; cmd/smartdrill's -remote mode rebuilds the whole CLI
+// on it.
+//
+// Basic use:
+//
+//	c := client.New("http://localhost:8080")
+//	tree, _ := c.CreateSession(ctx, api.CreateSessionRequest{Dataset: "store"})
+//	resp, _ := c.Drill(ctx, tree.ID, api.DrillRequest{Node: tree.Root.ID})
+//	for _, child := range resp.Node.Children {
+//		fmt.Println(child.Display, child.Count)
+//	}
+//
+// Failures decode into *api.Error, so callers can branch on the
+// machine-readable code:
+//
+//	var apiErr *api.Error
+//	if errors.As(err, &apiErr) && apiErr.Code == api.ErrNotFound { ... }
+//
+// Every method takes a context; canceling it aborts the HTTP request, and
+// — because the server threads request contexts into its BRS search — a
+// canceled in-flight drill stops the server-side search too.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"smartdrill/api"
+)
+
+// Client talks to one smartdrilld server. It is safe for concurrent use.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying HTTP client (custom
+// transports, timeouts, instrumentation). Streaming calls rely on the
+// client not buffering response bodies.
+func WithHTTPClient(h *http.Client) Option {
+	return func(c *Client) { c.http = h }
+}
+
+// New builds a Client for the server at baseURL (e.g.
+// "http://localhost:8080"); a trailing slash is tolerated.
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{
+		base: strings.TrimRight(baseURL, "/"),
+		http: &http.Client{},
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// BaseURL reports the server address the client was built with.
+func (c *Client) BaseURL() string { return c.base }
+
+// Health fetches the server's health report (status, build version,
+// session count, per-dataset row counts).
+func (c *Client) Health(ctx context.Context) (*api.Health, error) {
+	var out api.Health
+	if err := c.do(ctx, http.MethodGet, "/v1/health", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Datasets lists the server's registered datasets.
+func (c *Client) Datasets(ctx context.Context) ([]api.Dataset, error) {
+	var out api.DatasetList
+	if err := c.do(ctx, http.MethodGet, "/v1/datasets", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Datasets, nil
+}
+
+// CreateSession starts a drill-down session and returns its initial tree
+// (the root rule covering the whole dataset).
+func (c *Client) CreateSession(ctx context.Context, req api.CreateSessionRequest) (*api.Tree, error) {
+	var out api.Tree
+	if err := c.do(ctx, http.MethodPost, "/v1/sessions", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Tree fetches a session's full displayed tree.
+func (c *Client) Tree(ctx context.Context, sessionID string) (*api.Tree, error) {
+	var out api.Tree
+	if err := c.do(ctx, http.MethodGet, "/v1/sessions/"+url.PathEscape(sessionID)+"/tree", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Drill expands the addressed node — a smart drill-down, or the paper's
+// star drill-down when req.Column is set. Canceling ctx mid-request stops
+// the server-side BRS search between counting passes.
+func (c *Client) Drill(ctx context.Context, sessionID string, req api.DrillRequest) (*api.DrillResponse, error) {
+	var out api.DrillResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/sessions/"+url.PathEscape(sessionID)+"/drill", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Collapse rolls up the addressed node (req.Column is ignored).
+func (c *Client) Collapse(ctx context.Context, sessionID string, req api.DrillRequest) (*api.DrillResponse, error) {
+	var out api.DrillResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/sessions/"+url.PathEscape(sessionID)+"/collapse", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Refine upgrades one provisional (sample-estimated) node to its exact
+// aggregate with one server-side counting pass.
+func (c *Client) Refine(ctx context.Context, sessionID, nodeID string) (*api.RefineResponse, error) {
+	var out api.RefineResponse
+	req := api.RefineRequest{Node: nodeID}
+	if err := c.do(ctx, http.MethodPost, "/v1/sessions/"+url.PathEscape(sessionID)+"/refine", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Traditional runs the classic OLAP drill-down listing on one column under
+// the addressed node (read-only).
+func (c *Client) Traditional(ctx context.Context, sessionID string, req api.TraditionalRequest) (*api.TraditionalResponse, error) {
+	var out api.TraditionalResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/sessions/"+url.PathEscape(sessionID)+"/traditional", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// DeleteSession discards a session.
+func (c *Client) DeleteSession(ctx context.Context, sessionID string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/sessions/"+url.PathEscape(sessionID), nil, nil)
+}
+
+// StreamOptions parameterizes DrillStream.
+type StreamOptions struct {
+	// Node addresses the node to expand by stable ID ("" = root).
+	Node string
+	// Budget bounds the anytime search; 0 uses the server default. The
+	// server additionally caps it at its configured maximum.
+	Budget time.Duration
+	// MaxRules stops the search after this many rules (0 = budget-bound
+	// only).
+	MaxRules int
+	// OnRule receives each rule the moment the greedy search finds it.
+	// Returning false stops consuming the stream (and, by closing the
+	// connection, cancels the server-side search). May be nil.
+	OnRule func(*api.Node) bool
+	// OnRefine receives each provisional rule re-pushed with its exact
+	// count after the search. May be nil.
+	OnRefine func(*api.Node)
+}
+
+// DrillStream runs the paper's anytime drill-down over SSE: rules arrive
+// through OnRule as the search finds them, provisional counts are refined
+// through OnRefine, and the server's terminal summary is returned.
+// Canceling ctx aborts both the stream and the server-side search. When
+// OnRule stops the stream early, DrillStream returns (nil, nil): the
+// server's summary never arrived, by the caller's own choice.
+func (c *Client) DrillStream(ctx context.Context, sessionID string, opts StreamOptions) (*api.DoneEvent, error) {
+	q := url.Values{}
+	if opts.Node != "" {
+		q.Set("node", opts.Node)
+	}
+	if opts.Budget > 0 {
+		q.Set("budget_ms", strconv.FormatInt(opts.Budget.Milliseconds(), 10))
+	}
+	if opts.MaxRules > 0 {
+		q.Set("max_rules", strconv.Itoa(opts.MaxRules))
+	}
+	target := c.base + "/v1/sessions/" + url.PathEscape(sessionID) + "/drill/stream"
+	if len(q) > 0 {
+		target += "?" + q.Encode()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, target, nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	return consumeStream(ctx, resp.Body, opts)
+}
+
+// do issues one JSON request and decodes a 2xx response into out (which
+// may be nil). Non-2xx responses decode into *api.Error.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return decodeError(resp)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decoding %s %s response: %w", method, path, err)
+	}
+	return nil
+}
+
+// decodeError turns a non-2xx response into an *api.Error, synthesizing
+// one when the body is not the uniform envelope (a proxy in the way, say).
+func decodeError(resp *http.Response) error {
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	var env api.ErrorEnvelope
+	if err := json.Unmarshal(raw, &env); err == nil && env.Error != nil && env.Error.Code != "" {
+		env.Error.HTTPStatus = resp.StatusCode
+		return env.Error
+	}
+	return &api.Error{
+		Code:       api.ErrInternal,
+		Message:    fmt.Sprintf("HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(raw)),
+		HTTPStatus: resp.StatusCode,
+	}
+}

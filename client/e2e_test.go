@@ -1,0 +1,414 @@
+package client_test
+
+// End-to-end client↔server round trips: the SDK driving a real
+// internal/server instance over httptest, covering drill / star-drill /
+// collapse / refine / traditional / SSE streaming with refine events, the
+// error envelope, and cancellation. CI runs this suite under -race.
+
+import (
+	"context"
+	"errors"
+	"io"
+	"log"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"smartdrill"
+	"smartdrill/api"
+	"smartdrill/client"
+	"smartdrill/internal/datagen"
+	"smartdrill/internal/server"
+)
+
+var censusTable = sync.OnceValue(func() *smartdrill.Table {
+	return datagen.CensusProjected(20000, 7, 7)
+})
+
+// newClient spins a server with the store and census datasets and returns
+// an SDK client pointed at it.
+func newClient(t *testing.T, cfg server.Config) *client.Client {
+	t.Helper()
+	cfg.Logger = log.New(io.Discard, "", 0)
+	s := server.New(cfg)
+	s.RegisterDataset("store", datagen.StoreSales(42))
+	s.RegisterDataset("census", censusTable())
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return client.New(ts.URL)
+}
+
+func TestEndToEndExactSession(t *testing.T) {
+	c := newClient(t, server.Config{})
+	ctx := context.Background()
+
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Version != smartdrill.Version || len(h.Datasets) != 2 {
+		t.Fatalf("health: %+v", h)
+	}
+
+	ds, err := c.Datasets(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 2 || ds[1].Name != "store" || ds[1].Rows != 6000 {
+		t.Fatalf("datasets: %+v", ds)
+	}
+
+	tree, err := c.CreateSession(ctx, api.CreateSessionRequest{Dataset: "store", K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Root.ID != "n1" || tree.Root.Count != 6000 || !tree.Root.Exact {
+		t.Fatalf("root: %+v", tree.Root)
+	}
+
+	// Drill the root by its stable ID; the running example's planted
+	// (Walmart,?,?) group must surface with 1000 tuples.
+	dr, err := c.Drill(ctx, tree.ID, api.DrillRequest{Node: tree.Root.ID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dr.Access != "direct" || dr.Search == nil || dr.Search.CandidatesCounted == 0 {
+		t.Fatalf("drill meta: access %q search %+v", dr.Access, dr.Search)
+	}
+	var walmart *api.Node
+	for _, child := range dr.Node.Children {
+		if child.Rule["Store"] == "Walmart" {
+			walmart = child
+		}
+	}
+	if walmart == nil || walmart.Count != 1000 {
+		t.Fatalf("no (Walmart,?,?) with count 1000 in %+v", dr.Node.Children)
+	}
+
+	// Star drill on Region under the Walmart node, again by ID.
+	star, err := c.Drill(ctx, tree.ID, api.DrillRequest{Node: walmart.ID, Column: "Region"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(star.Node.Children) == 0 {
+		t.Fatal("star drill returned no children")
+	}
+	for _, child := range star.Node.Children {
+		if child.Rule["Region"] == "" {
+			t.Fatalf("star drill child without Region: %+v", child)
+		}
+	}
+
+	// The node ID held across the sibling mutation: re-fetch and compare.
+	full, err := c.Tree(ctx, tree.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var again *api.Node
+	for _, child := range full.Root.Children {
+		if child.ID == walmart.ID {
+			again = child
+		}
+	}
+	if again == nil || again.Rule["Store"] != "Walmart" {
+		t.Fatalf("stable ID %q did not survive: %+v", walmart.ID, full.Root.Children)
+	}
+
+	// Traditional listing under the root.
+	trad, err := c.Traditional(ctx, tree.ID, api.TraditionalRequest{Node: tree.Root.ID, Column: "Store"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trad.Groups) == 0 {
+		t.Fatal("traditional drill-down returned no groups")
+	}
+
+	// Collapse by ID; the node's children (and their IDs) disappear.
+	col, err := c.Collapse(ctx, tree.ID, api.DrillRequest{Node: walmart.ID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(col.Node.Children) != 0 {
+		t.Fatalf("collapse left %d children", len(col.Node.Children))
+	}
+	if _, err := c.Drill(ctx, tree.ID, api.DrillRequest{Node: star.Node.Children[0].ID}); err == nil {
+		t.Fatal("drilling a collapsed-away node ID should fail")
+	} else {
+		var apiErr *api.Error
+		if !errors.As(err, &apiErr) || apiErr.Code != api.ErrNotFound {
+			t.Fatalf("collapsed node drill error = %v, want api.ErrNotFound", err)
+		}
+	}
+
+	if err := c.DeleteSession(ctx, tree.ID); err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Tree(ctx, tree.ID)
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) || apiErr.Code != api.ErrNotFound || apiErr.HTTPStatus != 404 {
+		t.Fatalf("tree after delete: err %v, want not_found/404", err)
+	}
+}
+
+// sampledCreate is the canonical sampled census session: large enough to
+// actually sample, deterministic via the seed.
+func sampledCreate() api.CreateSessionRequest {
+	return api.CreateSessionRequest{
+		Dataset:         "census",
+		K:               4,
+		SampleMemory:    20000,
+		MinSampleSize:   2000,
+		SampleThreshold: 5000,
+		Seed:            1,
+	}
+}
+
+func TestEndToEndSampledRefine(t *testing.T) {
+	c := newClient(t, server.Config{})
+	ctx := context.Background()
+
+	tree, err := c.CreateSession(ctx, sampledCreate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr, err := c.Drill(ctx, tree.ID, api.DrillRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dr.Access == "direct" {
+		t.Fatal("census drill should have sampled")
+	}
+	var prov *api.Node
+	for _, child := range dr.Node.Children {
+		if !child.Exact {
+			prov = child
+			break
+		}
+	}
+	if prov == nil {
+		t.Fatal("sampled drill returned no provisional children")
+	}
+	if prov.CI == nil {
+		t.Fatalf("provisional child without CI: %+v", prov)
+	}
+
+	// Refine the provisional node by ID: the exact count lands, the CI
+	// goes away, and the answer is idempotent.
+	ref, err := c.Refine(ctx, tree.ID, prov.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ref.Changed || !ref.Node.Exact || ref.Node.CI != nil {
+		t.Fatalf("refine: %+v", ref)
+	}
+	again, err := c.Refine(ctx, tree.ID, prov.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Changed || again.Node.Count != ref.Node.Count {
+		t.Fatalf("second refine changed the node: %+v vs %+v", again, ref)
+	}
+}
+
+func TestEndToEndStreamRefineEvents(t *testing.T) {
+	c := newClient(t, server.Config{})
+	ctx := context.Background()
+
+	tree, err := c.CreateSession(ctx, sampledCreate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := map[string]*api.Node{}
+	refines := map[string]*api.Node{}
+	done, err := c.DrillStream(ctx, tree.ID, client.StreamOptions{
+		Node:     tree.Root.ID,
+		Budget:   10 * time.Second,
+		MaxRules: 4,
+		OnRule: func(n *api.Node) bool {
+			if n.Exact {
+				t.Errorf("rule event off the sample claims exactness: %+v", n)
+			}
+			if n.CI == nil {
+				t.Errorf("provisional rule without CI: %+v", n)
+			}
+			rules[n.ID] = n
+			return true
+		},
+		OnRefine: func(n *api.Node) {
+			if _, seen := rules[n.ID]; !seen {
+				t.Errorf("refine for %s before its rule event", n.ID)
+			}
+			if !n.Exact || n.CI != nil {
+				t.Errorf("refine event not exact: %+v", n)
+			}
+			refines[n.ID] = n
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.Error != "" || done.ErrorCode != "" {
+		t.Fatalf("stream error: %+v", done)
+	}
+	if done.Rules != len(rules) || done.Refined != len(refines) {
+		t.Fatalf("done reports %d/%d, callbacks saw %d/%d", done.Rules, done.Refined, len(rules), len(refines))
+	}
+	if len(rules) == 0 {
+		t.Fatal("no rules streamed")
+	}
+	for id := range rules {
+		if _, ok := refines[id]; !ok {
+			t.Fatalf("provisional rule %s never refined", id)
+		}
+	}
+}
+
+// TestStreamClientCancel: canceling the context mid-stream aborts with the
+// context's error and leaves the session usable — the dropped request does
+// not poison it.
+func TestStreamClientCancel(t *testing.T) {
+	c := newClient(t, server.Config{})
+	tree, err := c.CreateSession(context.Background(), api.CreateSessionRequest{Dataset: "census", K: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, err = c.DrillStream(ctx, tree.ID, client.StreamOptions{
+		Budget: 30 * time.Second,
+		OnRule: func(n *api.Node) bool {
+			cancel() // first rule arrived: abandon the request
+			return true
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled stream: err %v, want context.Canceled", err)
+	}
+
+	// The session still answers — and a full drill works.
+	dr, err := c.Drill(context.Background(), tree.ID, api.DrillRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dr.Node.Children) != 4 {
+		t.Fatalf("drill after cancel: %d children, want 4", len(dr.Node.Children))
+	}
+}
+
+// TestStreamEarlyStop: OnRule returning false ends the stream from the
+// client side without an error.
+func TestStreamEarlyStop(t *testing.T) {
+	c := newClient(t, server.Config{})
+	tree, err := c.CreateSession(context.Background(), api.CreateSessionRequest{Dataset: "store"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	done, err := c.DrillStream(context.Background(), tree.ID, client.StreamOptions{
+		Budget: 5 * time.Second,
+		OnRule: func(n *api.Node) bool {
+			seen++
+			return false
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done != nil {
+		t.Fatalf("early-stopped stream returned a done event: %+v", done)
+	}
+	if seen != 1 {
+		t.Fatalf("OnRule ran %d times after returning false, want 1", seen)
+	}
+}
+
+// TestErrorEnvelope exercises the typed error path for each code class.
+func TestErrorEnvelope(t *testing.T) {
+	c := newClient(t, server.Config{})
+	ctx := context.Background()
+	tree, err := c.CreateSession(ctx, api.CreateSessionRequest{Dataset: "store"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		call func() error
+		want api.ErrorCode
+	}{
+		{"unknown dataset", func() error {
+			_, err := c.CreateSession(ctx, api.CreateSessionRequest{Dataset: "nope"})
+			return err
+		}, api.ErrNotFound},
+		{"oversized k", func() error {
+			_, err := c.CreateSession(ctx, api.CreateSessionRequest{Dataset: "store", K: 9999})
+			return err
+		}, api.ErrBudget},
+		{"malformed node id", func() error {
+			_, err := c.Drill(ctx, tree.ID, api.DrillRequest{Node: "bogus"})
+			return err
+		}, api.ErrBadRule},
+		{"unknown node id", func() error {
+			_, err := c.Drill(ctx, tree.ID, api.DrillRequest{Node: "n99999"})
+			return err
+		}, api.ErrNotFound},
+		{"star on unknown column", func() error {
+			_, err := c.Drill(ctx, tree.ID, api.DrillRequest{Column: "Nope"})
+			return err
+		}, api.ErrBadRule},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.call()
+			var apiErr *api.Error
+			if !errors.As(err, &apiErr) {
+				t.Fatalf("err %v is not *api.Error", err)
+			}
+			if apiErr.Code != tc.want {
+				t.Fatalf("code %q, want %q (message %q)", apiErr.Code, tc.want, apiErr.Message)
+			}
+			if apiErr.HTTPStatus != api.HTTPStatus(tc.want) {
+				t.Fatalf("status %d, want %d", apiErr.HTTPStatus, api.HTTPStatus(tc.want))
+			}
+		})
+	}
+}
+
+// TestConcurrentClients hammers one server from several SDK clients under
+// -race: distinct sessions in parallel, plus one shared session.
+func TestConcurrentClients(t *testing.T) {
+	c := newClient(t, server.Config{})
+	ctx := context.Background()
+	shared, err := c.CreateSession(ctx, api.CreateSessionRequest{Dataset: "store"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			own, err := c.CreateSession(ctx, api.CreateSessionRequest{Dataset: "store", Seed: int64(g + 1)})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := c.Drill(ctx, own.ID, api.DrillRequest{}); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := c.Drill(ctx, shared.ID, api.DrillRequest{}); err != nil {
+				t.Error(err)
+			}
+		}(g)
+	}
+	wg.Wait()
+	full, err := c.Tree(ctx, shared.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Root.Children) == 0 || len(full.Root.Children) > 3 {
+		t.Fatalf("shared tree has %d children after concurrent drills", len(full.Root.Children))
+	}
+}

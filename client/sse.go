@@ -1,0 +1,86 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"smartdrill/api"
+)
+
+// Minimal Server-Sent-Events consumer for the drill stream. The server
+// emits exactly "event:" + "data:" line pairs separated by blank lines;
+// this reader tolerates the other field names the SSE spec allows (id,
+// retry, comments) by ignoring them.
+
+// consumeStream dispatches events to the callbacks until the done event,
+// the callbacks ask to stop, or ctx/EOF ends the stream.
+func consumeStream(ctx context.Context, body io.Reader, opts StreamOptions) (*api.DoneEvent, error) {
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var event, data string
+	flush := func() (done *api.DoneEvent, stop bool, err error) {
+		if event == "" {
+			return nil, false, nil
+		}
+		defer func() { event, data = "", "" }()
+		switch event {
+		case api.EventRule:
+			var n api.Node
+			if err := json.Unmarshal([]byte(data), &n); err != nil {
+				return nil, false, fmt.Errorf("client: bad rule event %q: %w", data, err)
+			}
+			if opts.OnRule != nil && !opts.OnRule(&n) {
+				return nil, true, nil
+			}
+		case api.EventRefine:
+			var n api.Node
+			if err := json.Unmarshal([]byte(data), &n); err != nil {
+				return nil, false, fmt.Errorf("client: bad refine event %q: %w", data, err)
+			}
+			if opts.OnRefine != nil {
+				opts.OnRefine(&n)
+			}
+		case api.EventDone:
+			var d api.DoneEvent
+			if err := json.Unmarshal([]byte(data), &d); err != nil {
+				return nil, false, fmt.Errorf("client: bad done event %q: %w", data, err)
+			}
+			return &d, true, nil
+		}
+		return nil, false, nil
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event:"):
+			event = strings.TrimSpace(strings.TrimPrefix(line, "event:"))
+		case strings.HasPrefix(line, "data:"):
+			if data != "" {
+				data += "\n"
+			}
+			data += strings.TrimPrefix(strings.TrimPrefix(line, "data:"), " ")
+		case line == "":
+			done, stop, err := flush()
+			if err != nil {
+				return nil, err
+			}
+			if done != nil || stop {
+				return done, nil
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, err
+	}
+	if ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
+	return nil, fmt.Errorf("client: stream ended without a done event")
+}

@@ -1,0 +1,140 @@
+package main
+
+// localBackend drives an in-process Engine — the original single-binary
+// mode.
+
+import (
+	"os"
+	"time"
+
+	"smartdrill"
+)
+
+type localBackend struct {
+	e *smartdrill.Engine
+}
+
+// nodeAt resolves a display row index (depth-first order as rendered,
+// root = 0) to its node, or nil.
+func (b *localBackend) nodeAt(idx int) *smartdrill.Node {
+	count := 0
+	var walk func(n *smartdrill.Node) *smartdrill.Node
+	walk = func(n *smartdrill.Node) *smartdrill.Node {
+		if count == idx {
+			return n
+		}
+		count++
+		for _, c := range n.Children {
+			if f := walk(c); f != nil {
+				return f
+			}
+		}
+		return nil
+	}
+	return walk(b.e.Root())
+}
+
+// node resolves a row or reports noRowError.
+func (b *localBackend) node(row int) (*smartdrill.Node, error) {
+	if n := b.nodeAt(row); n != nil {
+		return n, nil
+	}
+	return nil, noRowError(row)
+}
+
+func (b *localBackend) render() (string, error) { return b.e.Render(), nil }
+
+func (b *localBackend) expand(row int) (string, string, error) {
+	n, err := b.node(row)
+	if err != nil {
+		return "", "", err
+	}
+	if err := b.e.DrillDown(n); err != nil {
+		return "", "", err
+	}
+	return b.e.LastAccessMethod(), b.e.Render(), nil
+}
+
+func (b *localBackend) star(row int, column string) (string, string, error) {
+	n, err := b.node(row)
+	if err != nil {
+		return "", "", err
+	}
+	if err := b.e.DrillDownStar(n, column); err != nil {
+		return "", "", err
+	}
+	return b.e.LastAccessMethod(), b.e.Render(), nil
+}
+
+func (b *localBackend) collapse(row int) (string, error) {
+	n, err := b.node(row)
+	if err != nil {
+		return "", err
+	}
+	b.e.Collapse(n)
+	return b.e.Render(), nil
+}
+
+func (b *localBackend) stream(row int, budget time.Duration, onRule func(string, float64)) (string, error) {
+	n, err := b.node(row)
+	if err != nil {
+		return "", err
+	}
+	err = b.e.DrillDownStream(n, 0, budget, func(child *smartdrill.Node) bool {
+		onRule(b.e.DescribeRule(child), child.Count)
+		return true
+	})
+	if err != nil {
+		return "", err
+	}
+	return b.e.Render(), nil
+}
+
+func (b *localBackend) ci(row int) (string, float64, float64, float64, error) {
+	n, err := b.node(row)
+	if err != nil {
+		return "", 0, 0, 0, err
+	}
+	lo, hi := b.e.ConfidenceInterval(n)
+	return b.e.DescribeRule(n), n.Count, lo, hi, nil
+}
+
+func (b *localBackend) traditional(row int, column string) ([]group, error) {
+	n, err := b.node(row)
+	if err != nil {
+		return nil, err
+	}
+	gs, err := b.e.TraditionalDrillDown(n, column)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]group, len(gs))
+	for i, g := range gs {
+		out[i] = group{value: g.Value, count: g.Count}
+	}
+	return out, nil
+}
+
+func (b *localBackend) save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := b.e.SaveState(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func (b *localBackend) load(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	if err := b.e.LoadState(f); err != nil {
+		return "", err
+	}
+	return b.e.Render(), nil
+}

@@ -1,10 +1,17 @@
-// Command smartdrill is an interactive smart drill-down REPL over a CSV
-// file — the terminal analogue of the paper's web prototype.
+// Command smartdrill is an interactive smart drill-down REPL — the
+// terminal analogue of the paper's web prototype. It runs in two modes:
 //
-// Usage:
+// Local (default): load a CSV (or a built-in demo dataset) and explore it
+// in process.
 //
 //	smartdrill -csv data.csv [-measures Sales] [-k 3] [-weight size|bits|size-1]
 //	           [-sample-mem 50000] [-minss 5000] [-demo store|marketing|census]
+//
+// Remote: drive a running smartdrilld server through the v1 API and the
+// client SDK — the same commands, the same output, with the session (and
+// the data) living on the server.
+//
+//	smartdrill -remote http://localhost:8080 [-dataset store] [-k 3] ...
 //
 // Commands at the prompt:
 //
@@ -15,28 +22,28 @@
 //	collapse <row>       roll up
 //	drill <row> <column> traditional drill-down listing (read-only)
 //	ci <row>             95% confidence interval on an estimated count
-//	save <file> / load <file>  persist or restore the exploration
+//	save <file> / load <file>  persist or restore the exploration (local mode)
 //	help, quit
 package main
 
 import (
-	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
-	"strconv"
 	"strings"
-	"time"
 
 	"smartdrill"
+	"smartdrill/api"
+	"smartdrill/client"
 	"smartdrill/internal/datagen"
 )
 
 func main() {
 	log.SetFlags(0)
 	var (
-		csvPath   = flag.String("csv", "", "CSV file to explore")
+		csvPath   = flag.String("csv", "", "CSV file to explore (local mode)")
 		measures  = flag.String("measures", "", "comma-separated measure column names")
 		k         = flag.Int("k", 3, "rules per expansion")
 		weightStr = flag.String("weight", "size", "weighting: size, bits, or size-1")
@@ -44,153 +51,94 @@ func main() {
 		minSS     = flag.Int("minss", 0, "minimum sample size (0 = no sampling)")
 		demo      = flag.String("demo", "", "built-in dataset instead of -csv: store, marketing, census")
 		sum       = flag.String("sum", "", "optimize Sum over this measure column instead of Count")
+		remote    = flag.String("remote", "", "smartdrilld base URL: drive a server through the v1 API instead of exploring locally")
+		dataset   = flag.String("dataset", "store", "server-side dataset name (remote mode)")
 	)
 	flag.Parse()
 
-	t, err := loadTable(*csvPath, *measures, *demo)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	opts := []smartdrill.Option{smartdrill.WithK(*k)}
-	switch *weightStr {
-	case "size":
-		opts = append(opts, smartdrill.WithWeighter(smartdrill.SizeWeight(t)))
-	case "bits":
-		opts = append(opts, smartdrill.WithWeighter(smartdrill.BitsWeight(t)))
-	case "size-1":
-		opts = append(opts, smartdrill.WithWeighter(smartdrill.SizeMinusOneWeight()))
-	default:
-		log.Fatalf("unknown -weight %q", *weightStr)
-	}
-	if *sampleMem > 0 && *minSS > 0 {
-		opts = append(opts, smartdrill.WithSampling(*sampleMem, *minSS), smartdrill.WithPrefetch())
-	}
-	if *sum != "" {
-		o, err := smartdrill.WithSum(t, *sum)
+	var (
+		b          backend
+		rows, cols int
+	)
+	if *remote != "" {
+		var err error
+		b, rows, cols, err = connectRemote(*remote, *dataset, *k, *weightStr, *sampleMem, *minSS, *sum)
 		if err != nil {
 			log.Fatal(err)
 		}
-		opts = append(opts, o)
+	} else {
+		e, err := buildLocalEngine(*csvPath, *measures, *demo, *k, *weightStr, *sampleMem, *minSS, *sum)
+		if err != nil {
+			log.Fatal(err)
+		}
+		b = &localBackend{e: e}
+		rows, cols = e.Table().NumRows(), e.Table().NumCols()
 	}
 
-	e, err := smartdrill.New(t, opts...)
+	fmt.Printf("smart drill-down: %d rows × %d columns. Type 'help' for commands.\n\n", rows, cols)
+	rendered, err := b.render()
 	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Println(rendered)
+	runREPL(os.Stdin, os.Stdout, b)
+}
 
-	fmt.Printf("smart drill-down: %d rows × %d columns. Type 'help' for commands.\n\n",
-		t.NumRows(), t.NumCols())
-	fmt.Println(e.Render())
+// buildLocalEngine assembles the in-process session from the flags.
+func buildLocalEngine(csvPath, measures, demo string, k int, weightStr string, sampleMem, minSS int, sum string) (*smartdrill.Engine, error) {
+	t, err := loadTable(csvPath, measures, demo)
+	if err != nil {
+		return nil, err
+	}
+	opts := []smartdrill.Option{smartdrill.WithK(k)}
+	w, err := smartdrill.WeighterByName(t, weightStr)
+	if err != nil {
+		return nil, err
+	}
+	opts = append(opts, smartdrill.WithWeighter(w))
+	if sampleMem > 0 && minSS > 0 {
+		opts = append(opts, smartdrill.WithSampling(sampleMem, minSS), smartdrill.WithPrefetch())
+	}
+	if sum != "" {
+		o, err := smartdrill.WithSum(t, sum)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, o)
+	}
+	return smartdrill.New(t, opts...)
+}
 
-	sc := bufio.NewScanner(os.Stdin)
-	for {
-		fmt.Print("> ")
-		if !sc.Scan() {
-			return
-		}
-		fields := strings.Fields(sc.Text())
-		if len(fields) == 0 {
-			continue
-		}
-		switch fields[0] {
-		case "quit", "exit", "q":
-			return
-		case "help":
-			fmt.Println("show | expand <row> | stream <row> [secs] | star <row> <column> | collapse <row> |")
-			fmt.Println("drill <row> <column> | ci <row> | save <file> | load <file> | quit")
-		case "save", "load":
-			if len(fields) < 2 {
-				fmt.Println("usage:", fields[0], "<file>")
-				continue
-			}
-			if err := saveOrLoad(e, fields[0], fields[1]); err != nil {
-				fmt.Println("error:", err)
-				continue
-			}
-			if fields[0] == "load" {
-				fmt.Println(e.Render())
-			} else {
-				fmt.Println("saved to", fields[1])
-			}
-		case "show":
-			fmt.Println(e.Render())
-		case "expand", "collapse", "star", "drill", "stream", "ci":
-			if len(fields) < 2 {
-				fmt.Println("need a display row number (root is 0)")
-				continue
-			}
-			idx, err := strconv.Atoi(fields[1])
-			if err != nil {
-				fmt.Println("row must be a number:", err)
-				continue
-			}
-			n := nodeAt(e, idx)
-			if n == nil {
-				fmt.Printf("no displayed rule at row %d\n", idx)
-				continue
-			}
-			switch fields[0] {
-			case "expand":
-				if err := e.DrillDown(n); err != nil {
-					fmt.Println("error:", err)
-					continue
-				}
-				fmt.Printf("(access: %s)\n%s\n", e.LastAccessMethod(), e.Render())
-			case "collapse":
-				e.Collapse(n)
-				fmt.Println(e.Render())
-			case "star":
-				if len(fields) < 3 {
-					fmt.Println("usage: star <row> <column>")
-					continue
-				}
-				if err := e.DrillDownStar(n, fields[2]); err != nil {
-					fmt.Println("error:", err)
-					continue
-				}
-				fmt.Printf("(access: %s)\n%s\n", e.LastAccessMethod(), e.Render())
-			case "drill":
-				if len(fields) < 3 {
-					fmt.Println("usage: drill <row> <column>")
-					continue
-				}
-				groups, err := e.TraditionalDrillDown(n, fields[2])
-				if err != nil {
-					fmt.Println("error:", err)
-					continue
-				}
-				for _, g := range groups {
-					fmt.Printf("  %-20s %10.0f\n", g.Value, g.Count)
-				}
-			case "stream":
-				budget := 5 * time.Second
-				if len(fields) >= 3 {
-					secs, err := strconv.Atoi(fields[2])
-					if err != nil || secs <= 0 {
-						fmt.Println("seconds must be a positive number")
-						continue
-					}
-					budget = time.Duration(secs) * time.Second
-				}
-				err := e.DrillDownStream(n, 0, budget, func(child *smartdrill.Node) bool {
-					fmt.Printf("  found %-50s count %.0f\n", e.DescribeRule(child), child.Count)
-					return true
-				})
-				if err != nil {
-					fmt.Println("error:", err)
-					continue
-				}
-				fmt.Println(e.Render())
-			case "ci":
-				lo, hi := e.ConfidenceInterval(n)
-				fmt.Printf("  %s: count %.0f, 95%% interval [%.0f, %.0f]\n",
-					e.DescribeRule(n), n.Count, lo, hi)
-			}
-		default:
-			fmt.Printf("unknown command %q (try 'help')\n", fields[0])
+// connectRemote builds the SDK-backed session from the flags, returning
+// the dataset's shape for the banner.
+func connectRemote(base, dataset string, k int, weightStr string, sampleMem, minSS int, sum string) (backend, int, int, error) {
+	c := client.New(base)
+	req := api.CreateSessionRequest{
+		Dataset:       dataset,
+		K:             k,
+		Weighter:      weightStr,
+		SampleMemory:  sampleMem,
+		MinSampleSize: minSS,
+		Prefetch:      sampleMem > 0 && minSS > 0, // mirror local mode's sampling setup
+		Sum:           sum,
+	}
+	b, tree, err := newRemoteBackend(c, req)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("connecting to %s: %w", base, err)
+	}
+	// The banner reports the dataset's shape, not the root aggregate
+	// (which is a Sum under -sum); ask the server for the row count.
+	ds, err := c.Datasets(context.Background())
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("listing datasets on %s: %w", base, err)
+	}
+	rows := 0
+	for _, d := range ds {
+		if d.Name == dataset {
+			rows = d.Rows
 		}
 	}
+	return b, rows, len(tree.Columns), nil
 }
 
 func loadTable(csvPath, measures, demo string) (*smartdrill.Table, error) {
@@ -207,52 +155,11 @@ func loadTable(csvPath, measures, demo string) (*smartdrill.Table, error) {
 		return nil, fmt.Errorf("unknown -demo %q (store, marketing, census)", demo)
 	}
 	if csvPath == "" {
-		return nil, fmt.Errorf("either -csv or -demo is required")
+		return nil, fmt.Errorf("either -csv or -demo is required (or -remote <url> for server mode)")
 	}
 	var ms []string
 	if measures != "" {
 		ms = strings.Split(measures, ",")
 	}
 	return smartdrill.LoadCSV(csvPath, ms)
-}
-
-// saveOrLoad persists or restores the exploration tree.
-func saveOrLoad(e *smartdrill.Engine, op, path string) error {
-	if op == "save" {
-		f, err := os.Create(path)
-		if err != nil {
-			return err
-		}
-		if err := e.SaveState(f); err != nil {
-			f.Close()
-			return err
-		}
-		return f.Close()
-	}
-	f, err := os.Open(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	return e.LoadState(f)
-}
-
-// nodeAt resolves a display row index (depth-first order as rendered,
-// root = 0) to its node.
-func nodeAt(e *smartdrill.Engine, idx int) *smartdrill.Node {
-	count := 0
-	var walk func(n *smartdrill.Node) *smartdrill.Node
-	walk = func(n *smartdrill.Node) *smartdrill.Node {
-		if count == idx {
-			return n
-		}
-		count++
-		for _, c := range n.Children {
-			if f := walk(c); f != nil {
-				return f
-			}
-		}
-		return nil
-	}
-	return walk(e.Root())
 }

@@ -1,0 +1,184 @@
+package main
+
+// remoteBackend rebuilds the whole REPL on the v1 API through the client
+// SDK: every command becomes one or two HTTP requests against a
+// smartdrilld server, with nodes addressed by their stable wire IDs. Its
+// outputs are byte-identical to localBackend's on the same session — the
+// proof (transcript-tested) that the wire contract is complete enough to
+// build the CLI on.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"smartdrill/api"
+	"smartdrill/client"
+)
+
+type remoteBackend struct {
+	c         *client.Client
+	sessionID string
+}
+
+// newRemoteBackend creates a session for the REPL on the named dataset.
+func newRemoteBackend(c *client.Client, req api.CreateSessionRequest) (*remoteBackend, *api.Tree, error) {
+	tree, err := c.CreateSession(context.Background(), req)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &remoteBackend{c: c, sessionID: tree.ID}, tree, nil
+}
+
+// fetch pulls the session's current tree.
+func (b *remoteBackend) fetch() (*api.Tree, error) {
+	return b.c.Tree(context.Background(), b.sessionID)
+}
+
+// nodeAt resolves a display row (pre-order, root = 0) against a fresh
+// tree fetch — the remote analogue of walking the engine's tree.
+func (b *remoteBackend) nodeAt(row int) (*api.Node, error) {
+	tree, err := b.fetch()
+	if err != nil {
+		return nil, err
+	}
+	count := 0
+	var walk func(n *api.Node) *api.Node
+	walk = func(n *api.Node) *api.Node {
+		if count == row {
+			return n
+		}
+		count++
+		for _, c := range n.Children {
+			if f := walk(c); f != nil {
+				return f
+			}
+		}
+		return nil
+	}
+	if n := walk(tree.Root); n != nil {
+		return n, nil
+	}
+	return nil, noRowError(row)
+}
+
+// describe formats a node's rule exactly like Engine.DescribeRule.
+func describe(n *api.Node) string {
+	return "(" + strings.Join(n.Display, ", ") + ")"
+}
+
+// rendered fetches the current rendering after a mutation.
+func (b *remoteBackend) rendered() (string, error) {
+	tree, err := b.fetch()
+	if err != nil {
+		return "", err
+	}
+	return tree.Rendered, nil
+}
+
+func (b *remoteBackend) render() (string, error) { return b.rendered() }
+
+func (b *remoteBackend) expand(row int) (string, string, error) {
+	n, err := b.nodeAt(row)
+	if err != nil {
+		return "", "", err
+	}
+	resp, err := b.c.Drill(context.Background(), b.sessionID, api.DrillRequest{Node: n.ID})
+	if err != nil {
+		return "", "", err
+	}
+	rendered, err := b.rendered()
+	if err != nil {
+		return "", "", err
+	}
+	return resp.Access, rendered, nil
+}
+
+func (b *remoteBackend) star(row int, column string) (string, string, error) {
+	n, err := b.nodeAt(row)
+	if err != nil {
+		return "", "", err
+	}
+	resp, err := b.c.Drill(context.Background(), b.sessionID, api.DrillRequest{Node: n.ID, Column: column})
+	if err != nil {
+		return "", "", err
+	}
+	rendered, err := b.rendered()
+	if err != nil {
+		return "", "", err
+	}
+	return resp.Access, rendered, nil
+}
+
+func (b *remoteBackend) collapse(row int) (string, error) {
+	n, err := b.nodeAt(row)
+	if err != nil {
+		return "", err
+	}
+	if _, err := b.c.Collapse(context.Background(), b.sessionID, api.DrillRequest{Node: n.ID}); err != nil {
+		return "", err
+	}
+	return b.rendered()
+}
+
+func (b *remoteBackend) stream(row int, budget time.Duration, onRule func(string, float64)) (string, error) {
+	n, err := b.nodeAt(row)
+	if err != nil {
+		return "", err
+	}
+	done, err := b.c.DrillStream(context.Background(), b.sessionID, client.StreamOptions{
+		Node:   n.ID,
+		Budget: budget,
+		OnRule: func(child *api.Node) bool {
+			onRule(describe(child), child.Count)
+			return true
+		},
+	})
+	if err != nil {
+		return "", err
+	}
+	// A server-side search failure arrives inside the done event, not as
+	// a transport error; surface it like the local engine would.
+	if done != nil && done.Error != "" {
+		return "", errors.New(done.Error)
+	}
+	return b.rendered()
+}
+
+func (b *remoteBackend) ci(row int) (string, float64, float64, float64, error) {
+	n, err := b.nodeAt(row)
+	if err != nil {
+		return "", 0, 0, 0, err
+	}
+	lo, hi := n.Count, n.Count
+	if n.CI != nil {
+		lo, hi = n.CI[0], n.CI[1]
+	}
+	return describe(n), n.Count, lo, hi, nil
+}
+
+func (b *remoteBackend) traditional(row int, column string) ([]group, error) {
+	n, err := b.nodeAt(row)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := b.c.Traditional(context.Background(), b.sessionID, api.TraditionalRequest{Node: n.ID, Column: column})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]group, len(resp.Groups))
+	for i, g := range resp.Groups {
+		out[i] = group{value: g.Value, count: g.Count}
+	}
+	return out, nil
+}
+
+func (b *remoteBackend) save(string) error {
+	return fmt.Errorf("save is not supported in -remote mode (state lives on the server)")
+}
+
+func (b *remoteBackend) load(string) (string, error) {
+	return "", fmt.Errorf("load is not supported in -remote mode (state lives on the server)")
+}

@@ -1,0 +1,194 @@
+package main
+
+// The REPL proper, factored over a backend interface so the same loop
+// (same commands, same output bytes) drives either an in-process Engine
+// or a remote smartdrilld server through the client SDK — the -remote
+// transcript test asserts the two are bit-identical on a scripted
+// session.
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// group is one value group of a traditional drill-down listing.
+type group struct {
+	value string
+	count float64
+}
+
+// backend is everything the REPL needs from a drill-down session. Rows are
+// display-row indices in the rendered tree (pre-order, root = 0); a
+// method given a row with no displayed rule returns a noRowError.
+type backend interface {
+	// render returns the current rule tree as the paper-style text table.
+	render() (string, error)
+	// expand smart-drills the rule at row; returns the access method and
+	// the updated rendering.
+	expand(row int) (access, rendered string, err error)
+	// star star-drills the named column of the rule at row.
+	star(row int, column string) (access, rendered string, err error)
+	// collapse rolls up the rule at row.
+	collapse(row int) (rendered string, err error)
+	// stream anytime-drills the rule at row, reporting each rule as it is
+	// found, and returns the updated rendering.
+	stream(row int, budget time.Duration, onRule func(desc string, count float64)) (rendered string, err error)
+	// ci returns the rule's description, displayed count, and 95% bounds.
+	ci(row int) (desc string, count, lo, hi float64, err error)
+	// traditional lists the classic drill-down groups of one column.
+	traditional(row int, column string) ([]group, error)
+	// save and load persist/restore the exploration (local sessions only).
+	save(path string) error
+	load(path string) (rendered string, err error)
+}
+
+// noRowError reports a display row with no rule behind it.
+type noRowError int
+
+func (e noRowError) Error() string { return fmt.Sprintf("no displayed rule at row %d", int(e)) }
+
+// runREPL reads commands from in and writes everything the analyst sees to
+// out, until quit or EOF.
+func runREPL(in io.Reader, out io.Writer, b backend) {
+	sc := bufio.NewScanner(in)
+	for {
+		fmt.Fprint(out, "> ")
+		if !sc.Scan() {
+			return
+		}
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "quit", "exit", "q":
+			return
+		case "help":
+			fmt.Fprintln(out, "show | expand <row> | stream <row> [secs] | star <row> <column> | collapse <row> |")
+			fmt.Fprintln(out, "drill <row> <column> | ci <row> | save <file> | load <file> | quit")
+		case "save", "load":
+			if len(fields) < 2 {
+				fmt.Fprintln(out, "usage:", fields[0], "<file>")
+				continue
+			}
+			if fields[0] == "save" {
+				if err := b.save(fields[1]); err != nil {
+					fmt.Fprintln(out, "error:", err)
+					continue
+				}
+				fmt.Fprintln(out, "saved to", fields[1])
+				continue
+			}
+			rendered, err := b.load(fields[1])
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+				continue
+			}
+			fmt.Fprintln(out, rendered)
+		case "show":
+			rendered, err := b.render()
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+				continue
+			}
+			fmt.Fprintln(out, rendered)
+		case "expand", "collapse", "star", "drill", "stream", "ci":
+			if len(fields) < 2 {
+				fmt.Fprintln(out, "need a display row number (root is 0)")
+				continue
+			}
+			row, err := strconv.Atoi(fields[1])
+			if err != nil {
+				fmt.Fprintln(out, "row must be a number:", err)
+				continue
+			}
+			runNodeCommand(out, b, fields, row)
+		default:
+			fmt.Fprintf(out, "unknown command %q (try 'help')\n", fields[0])
+		}
+	}
+}
+
+// runNodeCommand dispatches the row-addressed commands. A missing row
+// surfaces as the backend's noRowError and prints without the "error:"
+// prefix, matching the historical REPL.
+func runNodeCommand(out io.Writer, b backend, fields []string, row int) {
+	fail := func(err error) {
+		var nr noRowError
+		if errors.As(err, &nr) {
+			fmt.Fprintln(out, err.Error())
+			return
+		}
+		fmt.Fprintln(out, "error:", err)
+	}
+	switch fields[0] {
+	case "expand":
+		access, rendered, err := b.expand(row)
+		if err != nil {
+			fail(err)
+			return
+		}
+		fmt.Fprintf(out, "(access: %s)\n%s\n", access, rendered)
+	case "collapse":
+		rendered, err := b.collapse(row)
+		if err != nil {
+			fail(err)
+			return
+		}
+		fmt.Fprintln(out, rendered)
+	case "star":
+		if len(fields) < 3 {
+			fmt.Fprintln(out, "usage: star <row> <column>")
+			return
+		}
+		access, rendered, err := b.star(row, fields[2])
+		if err != nil {
+			fail(err)
+			return
+		}
+		fmt.Fprintf(out, "(access: %s)\n%s\n", access, rendered)
+	case "drill":
+		if len(fields) < 3 {
+			fmt.Fprintln(out, "usage: drill <row> <column>")
+			return
+		}
+		groups, err := b.traditional(row, fields[2])
+		if err != nil {
+			fail(err)
+			return
+		}
+		for _, g := range groups {
+			fmt.Fprintf(out, "  %-20s %10.0f\n", g.value, g.count)
+		}
+	case "stream":
+		budget := 5 * time.Second
+		if len(fields) >= 3 {
+			secs, err := strconv.Atoi(fields[2])
+			if err != nil || secs <= 0 {
+				fmt.Fprintln(out, "seconds must be a positive number")
+				return
+			}
+			budget = time.Duration(secs) * time.Second
+		}
+		rendered, err := b.stream(row, budget, func(desc string, count float64) {
+			fmt.Fprintf(out, "  found %-50s count %.0f\n", desc, count)
+		})
+		if err != nil {
+			fail(err)
+			return
+		}
+		fmt.Fprintln(out, rendered)
+	case "ci":
+		desc, count, lo, hi, err := b.ci(row)
+		if err != nil {
+			fail(err)
+			return
+		}
+		fmt.Fprintf(out, "  %s: count %.0f, 95%% interval [%.0f, %.0f]\n", desc, count, lo, hi)
+	}
+}

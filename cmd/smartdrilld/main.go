@@ -8,7 +8,7 @@
 //
 //	smartdrilld [-addr :8080] [-dataset name=path.csv[:measure,...]]...
 //	            [-demo] [-max-sessions 1024] [-workers N] [-k 3]
-//	            [-stream-budget 5s] [-background-refine=true]
+//	            [-stream-budget 5s] [-background-refine=true] [-version]
 //
 // Each -dataset flag registers one CSV file under a name; the optional
 // colon-suffix lists measure (numeric) columns. -demo registers the
@@ -88,9 +88,15 @@ func main() {
 		k            = flag.Int("k", 3, "default rules per expansion")
 		streamBudget = flag.Duration("stream-budget", 5*time.Second, "default anytime budget for /drill/stream")
 		bgRefine     = flag.Bool("background-refine", true, "re-count provisional sampled drill results exactly in the background")
+		showVersion  = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Var(&datasets, "dataset", "register a CSV dataset as name=path.csv[:measure,...] (repeatable)")
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println("smartdrilld", smartdrill.Version)
+		return
+	}
 
 	logger := log.New(os.Stderr, "smartdrilld ", log.LstdFlags|log.Lmicroseconds)
 	srv := server.New(server.Config{

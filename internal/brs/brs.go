@@ -31,6 +31,7 @@
 package brs
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -151,6 +152,14 @@ func (s *Stats) Add(o Stats) {
 // positive marginal value. Counts are masses over v's rows; pass the
 // full-table view (Table.All) for whole-table searches.
 func Run(v *table.View, w weight.Weighter, opts Options) ([]Result, Stats, error) {
+	return RunCtx(context.Background(), v, w, opts)
+}
+
+// RunCtx is Run under a cancellation context: the greedy search checks ctx
+// between counting passes and aborts with ctx's error (and the statistics
+// of the work already done) when it fires — an abandoned interactive
+// request stops paying for table passes at the next pass boundary.
+func RunCtx(ctx context.Context, v *table.View, w weight.Weighter, opts Options) ([]Result, Stats, error) {
 	if opts.K <= 0 {
 		return nil, Stats{}, fmt.Errorf("brs: K must be positive, got %d", opts.K)
 	}
@@ -158,9 +167,13 @@ func Run(v *table.View, w weight.Weighter, opts Options) ([]Result, Stats, error
 	if err != nil {
 		return nil, Stats{}, err
 	}
+	run.ctx = ctx
 	var selected []Result
 	for step := 0; step < opts.K; step++ {
 		best := run.findBestMarginal()
+		if run.ctxErr != nil {
+			return nil, run.finalStats(), run.ctxErr
+		}
 		if best == nil || best.marginal <= 0 {
 			break
 		}
@@ -306,6 +319,29 @@ type runner struct {
 	level1   []*cand // cached single-extension candidates (step 1's pass)
 	gen      int     // generation-merge epoch, see generateCandidates
 	stats    Stats
+
+	// ctx cancels the search between counting passes; ctxErr latches the
+	// context's error once observed so every later check is a field read.
+	ctx    context.Context
+	ctxErr error
+}
+
+// canceled reports (and latches) whether the run's context has fired. The
+// greedy loops consult it at pass boundaries — a canceled search abandons
+// its remaining passes but never corrupts per-candidate state, because
+// checks only sit between whole passes.
+func (rn *runner) canceled() bool {
+	if rn.ctxErr != nil {
+		return true
+	}
+	if rn.ctx == nil {
+		return false
+	}
+	if err := rn.ctx.Err(); err != nil {
+		rn.ctxErr = err
+		return true
+	}
+	return false
 }
 
 type selectedRule struct {
@@ -406,7 +442,7 @@ func (rn *runner) markCounted(c *cand) {
 // store — their counts are invariant and their marginals are kept current
 // by applySelection — so only genuinely new candidates touch the data.
 func (rn *runner) findBestMarginal() *cand {
-	if rn.v.NumRows() == 0 || len(rn.freeCols) == 0 {
+	if rn.v.NumRows() == 0 || len(rn.freeCols) == 0 || rn.canceled() {
 		return nil
 	}
 	if rn.noReuse {
@@ -438,6 +474,9 @@ func (rn *runner) findBestMarginal() *cand {
 	// prune uncounted ones by upper bound, count the survivors.
 	prev := rn.level1
 	for level := 2; level <= len(rn.freeCols); level++ {
+		if rn.canceled() {
+			return nil
+		}
 		next := rn.generateCandidates(prev)
 		if len(next) == 0 {
 			break

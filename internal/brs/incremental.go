@@ -1,6 +1,7 @@
 package brs
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -25,6 +26,15 @@ type Yield func(Result) bool
 // MinGainRatio of the first rule's. The Result passed to yield carries the
 // rule's Count; MCount is the marginal mass at selection time.
 func RunIncremental(v *table.View, w weight.Weighter, opts Options, maxRules int, deadline time.Time, yield Yield) (Stats, error) {
+	return RunIncrementalCtx(context.Background(), v, w, opts, maxRules, deadline, yield)
+}
+
+// RunIncrementalCtx is RunIncremental under a cancellation context: the
+// search checks ctx between counting passes and returns ctx's error (with
+// the statistics of the work already done) when it fires. Rules already
+// yielded stay yielded — cancellation stops future work, it does not
+// retract results.
+func RunIncrementalCtx(ctx context.Context, v *table.View, w weight.Weighter, opts Options, maxRules int, deadline time.Time, yield Yield) (Stats, error) {
 	if opts.K <= 0 {
 		opts.K = 1 // K is unused by the incremental driver but validated by shared code paths
 	}
@@ -32,12 +42,16 @@ func RunIncremental(v *table.View, w weight.Weighter, opts Options, maxRules int
 	if err != nil {
 		return Stats{}, err
 	}
+	run.ctx = ctx
 	firstGain := 0.0
 	for step := 0; maxRules <= 0 || step < maxRules; step++ {
 		if !deadline.IsZero() && !time.Now().Before(deadline) {
 			break
 		}
 		best := run.findBestMarginal()
+		if run.ctxErr != nil {
+			return run.finalStats(), run.ctxErr
+		}
 		if best == nil || best.marginal <= 0 {
 			break
 		}

@@ -7,6 +7,7 @@
 package drill
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -70,16 +71,31 @@ type Node struct {
 	Exact    bool
 	Children []*Node
 
-	// CILow and CIHigh bound the true count at 95% confidence when Count
-	// is a sample estimate (Exact false, Count aggregate); both equal
-	// Count when it is exact.
+	// HasCI reports that CILow/CIHigh hold a genuine 95% interval on the
+	// true count. The explicit flag (rather than a CILow==CIHigh==0
+	// sentinel) lets a provisional node carry a true [0, 0] bound without
+	// being misread as exact; it is false for exact counts and for
+	// estimates without interval support (Sum aggregates).
+	HasCI bool
+	// CILow and CIHigh bound the true count at 95% confidence when HasCI
+	// is set; both equal Count otherwise.
 	CILow, CIHigh float64
+
+	// id is the session-scoped stable identifier assigned when the node
+	// entered the displayed tree; see Session.NodeByID.
+	id uint64
 
 	parent *Node
 }
 
 // Expanded reports whether the node currently shows children.
 func (n *Node) Expanded() bool { return len(n.Children) > 0 }
+
+// ID returns the node's stable identifier within its session: assigned
+// once when an expansion (or session creation, for the root) puts the node
+// on display, never reused while the session lives. Serving layers expose
+// it as the wire address of the node.
+func (n *Node) ID() uint64 { return n.id }
 
 // Session is an interactive drill-down over one table.
 type Session struct {
@@ -99,6 +115,65 @@ type Session struct {
 	// lists, so TotalStats.CandidatesReused and .PostingsRead measure how
 	// much of a session's search work the caches absorbed.
 	TotalStats brs.Stats
+
+	// nextID feeds the session-scoped node ID sequence; byID is the O(1)
+	// id→node index of every currently displayed node, maintained by
+	// adopt/forget so serving layers resolve wire addresses without tree
+	// walks.
+	nextID uint64
+	byID   map[uint64]*Node
+}
+
+// adopt assigns n the next stable ID and registers it in the id index.
+// Every node enters the displayed tree through here exactly once.
+func (s *Session) adopt(n *Node) {
+	s.nextID++
+	n.id = s.nextID
+	s.byID[n.id] = n
+}
+
+// forget removes a subtree's nodes from the id index; their IDs are never
+// reused, so stale wire addresses resolve to "unknown node" rather than to
+// an unrelated later node.
+func (s *Session) forget(nodes []*Node) {
+	for _, n := range nodes {
+		delete(s.byID, n.id)
+		s.forget(n.Children)
+	}
+}
+
+// NodeByID resolves a stable node ID in O(1), or nil when no displayed
+// node carries it (never assigned, or removed by collapse/re-expansion).
+func (s *Session) NodeByID(id uint64) *Node { return s.byID[id] }
+
+// PathOf returns n's child-index address from the root (the legacy wire
+// address), reporting false when n is no longer displayed.
+func (s *Session) PathOf(n *Node) ([]int, bool) {
+	var rev []int
+	cur := n
+	for cur.parent != nil {
+		p := cur.parent
+		idx := -1
+		for i, c := range p.Children {
+			if c == cur {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return nil, false
+		}
+		rev = append(rev, idx)
+		cur = p
+	}
+	if cur != s.root {
+		return nil, false
+	}
+	path := make([]int, len(rev))
+	for i, idx := range rev {
+		path[len(rev)-1-i] = idx
+	}
+	return path, true
 }
 
 // NewSession starts a session on t. The root node is the trivial rule with
@@ -120,6 +195,7 @@ func NewSession(t *table.Table, cfg Config) (*Session, error) {
 		tab:   t,
 		store: storage.NewStore(t),
 		cfg:   cfg,
+		byID:  make(map[uint64]*Node),
 	}
 	if !cfg.DisableSampling && cfg.SampleMemory > 0 && cfg.MinSampleSize > 0 && t.NumRows() > cfg.MinSampleSize {
 		h, err := sampling.NewHandler(s.store, cfg.SampleMemory, cfg.MinSampleSize, sampling.NewTestRNG(cfg.Seed))
@@ -138,6 +214,7 @@ func NewSession(t *table.Table, cfg Config) (*Session, error) {
 		Count:  rootCount,
 		Exact:  true,
 	}
+	s.adopt(s.root)
 	return s, nil
 }
 
@@ -160,28 +237,49 @@ func (s *Session) Handler() *sampling.Handler { return s.handler }
 // children become the best rule list of super-rules of n.Rule. Expanding an
 // already-expanded node first collapses it, matching the paper's toggle UI.
 func (s *Session) Expand(n *Node) error {
-	return s.expand(n, s.cfg.Weighter)
+	return s.ExpandCtx(context.Background(), n)
+}
+
+// ExpandCtx is Expand under a cancellation context: the BRS search checks
+// ctx between counting passes and aborts with ctx's error. A canceled
+// expansion leaves n collapsed (its pre-existing children are already
+// gone — expansion is a collapse-and-replace) and the session fully
+// usable; the partial search's statistics are still recorded.
+func (s *Session) ExpandCtx(ctx context.Context, n *Node) error {
+	return s.expand(ctx, n, s.cfg.Weighter)
 }
 
 // ExpandStar performs a star drill-down on column c of n (Problem 1, star
 // variant): every returned rule instantiates column c, achieved by zeroing
 // the weight of rules leaving c starred (Section 3.1 reduction).
 func (s *Session) ExpandStar(n *Node, c int) error {
+	return s.ExpandStarCtx(context.Background(), n, c)
+}
+
+// ExpandStarCtx is ExpandStar under a cancellation context (see ExpandCtx).
+func (s *Session) ExpandStarCtx(ctx context.Context, n *Node, c int) error {
 	if c < 0 || c >= s.tab.NumCols() {
 		return fmt.Errorf("drill: column %d out of range [0,%d)", c, s.tab.NumCols())
 	}
 	if n.Rule[c] != rule.Star {
 		return fmt.Errorf("drill: column %d of rule is already instantiated", c)
 	}
-	return s.expand(n, weight.StarConstraint{Inner: s.cfg.Weighter, Column: c})
+	return s.expand(ctx, n, weight.StarConstraint{Inner: s.cfg.Weighter, Column: c})
 }
 
-// Collapse removes n's children — the roll-up of Section 2.3.
-func (s *Session) Collapse(n *Node) { n.Children = nil }
+// Collapse removes n's children — the roll-up of Section 2.3. The removed
+// subtree's node IDs leave the id index and are never reused.
+func (s *Session) Collapse(n *Node) {
+	s.forget(n.Children)
+	n.Children = nil
+}
 
-func (s *Session) expand(n *Node, w weight.Weighter) error {
+func (s *Session) expand(ctx context.Context, n *Node, w weight.Weighter) error {
 	if n.Expanded() {
 		s.Collapse(n)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	s.observeDrill(n)
 
@@ -194,7 +292,7 @@ func (s *Session) expand(n *Node, w weight.Weighter) error {
 	if mw <= 0 {
 		mw = EstimateMaxWeight(view, w, s.cfg.K, s.cfg.Seed)
 	}
-	results, stats, err := brs.Run(view, w, brs.Options{
+	results, stats, err := brs.RunCtx(ctx, view, w, brs.Options{
 		K:           s.cfg.K,
 		MaxWeight:   mw,
 		Base:        n.Rule,
@@ -203,10 +301,13 @@ func (s *Session) expand(n *Node, w weight.Weighter) error {
 		Workers:     s.cfg.Workers,
 		SampleScale: scale, // BRS emits table-level estimates directly
 	})
+	// A canceled search still did real work; record it before bailing so
+	// the session's accounting (and the caller's SearchStats view) shows
+	// the aborted passes.
+	s.recordStats(stats)
 	if err != nil {
 		return err
 	}
-	s.recordStats(stats)
 
 	bound := scale * float64(view.NumRows()) // the enclosing view's scaled size
 	n.Children = make([]*Node, 0, len(results))
@@ -218,7 +319,8 @@ func (s *Session) expand(n *Node, w weight.Weighter) error {
 			Exact:  exact,
 			parent: n,
 		}
-		child.CILow, child.CIHigh = countCI(s.cfg.Agg, exact, scale, r.Count, bound)
+		child.CILow, child.CIHigh, child.HasCI = countCI(s.cfg.Agg, exact, scale, r.Count, bound)
+		s.adopt(child)
 		n.Children = append(n.Children, child)
 	}
 
@@ -295,15 +397,18 @@ func (s *Session) coverageUpperBound(r rule.Rule) int {
 // countCI returns the 95% display bounds for a child whose displayed
 // (already scaled) aggregate is count, clamped to bound — the enclosing
 // view's scaled size, so no child interval ever claims more mass than its
-// parent holds. Exact counts and aggregates without interval support
-// (Sum) get the degenerate interval at the displayed value.
-func countCI(agg score.Aggregator, exact bool, scale, count, bound float64) (lo, hi float64) {
+// parent holds. has reports whether the bounds are a genuine interval;
+// exact counts and aggregates without interval support (Sum) get the
+// degenerate bounds at the displayed value with has false, so a true
+// [0, 0] interval is never confused with "no interval".
+func countCI(agg score.Aggregator, exact bool, scale, count, bound float64) (lo, hi float64, has bool) {
 	if _, isCount := agg.(score.CountAgg); !exact && isCount && scale > 0 {
 		n := int(math.Round(count / scale)) // sample tuples the rule matched
 		lo, hi = sampling.CountInterval(n, 1/scale, 1.96)
-		return sampling.ClampUpper(lo, hi, bound)
+		lo, hi = sampling.ClampUpper(lo, hi, bound)
+		return lo, hi, true
 	}
-	return count, count
+	return count, count, false
 }
 
 // RefineNode upgrades a provisional (sample-estimated) node to its exact
@@ -332,6 +437,7 @@ func (s *Session) RefineNode(n *Node) bool {
 	}
 	n.Count = exact
 	n.CILow, n.CIHigh = exact, exact
+	n.HasCI = false
 	n.Exact = true
 	return true
 }
@@ -405,6 +511,7 @@ func (s *Session) prefetch() {
 		if node := s.findNode(s.root, smp.Filter); node != nil && !node.Exact {
 			node.Count = float64(smp.ExactCount)
 			node.CILow, node.CIHigh = node.Count, node.Count
+			node.HasCI = false
 			node.Exact = true
 		}
 	}

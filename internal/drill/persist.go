@@ -18,10 +18,14 @@ import (
 // decoded strings (with "?" wildcards) so snapshots remain readable and
 // survive dictionary-id reassignment across table reloads.
 type snapshotNode struct {
-	Values   []string       `json:"values"`
-	Weight   float64        `json:"weight"`
-	Count    float64        `json:"count"`
-	Exact    bool           `json:"exact"`
+	Values []string `json:"values"`
+	Weight float64  `json:"weight"`
+	Count  float64  `json:"count"`
+	Exact  bool     `json:"exact"`
+	// HasCI marks CILow/CIHigh as a genuine interval. Older snapshots
+	// predate the flag; Load falls back to the historical non-zero-bounds
+	// heuristic for them (see restore).
+	HasCI    bool           `json:"hasCI,omitempty"`
 	CILow    float64        `json:"ciLow,omitempty"`
 	CIHigh   float64        `json:"ciHigh,omitempty"`
 	Children []snapshotNode `json:"children,omitempty"`
@@ -49,6 +53,7 @@ func (s *Session) snapshotOf(n *Node) snapshotNode {
 		Weight: n.Weight,
 		Count:  n.Count,
 		Exact:  n.Exact,
+		HasCI:  n.HasCI,
 		CILow:  n.CILow,
 		CIHigh: n.CIHigh,
 	}
@@ -82,8 +87,22 @@ func (s *Session) Load(r io.Reader) error {
 	if !root.Rule.IsTrivial() {
 		return fmt.Errorf("drill: snapshot root is not the trivial rule")
 	}
+	// Commit: the old tree's IDs are dropped wholesale and the restored
+	// nodes get fresh IDs in pre-order — wire addresses do not survive a
+	// Load, exactly as they do not survive a collapse. IDs are assigned
+	// only now, so a failed Load leaves the session's index untouched.
+	s.byID = make(map[uint64]*Node)
+	s.adoptTree(root)
 	s.root = root
 	return nil
+}
+
+// adoptTree assigns fresh IDs to a whole subtree in pre-order.
+func (s *Session) adoptTree(n *Node) {
+	s.adopt(n)
+	for _, c := range n.Children {
+		s.adoptTree(c)
+	}
 }
 
 func (s *Session) restore(sn snapshotNode, parent *Node) (*Node, error) {
@@ -107,6 +126,10 @@ func (s *Session) restore(sn snapshotNode, parent *Node) (*Node, error) {
 		Weight: sn.Weight,
 		Count:  sn.Count,
 		Exact:  sn.Exact,
+		// Snapshots written before the explicit flag existed mark genuine
+		// intervals only by non-zero bounds; accept that legacy sentinel
+		// when the flag is absent.
+		HasCI:  sn.HasCI || (!sn.Exact && (sn.CILow != 0 || sn.CIHigh != 0)),
 		CILow:  sn.CILow,
 		CIHigh: sn.CIHigh,
 		parent: parent,

@@ -1,6 +1,7 @@
 package drill
 
 import (
+	"context"
 	"time"
 
 	"smartdrill/internal/brs"
@@ -17,12 +18,25 @@ import (
 // onRule returns false, after maxRules rules (0 = unbounded), when budget
 // elapses (0 = unbounded), or when no rule adds value. onRule may be nil.
 func (s *Session) ExpandStream(n *Node, maxRules int, budget time.Duration, onRule func(*Node) bool) error {
-	return s.expandStream(n, s.cfg.Weighter, maxRules, budget, onRule)
+	return s.ExpandStreamCtx(context.Background(), n, maxRules, budget, onRule)
 }
 
-func (s *Session) expandStream(n *Node, w weight.Weighter, maxRules int, budget time.Duration, onRule func(*Node) bool) error {
+// ExpandStreamCtx is ExpandStream under a cancellation context: the BRS
+// search additionally checks ctx between counting passes and aborts with
+// ctx's error — an abandoned connection stops the search even while it is
+// mid-way to its next rule. Rules streamed before the cancellation stay in
+// the tree (they were already shown), the partial search's statistics are
+// recorded, and the session remains fully usable.
+func (s *Session) ExpandStreamCtx(ctx context.Context, n *Node, maxRules int, budget time.Duration, onRule func(*Node) bool) error {
+	return s.expandStream(ctx, n, s.cfg.Weighter, maxRules, budget, onRule)
+}
+
+func (s *Session) expandStream(ctx context.Context, n *Node, w weight.Weighter, maxRules int, budget time.Duration, onRule func(*Node) bool) error {
 	if n.Expanded() {
 		s.Collapse(n)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	view, scale, exact, err := s.coveredView(n.Rule)
 	if err != nil {
@@ -53,7 +67,7 @@ func (s *Session) expandStream(n *Node, w weight.Weighter, maxRules int, budget 
 		deadline = time.Now().Add(budget)
 	}
 	bound := scale * float64(view.NumRows()) // the enclosing view's scaled size
-	stats, err := brs.RunIncremental(view, w, brs.Options{
+	stats, err := brs.RunIncrementalCtx(ctx, view, w, brs.Options{
 		MaxWeight:    mw,
 		Base:         n.Rule,
 		BaseCovered:  true, // coveredView delivers exactly the rule's coverage
@@ -69,16 +83,16 @@ func (s *Session) expandStream(n *Node, w weight.Weighter, maxRules int, budget 
 			Exact:  exact,
 			parent: n,
 		}
-		child.CILow, child.CIHigh = countCI(s.cfg.Agg, exact, scale, r.Count, bound)
+		child.CILow, child.CIHigh, child.HasCI = countCI(s.cfg.Agg, exact, scale, r.Count, bound)
+		s.adopt(child)
 		n.Children = append(n.Children, child)
 		if onRule == nil {
 			return true
 		}
 		return onRule(child)
 	})
-	if err != nil {
-		return err
-	}
+	// Record even a canceled search's statistics: the aborted passes are
+	// real work the session's accounting must show.
 	s.recordStats(stats)
-	return nil
+	return err
 }

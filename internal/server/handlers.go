@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -8,85 +9,59 @@ import (
 	"net/http"
 
 	"smartdrill"
+	"smartdrill/api"
 )
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":   "ok",
-		"sessions": s.store.len(),
-	})
-}
-
-// datasetJSON describes one registered dataset.
-type datasetJSON struct {
-	Name     string   `json:"name"`
-	Rows     int      `json:"rows"`
-	Columns  []string `json:"columns"`
-	Measures []string `json:"measures,omitempty"`
+	h := api.Health{
+		Status:   "ok",
+		Version:  smartdrill.Version,
+		Sessions: s.store.len(),
+		Datasets: []api.DatasetHealth{},
+	}
+	for _, name := range s.datasetNames() {
+		d, _ := s.dataset(name)
+		h.Datasets = append(h.Datasets, api.DatasetHealth{Name: name, Rows: d.table.NumRows()})
+	}
+	writeJSON(w, http.StatusOK, h)
 }
 
 func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
-	out := []datasetJSON{}
+	out := api.DatasetList{Datasets: []api.Dataset{}}
 	for _, name := range s.datasetNames() {
 		d, _ := s.dataset(name)
-		out = append(out, datasetJSON{
+		out.Datasets = append(out.Datasets, api.Dataset{
 			Name:     name,
 			Rows:     d.table.NumRows(),
 			Columns:  d.table.ColumnNames(),
 			Measures: d.measures,
 		})
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"datasets": out})
-}
-
-// createRequest is the body of POST /v1/sessions.
-type createRequest struct {
-	// Dataset names a registered dataset (required).
-	Dataset string `json:"dataset"`
-	// K is rules per expansion; 0 means the server default.
-	K int `json:"k"`
-	// Weighter is "size" (default), "bits", or "size-1".
-	Weighter string `json:"weighter"`
-	// SampleMemory and MinSampleSize enable dynamic sampling when both are
-	// positive (Section 4 of the paper); Prefetch additionally reallocates
-	// samples after each expansion.
-	SampleMemory  int  `json:"sample_memory"`
-	MinSampleSize int  `json:"min_sample_size"`
-	Prefetch      bool `json:"prefetch"`
-	// SampleThreshold routes expansions by (sub)view size: views that can
-	// exceed this many rows are searched on a sample (provisional,
-	// confidence-bounded counts, refined to exact afterwards), smaller
-	// ones exactly. 0 samples every expansion when sampling is enabled.
-	SampleThreshold int `json:"sample_threshold"`
-	// DisableSampling forces exact search even when the sampling fields
-	// are set — the ablation/debugging switch.
-	DisableSampling bool `json:"disable_sampling"`
-	// Sum optimizes the named measure column instead of tuple counts.
-	Sum string `json:"sum"`
-	// Seed fixes the sampling RNG for reproducible sessions.
-	Seed int64 `json:"seed"`
-	// Workers overrides the server's per-expansion BRS parallelism.
-	Workers int `json:"workers"`
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
-	var req createRequest
+	var req api.CreateSessionRequest
 	if err := decodeBody(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, api.ErrBadRequest, err.Error())
 		return
 	}
 	if req.Dataset == "" {
-		writeError(w, http.StatusBadRequest, "dataset is required")
+		writeError(w, api.ErrBadRequest, "dataset is required")
 		return
 	}
 	d, ok := s.dataset(req.Dataset)
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown dataset %q", req.Dataset))
+		writeError(w, api.ErrNotFound, fmt.Sprintf("unknown dataset %q", req.Dataset))
 		return
 	}
 	eng, err := s.buildEngine(d, req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		code := api.ErrBadRequest
+		if errors.Is(err, errKTooLarge) {
+			code = api.ErrBudget
+		}
+		writeError(w, code, err.Error())
 		return
 	}
 	sess := &session{
@@ -103,14 +78,18 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, tree)
 }
 
+// errKTooLarge classifies the oversized-k rejection so the handler can
+// report it under the budget error code.
+var errKTooLarge = errors.New("k too large")
+
 // buildEngine translates a create request into an Engine on the dataset.
-func (s *Server) buildEngine(d dataset, req createRequest) (*smartdrill.Engine, error) {
+func (s *Server) buildEngine(d dataset, req api.CreateSessionRequest) (*smartdrill.Engine, error) {
 	k := req.K
 	if k <= 0 {
 		k = s.cfg.DefaultK
 	}
 	if k > 100 {
-		return nil, fmt.Errorf("k %d too large (max 100)", k)
+		return nil, fmt.Errorf("%w: %d (max 100)", errKTooLarge, k)
 	}
 	weighter, err := smartdrill.WeighterByName(d.table, req.Weighter)
 	if err != nil {
@@ -155,10 +134,38 @@ func (s *Server) lookupSession(w http.ResponseWriter, r *http.Request) (*session
 	id := r.PathValue("id")
 	sess, ok := s.store.get(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown session %q (expired, evicted, or never created)", id))
+		writeError(w, api.ErrNotFound, fmt.Sprintf("unknown session %q (expired, evicted, or never created)", id))
 		return nil, false
 	}
 	return sess, true
+}
+
+// resolveNode resolves a node reference — stable ID preferred, legacy
+// child-index path otherwise, both empty meaning the root — returning the
+// node and its current path. The caller must hold the session's lock. On
+// failure it writes the error response and returns false: an unknown (or
+// no-longer-displayed) ID is not_found, a malformed ID or invalid path is
+// bad_rule.
+func resolveNode(w http.ResponseWriter, sess *session, nodeID string, path []int) (*smartdrill.Node, []int, bool) {
+	if nodeID != "" {
+		n, err := sess.eng.NodeByID(nodeID)
+		if err != nil {
+			code := api.ErrBadRule
+			if errors.Is(err, smartdrill.ErrUnknownNode) {
+				code = api.ErrNotFound
+			}
+			writeError(w, code, err.Error())
+			return nil, nil, false
+		}
+		p, _ := sess.eng.PathOf(n) // a resolvable ID is always displayed
+		return n, p, true
+	}
+	n, err := sess.eng.NodeByPath(path)
+	if err != nil {
+		writeError(w, api.ErrBadRule, err.Error())
+		return nil, nil, false
+	}
+	return n, path, true
 }
 
 func (s *Server) handleTree(w http.ResponseWriter, r *http.Request) {
@@ -172,58 +179,46 @@ func (s *Server) handleTree(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, tree)
 }
 
-// drillRequest is the body of POST /v1/sessions/{id}/drill and
-// /collapse. Path addresses the target node (empty = root). For drill, a
-// non-empty Column requests the paper's star drill-down on that column.
-type drillRequest struct {
-	Path   []int  `json:"path"`
-	Column string `json:"column"`
-}
-
-// drillResponse returns the expanded (or collapsed) subtree plus the access
-// method BRS used to obtain tuples ("direct", "Find", "Combine", "Create")
-// and, for expansions, the search statistics of the BRS run — clients can
-// watch candidate reuse and postings-vs-scan routing per request.
-type drillResponse struct {
-	Access string                  `json:"access,omitempty"`
-	Search *smartdrill.SearchStats `json:"search,omitempty"`
-	Node   *nodeJSON               `json:"node"`
-}
-
 func (s *Server) handleDrill(w http.ResponseWriter, r *http.Request) {
 	sess, ok := s.lookupSession(w, r)
 	if !ok {
 		return
 	}
-	var req drillRequest
+	var req api.DrillRequest
 	if err := decodeBody(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, api.ErrBadRequest, err.Error())
 		return
 	}
 	// Encode under the session lock, write after releasing it: a slow
-	// client reading the response must not hold up the session.
+	// client reading the response must not hold up the session. The
+	// request context rides into the BRS search, so a client that
+	// abandons the request stops the search at the next pass boundary.
 	sess.mu.Lock()
-	n, err := sess.eng.NodeByPath(req.Path)
-	if err != nil {
+	n, path, ok := resolveNode(w, sess, req.Node, req.Path)
+	if !ok {
 		sess.mu.Unlock()
-		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	var err error
 	if req.Column != "" {
-		err = sess.eng.DrillDownStar(n, req.Column)
+		err = sess.eng.DrillDownStarCtx(r.Context(), n, req.Column)
 	} else {
-		err = sess.eng.DrillDown(n)
+		err = sess.eng.DrillDownCtx(r.Context(), n)
 	}
 	if err != nil {
 		sess.mu.Unlock()
-		writeError(w, http.StatusBadRequest, err.Error())
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			writeError(w, api.ErrCanceled, "request canceled during search: "+err.Error())
+			return
+		}
+		writeError(w, api.ErrBadRule, err.Error())
 		return
 	}
 	stats := sess.eng.LastSearchStats()
-	resp := drillResponse{
+	resp := api.DrillResponse{
 		Access: sess.eng.LastAccessMethod(),
-		Search: &stats,
-		Node:   encodeNode(sess.eng, n, req.Path),
+		Search: encodeStats(stats),
+		Node:   encodeNode(sess.eng, n, path),
 	}
 	var provisional []*smartdrill.Node
 	if s.cfg.BackgroundRefine {
@@ -244,31 +239,92 @@ func (s *Server) handleCollapse(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	var req drillRequest
+	var req api.DrillRequest
 	if err := decodeBody(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, api.ErrBadRequest, err.Error())
 		return
 	}
 	sess.mu.Lock()
-	n, err := sess.eng.NodeByPath(req.Path)
-	if err != nil {
+	n, path, ok := resolveNode(w, sess, req.Node, req.Path)
+	if !ok {
 		sess.mu.Unlock()
-		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	sess.eng.Collapse(n)
-	resp := drillResponse{Node: encodeNode(sess.eng, n, req.Path)}
+	resp := api.DrillResponse{Node: encodeNode(sess.eng, n, path)}
 	sess.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleRefine upgrades one provisional (sample-estimated) node to its
+// exact aggregate with one accounted pass — the on-demand form of the
+// provisional→exact lifecycle the SSE stream and the background refiner
+// drive automatically.
+func (s *Server) handleRefine(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.lookupSession(w, r)
+	if !ok {
+		return
+	}
+	var req api.RefineRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, api.ErrBadRequest, err.Error())
+		return
+	}
+	sess.mu.Lock()
+	n, path, ok := resolveNode(w, sess, req.Node, req.Path)
+	if !ok {
+		sess.mu.Unlock()
+		return
+	}
+	changed := sess.eng.RefineNode(n)
+	resp := api.RefineResponse{Changed: changed, Node: encodeNode(sess.eng, n, path)}
+	sess.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleTraditional serves the classic OLAP drill-down listing on one
+// column under a node — read-only, for comparison with smart drill-down
+// (Figure 4 of the paper).
+func (s *Server) handleTraditional(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.lookupSession(w, r)
+	if !ok {
+		return
+	}
+	var req api.TraditionalRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, api.ErrBadRequest, err.Error())
+		return
+	}
+	if req.Column == "" {
+		writeError(w, api.ErrBadRequest, "column is required")
+		return
+	}
+	sess.mu.Lock()
+	n, _, ok := resolveNode(w, sess, req.Node, req.Path)
+	if !ok {
+		sess.mu.Unlock()
+		return
+	}
+	groups, err := sess.eng.TraditionalDrillDown(n, req.Column)
+	sess.mu.Unlock()
+	if err != nil {
+		writeError(w, api.ErrBadRule, err.Error())
+		return
+	}
+	resp := api.TraditionalResponse{Groups: []api.TraditionalGroup{}}
+	for _, g := range groups {
+		resp.Groups = append(resp.Groups, api.TraditionalGroup{Value: g.Value, Count: g.Count})
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if !s.store.remove(id) {
-		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown session %q", id))
+		writeError(w, api.ErrNotFound, fmt.Sprintf("unknown session %q", id))
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
+	writeJSON(w, http.StatusOK, api.DeleteResponse{Deleted: id})
 }
 
 // decodeBody parses a JSON request body into v, rejecting unknown fields so

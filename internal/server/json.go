@@ -5,50 +5,25 @@ import (
 	"net/http"
 
 	"smartdrill"
+	"smartdrill/api"
 )
 
-// nodeJSON is the wire form of one displayed rule. Path is the node's
-// child-index address from the root (see Engine.NodeByPath) — clients pass
-// it back to drill, collapse, or stream on the node.
-type nodeJSON struct {
-	Path []int `json:"path"`
-	// Rule maps instantiated column names to their values; wildcarded
-	// columns are absent.
-	Rule map[string]string `json:"rule"`
-	// Display is the full decoded rule, one cell per column, stars as "?".
-	Display []string `json:"display"`
-	Count   float64  `json:"count"`
-	// Exact is false when Count is a sample estimate. CI, when present,
-	// bounds the true count at 95% confidence; it is omitted for exact
-	// counts and for estimates without interval support (Sum aggregates).
-	Exact    bool        `json:"exact"`
-	CI       *[2]float64 `json:"ci,omitempty"`
-	Weight   float64     `json:"weight"`
-	Children []*nodeJSON `json:"children,omitempty"`
-}
-
-// treeJSON is the wire form of a whole session tree.
-type treeJSON struct {
-	ID        string    `json:"id"`
-	Dataset   string    `json:"dataset"`
-	Columns   []string  `json:"columns"`
-	Aggregate string    `json:"aggregate"`
-	K         int       `json:"k"`
-	Root      *nodeJSON `json:"root"`
-	// Rendered is the paper-style aligned text table, for terminals.
-	Rendered string `json:"rendered"`
-}
+// Wire encoding: the server speaks the api package's v1 DTOs exclusively —
+// every response body (and SSE payload) is an api type, so the contract
+// clients compile against is exactly what travels.
 
 // encodeNode converts a displayed subtree to wire form. path is the node's
-// address and is copied into every descendant's extended address.
-func encodeNode(e *smartdrill.Engine, n *smartdrill.Node, path []int) *nodeJSON {
+// legacy child-index address and is extended into every descendant's
+// address; the stable ID rides alongside it.
+func encodeNode(e *smartdrill.Engine, n *smartdrill.Node, path []int) *api.Node {
 	t := e.Table()
 	cells := t.DecodeRule(n.Rule)
 	ruleMap := make(map[string]string)
 	for _, c := range n.Rule.InstantiatedColumns() {
 		ruleMap[t.ColumnNames()[c]] = cells[c]
 	}
-	out := &nodeJSON{
+	out := &api.Node{
+		ID:      e.NodeID(n),
 		Path:    append([]int{}, path...), // non-nil so the root marshals as [] not null
 		Rule:    ruleMap,
 		Display: cells,
@@ -56,13 +31,11 @@ func encodeNode(e *smartdrill.Engine, n *smartdrill.Node, path []int) *nodeJSON 
 		Exact:   n.Exact,
 		Weight:  n.Weight,
 	}
-	if !n.Exact {
-		// A collapsed interval on an estimate means the aggregate has no
-		// interval support (Sum); advertising [est, est] as a 95% bound
-		// would claim false certainty, so omit it.
-		if lo, hi := e.ConfidenceInterval(n); lo != hi {
-			out.CI = &[2]float64{lo, hi}
-		}
+	// HasCI distinguishes a genuine interval (possibly [0, 0]) from "no
+	// interval support" (exact counts, Sum estimates): only the former is
+	// put on the wire.
+	if !n.Exact && n.HasCI {
+		out.CI = &[2]float64{n.CILow, n.CIHigh}
 	}
 	for i, child := range n.Children {
 		out.Children = append(out.Children, encodeNode(e, child, append(path, i)))
@@ -72,9 +45,9 @@ func encodeNode(e *smartdrill.Engine, n *smartdrill.Node, path []int) *nodeJSON 
 
 // encodeTree converts a session's full displayed tree to wire form. The
 // caller must hold the session's lock.
-func encodeTree(sess *session) *treeJSON {
+func encodeTree(sess *session) *api.Tree {
 	e := sess.eng
-	return &treeJSON{
+	return &api.Tree{
 		ID:        sess.id,
 		Dataset:   sess.dataset,
 		Columns:   e.Table().ColumnNames(),
@@ -82,6 +55,21 @@ func encodeTree(sess *session) *treeJSON {
 		K:         e.K(),
 		Root:      encodeNode(e, e.Root(), nil),
 		Rendered:  e.Render(),
+	}
+}
+
+// encodeStats converts the engine's BRS counters to their wire mirror.
+func encodeStats(s smartdrill.SearchStats) *api.SearchStats {
+	return &api.SearchStats{
+		Passes:             s.Passes,
+		CandidatesCounted:  s.CandidatesCounted,
+		CandidatesPruned:   s.CandidatesPruned,
+		CandidatesReused:   s.CandidatesReused,
+		RowsScanned:        s.RowsScanned,
+		PostingsRead:       s.PostingsRead,
+		IndexLevels:        s.IndexLevels,
+		CandidateCapHit:    s.CandidateCapHit,
+		SampledRowsScanned: s.SampledRowsScanned,
 	}
 }
 
@@ -94,12 +82,10 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v) //nolint:errcheck // client went away; nothing to do
 }
 
-// errorJSON is the uniform error body.
-type errorJSON struct {
-	Error string `json:"error"`
-}
-
-// writeError writes a JSON error with the given status.
-func writeError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, errorJSON{Error: msg})
+// writeError writes the uniform v1 error envelope
+// {"error":{"code":...,"message":...}} with the code's HTTP status.
+func writeError(w http.ResponseWriter, code api.ErrorCode, msg string) {
+	writeJSON(w, api.HTTPStatus(code), api.ErrorEnvelope{
+		Error: &api.Error{Code: code, Message: msg},
+	})
 }

@@ -4,6 +4,8 @@ import (
 	"net/http"
 	"runtime/debug"
 	"time"
+
+	"smartdrill/api"
 )
 
 // statusWriter records the response status and byte count for the request
@@ -60,7 +62,7 @@ func (s *Server) withRecovery(next http.Handler) http.Handler {
 		defer func() {
 			if rec := recover(); rec != nil {
 				s.cfg.Logger.Printf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
-				writeError(w, http.StatusInternalServerError, "internal server error")
+				writeError(w, api.ErrInternal, "internal server error")
 			}
 		}()
 		next.ServeHTTP(w, r)

@@ -1,0 +1,122 @@
+package server
+
+// Route-parity gate: every /v1 operation is also mounted at its bare
+// unversioned legacy path, served by the same handler. These tests fail
+// if the two route families ever diverge by a byte — the contract the
+// deprecation story depends on.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"smartdrill/api"
+)
+
+// rawDo issues a request and returns status and raw body bytes.
+func rawDo(t *testing.T, method, url string, body []byte) (int, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+// TestRouteParityReads compares read endpoints on one session through both
+// route families: responses must be bit-identical.
+func TestRouteParityReads(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	id := createSession(t, ts.URL, api.CreateSessionRequest{Dataset: "store", K: 4}).ID
+
+	pairs := []struct {
+		name   string
+		v1     string
+		legacy string
+	}{
+		{"datasets", "/v1/datasets", "/datasets"},
+		{"health", "/v1/health", "/healthz"},
+		{"tree", "/v1/sessions/" + id + "/tree", "/sessions/" + id + "/tree"},
+	}
+	for _, p := range pairs {
+		t.Run(p.name, func(t *testing.T) {
+			c1, b1 := rawDo(t, "GET", ts.URL+p.v1, nil)
+			c2, b2 := rawDo(t, "GET", ts.URL+p.legacy, nil)
+			if c1 != c2 {
+				t.Fatalf("status diverged: v1 %d, legacy %d", c1, c2)
+			}
+			if !bytes.Equal(b1, b2) {
+				t.Fatalf("bodies diverged:\nv1:     %s\nlegacy: %s", b1, b2)
+			}
+		})
+	}
+}
+
+// TestRouteParityMutations drives an identical drill/collapse/refine/
+// traditional/delete sequence through each route family on two
+// identically-seeded sessions. Node IDs are session-local counters, so the
+// same deterministic expansion sequence yields the same IDs — responses
+// must match byte for byte once the random session ID is normalized out.
+func TestRouteParityMutations(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	run := func(prefix string) []string {
+		t.Helper()
+		create, _ := json.Marshal(api.CreateSessionRequest{Dataset: "store", K: 4, Seed: 9})
+		code, body := rawDo(t, "POST", ts.URL+prefix+"/sessions", create)
+		if code != http.StatusCreated {
+			t.Fatalf("create via %q: status %d", prefix, code)
+		}
+		var tree api.Tree
+		if err := json.Unmarshal(body, &tree); err != nil {
+			t.Fatal(err)
+		}
+		sessURL := ts.URL + prefix + "/sessions/" + tree.ID
+		var out []string
+		record := func(method, url string, reqBody []byte) {
+			code, b := rawDo(t, method, url, reqBody)
+			out = append(out, strings.ReplaceAll(fmt.Sprintf("%d:%s", code, b), tree.ID, "SID"))
+		}
+		drill, _ := json.Marshal(api.DrillRequest{})                                 // expand root
+		star, _ := json.Marshal(api.DrillRequest{Node: "n2", Column: "Region"})      // star drill the first child by stable ID
+		collapse, _ := json.Marshal(api.DrillRequest{Node: "n2"})                    // roll it up
+		refine, _ := json.Marshal(api.RefineRequest{Node: "n3"})                     // exact session: no-op refine
+		trad, _ := json.Marshal(api.TraditionalRequest{Node: "n1", Column: "Store"}) // classic listing under the root
+		record("POST", sessURL+"/drill", drill)
+		record("POST", sessURL+"/drill", star)
+		record("POST", sessURL+"/collapse", collapse)
+		record("POST", sessURL+"/refine", refine)
+		record("POST", sessURL+"/traditional", trad)
+		record("GET", sessURL+"/tree", nil)
+		record("DELETE", sessURL, nil)
+		return out
+	}
+
+	v1 := run("/v1")
+	legacy := run("")
+	if len(v1) != len(legacy) {
+		t.Fatalf("step counts diverged: %d vs %d", len(v1), len(legacy))
+	}
+	for i := range v1 {
+		if v1[i] != legacy[i] {
+			t.Fatalf("step %d diverged:\nv1:     %s\nlegacy: %s", i, v1[i], legacy[i])
+		}
+	}
+}

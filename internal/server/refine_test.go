@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"smartdrill"
+	"smartdrill/api"
 	"smartdrill/internal/datagen"
 )
 
@@ -29,8 +30,8 @@ func newSampledServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 }
 
 // sampledCreate is the canonical sampled-session request the tests use.
-func sampledCreate() createRequest {
-	return createRequest{
+func sampledCreate() api.CreateSessionRequest {
+	return api.CreateSessionRequest{
 		Dataset:         "census",
 		K:               4,
 		SampleMemory:    20000,
@@ -40,9 +41,9 @@ func sampledCreate() createRequest {
 	}
 }
 
-// trueCount resolves a nodeJSON's rule against the census table and
+// trueCount resolves a api.Node's rule against the census table and
 // returns its exact count.
-func trueCount(t *testing.T, n *nodeJSON) float64 {
+func trueCount(t *testing.T, n *api.Node) float64 {
 	t.Helper()
 	r, err := censusTable().EncodeRule(n.Rule)
 	if err != nil {
@@ -68,8 +69,8 @@ func TestDrillStreamRefineEvents(t *testing.T) {
 		t.Fatalf("got %d events, want rules + refines + done", len(events))
 	}
 
-	rules := map[string]nodeJSON{}   // path key → provisional node
-	refines := map[string]nodeJSON{} // path key → refined node
+	rules := map[string]api.Node{}   // path key → provisional node
+	refines := map[string]api.Node{} // path key → refined node
 	var done struct {
 		Rules   int    `json:"rules"`
 		Refined int    `json:"refined"`
@@ -79,7 +80,7 @@ func TestDrillStreamRefineEvents(t *testing.T) {
 	for i, ev := range events {
 		switch ev.event {
 		case "rule", "refine":
-			var n nodeJSON
+			var n api.Node
 			if err := json.Unmarshal([]byte(ev.data), &n); err != nil {
 				t.Fatalf("%s payload %q: %v", ev.event, ev.data, err)
 			}
@@ -141,7 +142,7 @@ func TestDrillStreamRefineEvents(t *testing.T) {
 	}
 
 	// The refined counts persist in the session tree.
-	var tree treeJSON
+	var tree api.Tree
 	if code := doJSON(t, "GET", ts.URL+"/v1/sessions/"+id+"/tree", nil, &tree); code != http.StatusOK {
 		t.Fatalf("tree: status %d", code)
 	}
@@ -159,8 +160,8 @@ func TestBackgroundRefine(t *testing.T) {
 	srv, ts := newSampledServer(t, Config{BackgroundRefine: true})
 	id := createSession(t, ts.URL, sampledCreate()).ID
 
-	var resp drillResponse
-	if code := doJSON(t, "POST", ts.URL+"/v1/sessions/"+id+"/drill", drillRequest{}, &resp); code != http.StatusOK {
+	var resp api.DrillResponse
+	if code := doJSON(t, "POST", ts.URL+"/v1/sessions/"+id+"/drill", api.DrillRequest{}, &resp); code != http.StatusOK {
 		t.Fatalf("drill: status %d", code)
 	}
 	if resp.Access == "direct" {
@@ -177,7 +178,7 @@ func TestBackgroundRefine(t *testing.T) {
 	}
 
 	srv.WaitRefiners()
-	var tree treeJSON
+	var tree api.Tree
 	if code := doJSON(t, "GET", ts.URL+"/v1/sessions/"+id+"/tree", nil, &tree); code != http.StatusOK {
 		t.Fatalf("tree: status %d", code)
 	}
@@ -205,14 +206,14 @@ func TestBackgroundRefinerRace(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for i := 0; i < 2; i++ {
-				var resp drillResponse
+				var resp api.DrillResponse
 				// Re-expanding the root collapses and replaces children the
 				// refiner may be working on — exactly the race under test.
-				if code := doJSON(t, "POST", ts.URL+"/v1/sessions/"+id+"/drill", drillRequest{}, &resp); code != http.StatusOK {
+				if code := doJSON(t, "POST", ts.URL+"/v1/sessions/"+id+"/drill", api.DrillRequest{}, &resp); code != http.StatusOK {
 					t.Errorf("drill: status %d", code)
 					return
 				}
-				var tree treeJSON
+				var tree api.Tree
 				if code := doJSON(t, "GET", ts.URL+"/v1/sessions/"+id+"/tree", nil, &tree); code != http.StatusOK {
 					t.Errorf("tree: status %d", code)
 					return
@@ -224,12 +225,12 @@ func TestBackgroundRefinerRace(t *testing.T) {
 	srv.WaitRefiners()
 
 	// Quiesced: every displayed node has been refined to exact.
-	var tree treeJSON
+	var tree api.Tree
 	if code := doJSON(t, "GET", ts.URL+"/v1/sessions/"+id+"/tree", nil, &tree); code != http.StatusOK {
 		t.Fatalf("tree: status %d", code)
 	}
-	var walk func(n *nodeJSON)
-	walk = func(n *nodeJSON) {
+	var walk func(n *api.Node)
+	walk = func(n *api.Node) {
 		if !n.Exact {
 			t.Errorf("node %v still provisional after quiescence", n.Rule)
 		}

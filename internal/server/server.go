@@ -1,17 +1,29 @@
-// Package server exposes smart drill-down sessions over a JSON HTTP API —
-// the serving layer behind cmd/smartdrilld. It manages a registry of named
-// datasets and a sharded, LRU-evicting session store, and implements the
-// paper's interactive operations (drill-down, star drill-down, roll-up,
-// anytime streaming) as endpoints under /v1:
+// Package server exposes smart drill-down sessions over the versioned v1
+// JSON HTTP API — the serving layer behind cmd/smartdrilld. It manages a
+// registry of named datasets and a sharded, LRU-evicting session store,
+// and implements the paper's interactive operations (drill-down, star
+// drill-down, roll-up, anytime streaming, provisional→exact refinement)
+// as endpoints under /v1, speaking the api package's DTOs — stable string
+// node IDs on the wire, a uniform {error:{code,message}} envelope, and
+// request contexts threaded into the BRS search so abandoned requests
+// stop paying for table passes:
 //
-//	GET    /healthz                        liveness probe
-//	GET    /v1/datasets                    list registered datasets
-//	POST   /v1/sessions                    create a session on a dataset
-//	GET    /v1/sessions/{id}/tree          the displayed rule tree as JSON
-//	POST   /v1/sessions/{id}/drill         expand a node (rule or star drill)
-//	POST   /v1/sessions/{id}/collapse      roll up a node
-//	GET    /v1/sessions/{id}/drill/stream  anytime expansion over SSE
-//	DELETE /v1/sessions/{id}               discard a session
+//	GET    /v1/health                        health, version, dataset sizes
+//	GET    /v1/datasets                      list registered datasets
+//	POST   /v1/sessions                      create a session on a dataset
+//	GET    /v1/sessions/{id}/tree            the displayed rule tree as JSON
+//	POST   /v1/sessions/{id}/drill           expand a node (rule or star drill)
+//	POST   /v1/sessions/{id}/collapse        roll up a node
+//	POST   /v1/sessions/{id}/refine          exact-count one provisional node
+//	POST   /v1/sessions/{id}/traditional     classic OLAP drill-down listing
+//	GET    /v1/sessions/{id}/drill/stream    anytime expansion over SSE
+//	DELETE /v1/sessions/{id}                 discard a session
+//
+// Every /v1 operation is also mounted at its bare unversioned path
+// (/sessions, /datasets, …) as a deprecated alias served by the same
+// handler; /healthz aliases /v1/health. See docs/API.md and
+// docs/openapi.yaml for the full contract, and the client package for the
+// Go SDK.
 //
 // Concurrency model: datasets are immutable once registered and shared by
 // every session reading them, including one inverted index per dataset
@@ -31,6 +43,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -194,14 +207,31 @@ func (s *Server) refineNodes(sess *session, nodes []*smartdrill.Node) {
 
 func (s *Server) routes() http.Handler {
 	mux := http.NewServeMux()
+	// Every operation is mounted twice: canonically under the versioned
+	// /v1 prefix, and at the bare unversioned path as an alias that is
+	// deprecated from birth — it exists so clients that hardcode
+	// unversioned paths keep a migration target, never as a place to
+	// diverge. Both mounts share one handler, so responses are
+	// bit-identical by construction — and a parity test gate
+	// (TestRouteParity*) keeps them that way.
+	both := func(pattern string, h http.HandlerFunc) {
+		method, path, _ := strings.Cut(pattern, " ")
+		mux.HandleFunc(method+" /v1"+path, h)
+		mux.HandleFunc(method+" "+path, h)
+	}
+	both("GET /datasets", s.handleDatasets)
+	both("POST /sessions", s.handleCreateSession)
+	both("GET /sessions/{id}/tree", s.handleTree)
+	both("POST /sessions/{id}/drill", s.handleDrill)
+	both("POST /sessions/{id}/collapse", s.handleCollapse)
+	both("POST /sessions/{id}/refine", s.handleRefine)
+	both("POST /sessions/{id}/traditional", s.handleTraditional)
+	both("GET /sessions/{id}/drill/stream", s.handleDrillStream)
+	both("DELETE /sessions/{id}", s.handleDeleteSession)
+	// Health: /v1/health is canonical; /healthz is the historical probe
+	// path, kept for liveness checks already deployed against it.
+	mux.HandleFunc("GET /v1/health", s.handleHealth)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("GET /v1/datasets", s.handleDatasets)
-	mux.HandleFunc("POST /v1/sessions", s.handleCreateSession)
-	mux.HandleFunc("GET /v1/sessions/{id}/tree", s.handleTree)
-	mux.HandleFunc("POST /v1/sessions/{id}/drill", s.handleDrill)
-	mux.HandleFunc("POST /v1/sessions/{id}/collapse", s.handleCollapse)
-	mux.HandleFunc("GET /v1/sessions/{id}/drill/stream", s.handleDrillStream)
-	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDeleteSession)
 	return s.withRecovery(s.withLogging(mux))
 }
 

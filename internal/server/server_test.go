@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"smartdrill"
+	"smartdrill/api"
 )
 
 // storeTable loads the bundled department-store example CSV once: the same
@@ -71,9 +72,9 @@ func doJSON(t *testing.T, method, url string, body, out any) int {
 	return resp.StatusCode
 }
 
-func createSession(t *testing.T, base string, req createRequest) treeJSON {
+func createSession(t *testing.T, base string, req api.CreateSessionRequest) api.Tree {
 	t.Helper()
-	var tree treeJSON
+	var tree api.Tree
 	if code := doJSON(t, "POST", base+"/v1/sessions", req, &tree); code != http.StatusCreated {
 		t.Fatalf("create session: status %d", code)
 	}
@@ -88,7 +89,7 @@ func TestSessionLifecycle(t *testing.T) {
 
 	// Datasets listing shows the registered CSV.
 	var dl struct {
-		Datasets []datasetJSON `json:"datasets"`
+		Datasets []api.Dataset `json:"datasets"`
 	}
 	if code := doJSON(t, "GET", ts.URL+"/v1/datasets", nil, &dl); code != http.StatusOK {
 		t.Fatalf("datasets: status %d", code)
@@ -98,7 +99,7 @@ func TestSessionLifecycle(t *testing.T) {
 	}
 
 	// Create: root covers the whole table.
-	tree := createSession(t, ts.URL, createRequest{Dataset: "store", K: 4, Seed: 1})
+	tree := createSession(t, ts.URL, api.CreateSessionRequest{Dataset: "store", K: 4, Seed: 1})
 	if tree.Root.Count != 6000 || !tree.Root.Exact {
 		t.Fatalf("root: got count %v exact %v", tree.Root.Count, tree.Root.Exact)
 	}
@@ -109,8 +110,8 @@ func TestSessionLifecycle(t *testing.T) {
 
 	// Drill the root: the paper's running example surfaces its planted
 	// rules — (Walmart,?,?) with 1000 tuples among them.
-	var dr drillResponse
-	if code := doJSON(t, "POST", sessURL+"/drill", drillRequest{}, &dr); code != http.StatusOK {
+	var dr api.DrillResponse
+	if code := doJSON(t, "POST", sessURL+"/drill", api.DrillRequest{}, &dr); code != http.StatusOK {
 		t.Fatalf("drill: status %d", code)
 	}
 	if dr.Access != "direct" {
@@ -119,7 +120,7 @@ func TestSessionLifecycle(t *testing.T) {
 	if len(dr.Node.Children) != 4 {
 		t.Fatalf("drill: got %d children, want 4", len(dr.Node.Children))
 	}
-	var walmart *nodeJSON
+	var walmart *api.Node
 	for _, c := range dr.Node.Children {
 		if c.Rule["Store"] == "Walmart" {
 			walmart = c
@@ -130,8 +131,8 @@ func TestSessionLifecycle(t *testing.T) {
 	}
 
 	// Star drill on Region under the Walmart node.
-	var star drillResponse
-	if code := doJSON(t, "POST", sessURL+"/drill", drillRequest{Path: walmart.Path, Column: "Region"}, &star); code != http.StatusOK {
+	var star api.DrillResponse
+	if code := doJSON(t, "POST", sessURL+"/drill", api.DrillRequest{Path: walmart.Path, Column: "Region"}, &star); code != http.StatusOK {
 		t.Fatalf("star drill: status %d", code)
 	}
 	for _, c := range star.Node.Children {
@@ -141,7 +142,7 @@ func TestSessionLifecycle(t *testing.T) {
 	}
 
 	// Tree reflects both expansions and renders the paper-style table.
-	var full treeJSON
+	var full api.Tree
 	if code := doJSON(t, "GET", sessURL+"/tree", nil, &full); code != http.StatusOK {
 		t.Fatalf("tree: status %d", code)
 	}
@@ -153,8 +154,8 @@ func TestSessionLifecycle(t *testing.T) {
 	}
 
 	// Collapse the Walmart subtree.
-	var col drillResponse
-	if code := doJSON(t, "POST", sessURL+"/collapse", drillRequest{Path: walmart.Path}, &col); code != http.StatusOK {
+	var col api.DrillResponse
+	if code := doJSON(t, "POST", sessURL+"/collapse", api.DrillRequest{Path: walmart.Path}, &col); code != http.StatusOK {
 		t.Fatalf("collapse: status %d", code)
 	}
 	if len(col.Node.Children) != 0 {
@@ -172,7 +173,7 @@ func TestSessionLifecycle(t *testing.T) {
 
 func TestSumAggregateSession(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
-	tree := createSession(t, ts.URL, createRequest{Dataset: "store", Sum: "Sales"})
+	tree := createSession(t, ts.URL, api.CreateSessionRequest{Dataset: "store", Sum: "Sales"})
 	if tree.Aggregate != "Sum(Sales)" {
 		t.Fatalf("aggregate: got %q, want Sum(Sales)", tree.Aggregate)
 	}
@@ -183,12 +184,12 @@ func TestSumAggregateSession(t *testing.T) {
 
 func TestSampledSessionReportsIntervals(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
-	tree := createSession(t, ts.URL, createRequest{
+	tree := createSession(t, ts.URL, api.CreateSessionRequest{
 		Dataset: "store", Seed: 7, SampleMemory: 3000, MinSampleSize: 500,
 	})
 	sessURL := ts.URL + "/v1/sessions/" + tree.ID
-	var dr drillResponse
-	if code := doJSON(t, "POST", sessURL+"/drill", drillRequest{}, &dr); code != http.StatusOK {
+	var dr api.DrillResponse
+	if code := doJSON(t, "POST", sessURL+"/drill", api.DrillRequest{}, &dr); code != http.StatusOK {
 		t.Fatalf("drill: status %d", code)
 	}
 	for _, c := range dr.Node.Children {
@@ -205,11 +206,11 @@ func TestSampledSessionReportsIntervals(t *testing.T) {
 // interval support — do not advertise a degenerate [est, est] bound.
 func TestSampledSumOmitsCI(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
-	tree := createSession(t, ts.URL, createRequest{
+	tree := createSession(t, ts.URL, api.CreateSessionRequest{
 		Dataset: "store", Sum: "Sales", Seed: 7, SampleMemory: 3000, MinSampleSize: 500,
 	})
-	var dr drillResponse
-	code := doJSON(t, "POST", ts.URL+"/v1/sessions/"+tree.ID+"/drill", drillRequest{}, &dr)
+	var dr api.DrillResponse
+	code := doJSON(t, "POST", ts.URL+"/v1/sessions/"+tree.ID+"/drill", api.DrillRequest{}, &dr)
 	if code != http.StatusOK {
 		t.Fatalf("drill: status %d", code)
 	}
@@ -227,7 +228,7 @@ func TestConcurrentSessions(t *testing.T) {
 	const sessions = 8
 	ids := make([]string, sessions)
 	for i := range ids {
-		ids[i] = createSession(t, ts.URL, createRequest{Dataset: "store", Seed: int64(i + 1)}).ID
+		ids[i] = createSession(t, ts.URL, api.CreateSessionRequest{Dataset: "store", Seed: int64(i + 1)}).ID
 	}
 	var wg sync.WaitGroup
 	errs := make(chan error, sessions)
@@ -236,8 +237,8 @@ func TestConcurrentSessions(t *testing.T) {
 		go func(id string) {
 			defer wg.Done()
 			sessURL := ts.URL + "/v1/sessions/" + id
-			var dr drillResponse
-			if code := doJSON(t, "POST", sessURL+"/drill", drillRequest{}, &dr); code != http.StatusOK {
+			var dr api.DrillResponse
+			if code := doJSON(t, "POST", sessURL+"/drill", api.DrillRequest{}, &dr); code != http.StatusOK {
 				errs <- fmt.Errorf("session %s drill: status %d", id, code)
 				return
 			}
@@ -245,7 +246,7 @@ func TestConcurrentSessions(t *testing.T) {
 				errs <- fmt.Errorf("session %s drill: no children", id)
 				return
 			}
-			if code := doJSON(t, "POST", sessURL+"/drill", drillRequest{Path: []int{0}}, &dr); code != http.StatusOK {
+			if code := doJSON(t, "POST", sessURL+"/drill", api.DrillRequest{Path: []int{0}}, &dr); code != http.StatusOK {
 				errs <- fmt.Errorf("session %s nested drill: status %d", id, code)
 			}
 		}(id)
@@ -261,15 +262,15 @@ func TestConcurrentSessions(t *testing.T) {
 // goroutines; the per-session mutex must serialize them without racing.
 func TestConcurrentDrillsOneSession(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
-	id := createSession(t, ts.URL, createRequest{Dataset: "store"}).ID
+	id := createSession(t, ts.URL, api.CreateSessionRequest{Dataset: "store"}).ID
 	sessURL := ts.URL + "/v1/sessions/" + id
 	var wg sync.WaitGroup
 	for i := 0; i < 6; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			var dr drillResponse
-			code := doJSON(t, "POST", sessURL+"/drill", drillRequest{}, &dr)
+			var dr api.DrillResponse
+			code := doJSON(t, "POST", sessURL+"/drill", api.DrillRequest{}, &dr)
 			if code != http.StatusOK {
 				t.Errorf("goroutine %d: status %d", i, code)
 			}
@@ -278,7 +279,7 @@ func TestConcurrentDrillsOneSession(t *testing.T) {
 	wg.Wait()
 	// The tree must be consistent afterwards: exactly one expansion's
 	// worth of children (each drill collapses and re-expands).
-	var tree treeJSON
+	var tree api.Tree
 	if code := doJSON(t, "GET", sessURL+"/tree", nil, &tree); code != http.StatusOK {
 		t.Fatalf("tree: status %d", code)
 	}
@@ -320,7 +321,7 @@ func readSSE(t *testing.T, r io.Reader) []sseEvent {
 
 func TestDrillStreamSSE(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
-	id := createSession(t, ts.URL, createRequest{Dataset: "store"}).ID
+	id := createSession(t, ts.URL, api.CreateSessionRequest{Dataset: "store"}).ID
 
 	start := time.Now()
 	resp, err := http.Get(ts.URL + "/v1/sessions/" + id + "/drill/stream?budget_ms=2000&max_rules=4")
@@ -362,7 +363,7 @@ func TestDrillStreamSSE(t *testing.T) {
 		if ev.event != "rule" {
 			t.Fatalf("unexpected event %q before done", ev.event)
 		}
-		var n nodeJSON
+		var n api.Node
 		if err := json.Unmarshal([]byte(ev.data), &n); err != nil {
 			t.Fatalf("rule payload %q: %v", ev.data, err)
 		}
@@ -371,7 +372,7 @@ func TestDrillStreamSSE(t *testing.T) {
 		}
 	}
 	// Rules stream into the session's tree, not a side channel.
-	var tree treeJSON
+	var tree api.Tree
 	if code := doJSON(t, "GET", ts.URL+"/v1/sessions/"+id+"/tree", nil, &tree); code != http.StatusOK {
 		t.Fatalf("tree: status %d", code)
 	}
@@ -387,7 +388,7 @@ func TestDrillStreamSSE(t *testing.T) {
 // rather than running the search to completion.
 func TestDrillStreamBudget(t *testing.T) {
 	_, ts := newTestServer(t, Config{MaxStreamBudget: 500 * time.Millisecond})
-	id := createSession(t, ts.URL, createRequest{Dataset: "store"}).ID
+	id := createSession(t, ts.URL, api.CreateSessionRequest{Dataset: "store"}).ID
 	start := time.Now()
 	resp, err := http.Get(ts.URL + "/v1/sessions/" + id + "/drill/stream?budget_ms=60000")
 	if err != nil {
@@ -405,39 +406,49 @@ func TestDrillStreamBudget(t *testing.T) {
 
 func TestBadRequests(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
-	id := createSession(t, ts.URL, createRequest{Dataset: "store"}).ID
+	id := createSession(t, ts.URL, api.CreateSessionRequest{Dataset: "store"}).ID
 	sessURL := ts.URL + "/v1/sessions/" + id
 
 	cases := []struct {
-		name   string
-		method string
-		url    string
-		body   any
-		want   int
+		name     string
+		method   string
+		url      string
+		body     any
+		want     int
+		wantCode api.ErrorCode
 	}{
-		{"unknown dataset", "POST", ts.URL + "/v1/sessions", createRequest{Dataset: "nope"}, http.StatusNotFound},
-		{"missing dataset", "POST", ts.URL + "/v1/sessions", createRequest{}, http.StatusBadRequest},
-		{"bad weighter", "POST", ts.URL + "/v1/sessions", createRequest{Dataset: "store", Weighter: "entropy"}, http.StatusBadRequest},
-		{"bad measure", "POST", ts.URL + "/v1/sessions", createRequest{Dataset: "store", Sum: "Price"}, http.StatusBadRequest},
-		{"oversized k", "POST", ts.URL + "/v1/sessions", createRequest{Dataset: "store", K: 1000}, http.StatusBadRequest},
-		{"unknown session tree", "GET", ts.URL + "/v1/sessions/deadbeef/tree", nil, http.StatusNotFound},
-		{"unknown session drill", "POST", ts.URL + "/v1/sessions/deadbeef/drill", drillRequest{}, http.StatusNotFound},
-		{"unknown session delete", "DELETE", ts.URL + "/v1/sessions/deadbeef", nil, http.StatusNotFound},
-		{"bad node path", "POST", sessURL + "/drill", drillRequest{Path: []int{99}}, http.StatusBadRequest},
-		{"negative path", "POST", sessURL + "/drill", drillRequest{Path: []int{-1}}, http.StatusBadRequest},
-		{"star on unknown column", "POST", sessURL + "/drill", drillRequest{Column: "Nope"}, http.StatusBadRequest},
-		{"bad stream path", "GET", sessURL + "/drill/stream?path=x", nil, http.StatusBadRequest},
-		{"bad stream budget", "GET", sessURL + "/drill/stream?budget_ms=-5", nil, http.StatusBadRequest},
-		{"bad collapse path", "POST", sessURL + "/collapse", drillRequest{Path: []int{0, 0}}, http.StatusBadRequest},
+		{"unknown dataset", "POST", ts.URL + "/v1/sessions", api.CreateSessionRequest{Dataset: "nope"}, http.StatusNotFound, api.ErrNotFound},
+		{"missing dataset", "POST", ts.URL + "/v1/sessions", api.CreateSessionRequest{}, http.StatusBadRequest, api.ErrBadRequest},
+		{"bad weighter", "POST", ts.URL + "/v1/sessions", api.CreateSessionRequest{Dataset: "store", Weighter: "entropy"}, http.StatusBadRequest, api.ErrBadRequest},
+		{"bad measure", "POST", ts.URL + "/v1/sessions", api.CreateSessionRequest{Dataset: "store", Sum: "Price"}, http.StatusBadRequest, api.ErrBadRequest},
+		{"oversized k", "POST", ts.URL + "/v1/sessions", api.CreateSessionRequest{Dataset: "store", K: 1000}, http.StatusBadRequest, api.ErrBudget},
+		{"unknown session tree", "GET", ts.URL + "/v1/sessions/deadbeef/tree", nil, http.StatusNotFound, api.ErrNotFound},
+		{"unknown session drill", "POST", ts.URL + "/v1/sessions/deadbeef/drill", api.DrillRequest{}, http.StatusNotFound, api.ErrNotFound},
+		{"unknown session delete", "DELETE", ts.URL + "/v1/sessions/deadbeef", nil, http.StatusNotFound, api.ErrNotFound},
+		{"bad node path", "POST", sessURL + "/drill", api.DrillRequest{Path: []int{99}}, http.StatusBadRequest, api.ErrBadRule},
+		{"negative path", "POST", sessURL + "/drill", api.DrillRequest{Path: []int{-1}}, http.StatusBadRequest, api.ErrBadRule},
+		{"unknown node id", "POST", sessURL + "/drill", api.DrillRequest{Node: "n999999"}, http.StatusNotFound, api.ErrNotFound},
+		{"malformed node id", "POST", sessURL + "/drill", api.DrillRequest{Node: "bogus"}, http.StatusBadRequest, api.ErrBadRule},
+		{"star on unknown column", "POST", sessURL + "/drill", api.DrillRequest{Column: "Nope"}, http.StatusBadRequest, api.ErrBadRule},
+		{"bad stream path", "GET", sessURL + "/drill/stream?path=x", nil, http.StatusBadRequest, api.ErrBadRule},
+		{"unknown stream node", "GET", sessURL + "/drill/stream?node=n424242", nil, http.StatusNotFound, api.ErrNotFound},
+		{"bad stream budget", "GET", sessURL + "/drill/stream?budget_ms=-5", nil, http.StatusBadRequest, api.ErrBudget},
+		{"non-numeric stream budget", "GET", sessURL + "/drill/stream?budget_ms=abc", nil, http.StatusBadRequest, api.ErrBadRequest},
+		{"bad collapse path", "POST", sessURL + "/collapse", api.DrillRequest{Path: []int{0, 0}}, http.StatusBadRequest, api.ErrBadRule},
+		{"refine unknown node", "POST", sessURL + "/refine", api.RefineRequest{Node: "n555555"}, http.StatusNotFound, api.ErrNotFound},
+		{"traditional missing column", "POST", sessURL + "/traditional", api.TraditionalRequest{}, http.StatusBadRequest, api.ErrBadRequest},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			var e errorJSON
+			var e api.ErrorEnvelope
 			if code := doJSON(t, tc.method, tc.url, tc.body, &e); code != tc.want {
-				t.Fatalf("status %d, want %d (error %q)", code, tc.want, e.Error)
+				t.Fatalf("status %d, want %d (error %+v)", code, tc.want, e.Error)
 			}
-			if e.Error == "" {
-				t.Fatal("error body missing")
+			if e.Error == nil || e.Error.Message == "" || e.Error.Code == "" {
+				t.Fatalf("error envelope missing code or message: %+v", e.Error)
+			}
+			if tc.wantCode != "" && e.Error.Code != tc.wantCode {
+				t.Fatalf("error code %q, want %q", e.Error.Code, tc.wantCode)
 			}
 		})
 	}
@@ -458,8 +469,8 @@ func TestBadRequests(t *testing.T) {
 // eviction is deterministic: creating a second session evicts the first.
 func TestSessionEviction(t *testing.T) {
 	s, ts := newTestServer(t, Config{MaxSessions: 1, StoreShards: 1})
-	first := createSession(t, ts.URL, createRequest{Dataset: "store"}).ID
-	second := createSession(t, ts.URL, createRequest{Dataset: "store"}).ID
+	first := createSession(t, ts.URL, api.CreateSessionRequest{Dataset: "store"}).ID
+	second := createSession(t, ts.URL, api.CreateSessionRequest{Dataset: "store"}).ID
 	if got := s.SessionCount(); got != 1 {
 		t.Fatalf("session count after eviction: %d, want 1", got)
 	}

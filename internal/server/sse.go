@@ -1,7 +1,9 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -9,6 +11,7 @@ import (
 	"time"
 
 	"smartdrill"
+	"smartdrill/api"
 )
 
 // handleDrillStream implements the paper's anytime drill-down (Section 6.1)
@@ -19,35 +22,47 @@ import (
 //
 // Query parameters:
 //
-//	path       dot-separated child-index address of the node (default root)
+//	node       stable node ID of the target (default root)
+//	path       legacy dot-separated child-index address (ignored when node
+//	           is set)
 //	budget_ms  search budget in milliseconds (default Config.StreamBudget,
 //	           capped at Config.MaxStreamBudget)
 //	max_rules  stop after this many rules (default 0 = budget-bound only)
 //
-// Events: one "rule" event per discovered rule carrying the child's
-// nodeJSON. When the search answered from a sample (large views on a
+// Events: one api.EventRule per discovered rule carrying the child's
+// api.Node. When the search answered from a sample (large views on a
 // sampled session), rule counts are provisional estimates with confidence
 // intervals; after the search the stream re-counts each provisional rule
-// exactly and pushes one "refine" event per rule — the same nodeJSON with
+// exactly and pushes one api.EventRefine per rule — the same api.Node with
 // the exact count, exact:true, and no CI — so the display converges to
-// authoritative numbers without a new request. A single "done" event with
-// summary statistics ends the stream. Client disconnects cancel the search
-// (and any pending refinement) at the next event boundary.
+// authoritative numbers without a new request. A single api.EventDone with
+// summary statistics ends the stream.
+//
+// The request context rides into the BRS search: a client disconnect
+// cancels the search between counting passes (not merely at the next rule
+// boundary) and stops any pending refinement; the done event then carries
+// error_code "canceled".
 func (s *Server) handleDrillStream(w http.ResponseWriter, r *http.Request) {
 	sess, ok := s.lookupSession(w, r)
 	if !ok {
 		return
 	}
-	path, err := parsePath(r.URL.Query().Get("path"))
+	q := r.URL.Query()
+	nodeID := q.Get("node")
+	path, err := parsePath(q.Get("path"))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, api.ErrBadRule, err.Error())
 		return
 	}
 	budget := s.cfg.StreamBudget
-	if raw := r.URL.Query().Get("budget_ms"); raw != "" {
+	if raw := q.Get("budget_ms"); raw != "" {
 		ms, err := strconv.Atoi(raw)
-		if err != nil || ms <= 0 {
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("budget_ms must be a positive integer, got %q", raw))
+		switch {
+		case err != nil: // malformed, not out of range
+			writeError(w, api.ErrBadRequest, fmt.Sprintf("budget_ms must be a positive integer, got %q", raw))
+			return
+		case ms <= 0:
+			writeError(w, api.ErrBudget, fmt.Sprintf("budget_ms must be a positive integer, got %q", raw))
 			return
 		}
 		budget = time.Duration(ms) * time.Millisecond
@@ -56,17 +71,21 @@ func (s *Server) handleDrillStream(w http.ResponseWriter, r *http.Request) {
 		budget = s.cfg.MaxStreamBudget
 	}
 	maxRules := 0
-	if raw := r.URL.Query().Get("max_rules"); raw != "" {
+	if raw := q.Get("max_rules"); raw != "" {
 		n, err := strconv.Atoi(raw)
-		if err != nil || n < 0 {
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("max_rules must be a non-negative integer, got %q", raw))
+		switch {
+		case err != nil:
+			writeError(w, api.ErrBadRequest, fmt.Sprintf("max_rules must be a non-negative integer, got %q", raw))
+			return
+		case n < 0:
+			writeError(w, api.ErrBudget, fmt.Sprintf("max_rules must be a non-negative integer, got %q", raw))
 			return
 		}
 		maxRules = n
 	}
 	flusher, ok := w.(http.Flusher)
 	if !ok {
-		writeError(w, http.StatusInternalServerError, "response writer does not support streaming")
+		writeError(w, api.ErrInternal, "response writer does not support streaming")
 		return
 	}
 
@@ -74,10 +93,9 @@ func (s *Server) handleDrillStream(w http.ResponseWriter, r *http.Request) {
 	// duration: a concurrent drill would mutate the tree under the running
 	// incremental search.
 	sess.mu.Lock()
-	n, err := sess.eng.NodeByPath(path)
-	if err != nil {
+	n, path, ok := resolveNode(w, sess, nodeID, path)
+	if !ok {
 		sess.mu.Unlock()
-		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 
@@ -90,13 +108,8 @@ func (s *Server) handleDrillStream(w http.ResponseWriter, r *http.Request) {
 	ctx := r.Context()
 	start := time.Now()
 	rules := 0
-	err = sess.eng.DrillDownStream(n, maxRules, budget, func(child *smartdrill.Node) bool {
-		select {
-		case <-ctx.Done():
-			return false
-		default:
-		}
-		writeSSE(w, "rule", encodeNode(sess.eng, child, append(path, rules)))
+	err = sess.eng.DrillDownStreamCtx(ctx, n, maxRules, budget, func(child *smartdrill.Node) bool {
+		writeSSE(w, api.EventRule, encodeNode(sess.eng, child, append(path, rules)))
 		flusher.Flush()
 		rules++
 		return true
@@ -123,28 +136,32 @@ func (s *Server) handleDrillStream(w http.ResponseWriter, r *http.Request) {
 				continue
 			}
 			sess.mu.Lock()
-			var payload *nodeJSON
+			var payload *api.Node
 			if sess.eng.RefineNode(child) {
 				payload = encodeNode(sess.eng, child, append(path, i))
 			}
 			sess.mu.Unlock()
 			if payload != nil {
-				writeSSE(w, "refine", payload)
+				writeSSE(w, api.EventRefine, payload)
 				flusher.Flush()
 				refined++
 			}
 		}
 	}
-	done := map[string]any{
-		"rules":      rules,
-		"refined":    refined,
-		"access":     access,
-		"elapsed_ms": time.Since(start).Milliseconds(),
+	done := api.DoneEvent{
+		Rules:     rules,
+		Refined:   refined,
+		Access:    access,
+		ElapsedMS: time.Since(start).Milliseconds(),
 	}
 	if err != nil {
-		done["error"] = err.Error()
+		done.Error = err.Error()
+		done.ErrorCode = api.ErrInternal
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			done.ErrorCode = api.ErrCanceled
+		}
 	}
-	writeSSE(w, "done", done)
+	writeSSE(w, api.EventDone, done)
 	flusher.Flush()
 }
 

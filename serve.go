@@ -1,18 +1,25 @@
 package smartdrill
 
 import (
+	"errors"
 	"fmt"
+	"strconv"
 	"strings"
 )
 
-// Helpers for building services on top of Engine (used by internal/server
-// and cmd/smartdrilld): stable node addressing by child-index path and
-// construction of weighters from wire-format names.
+// Helpers for building services on top of Engine (used by internal/server,
+// the client SDK's test server, and cmd/smartdrilld): stable node
+// addressing by ID or child-index path, and construction of weighters from
+// wire-format names.
 
 // NodeByPath resolves a child-index path from the root: the empty path is
 // the root itself, [2] is the root's third child, [2 0] that child's first
-// child, and so on. Paths are stable between mutations of the addressed
-// subtree, making them suitable session-wire addresses for nodes.
+// child, and so on. Paths are positional — a mutation of an ancestor's
+// child list re-targets them — so wire protocols should prefer the stable
+// IDs of NodeByID.
+//
+// Deprecated: retained for the legacy path-addressed wire forms; new
+// callers should use NodeByID.
 func (e *Engine) NodeByPath(path []int) (*Node, error) {
 	n := e.Root()
 	for depth, idx := range path {
@@ -23,6 +30,43 @@ func (e *Engine) NodeByPath(path []int) (*Node, error) {
 	}
 	return n, nil
 }
+
+// ErrUnknownNode reports a well-formed node ID that no displayed node
+// carries — it was never assigned, or a collapse/re-expansion removed its
+// node from the tree. Serving layers map it to their not-found error.
+var ErrUnknownNode = errors.New("smartdrill: unknown node")
+
+// NodeID returns n's stable wire identifier ("n1" is the root). The ID is
+// assigned when an expansion puts the node on display and never reused
+// within the session; after the node leaves the tree, resolving the ID
+// yields ErrUnknownNode.
+func (e *Engine) NodeID(n *Node) string {
+	return "n" + strconv.FormatUint(n.ID(), 10)
+}
+
+// NodeByID resolves a stable node ID (as produced by NodeID) in O(1) via
+// the session's id index — no tree walk. Malformed IDs yield a formatting
+// error; well-formed IDs with no displayed node yield ErrUnknownNode.
+func (e *Engine) NodeByID(id string) (*Node, error) {
+	raw, ok := strings.CutPrefix(id, "n")
+	if !ok || raw == "" {
+		return nil, fmt.Errorf("smartdrill: malformed node ID %q (want \"n<number>\")", id)
+	}
+	num, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("smartdrill: malformed node ID %q (want \"n<number>\")", id)
+	}
+	n := e.s.NodeByID(num)
+	if n == nil {
+		return nil, fmt.Errorf("%w: %q is not (or no longer) displayed", ErrUnknownNode, id)
+	}
+	return n, nil
+}
+
+// PathOf returns n's child-index address from the root (the legacy wire
+// address), reporting false when n is no longer part of the displayed
+// tree.
+func (e *Engine) PathOf(n *Node) ([]int, bool) { return e.s.PathOf(n) }
 
 // WeighterNames lists the weighting functions WeighterByName accepts.
 func WeighterNames() []string { return []string{"size", "bits", "size-1"} }

@@ -22,6 +22,7 @@
 package smartdrill
 
 import (
+	"context"
 	"io"
 	"math/rand"
 	"time"
@@ -226,14 +227,29 @@ func (e *Engine) Table() *Table { return e.tab }
 // If n is already expanded it is collapsed and re-expanded.
 func (e *Engine) DrillDown(n *Node) error { return e.s.Expand(n) }
 
+// DrillDownCtx is DrillDown under a cancellation context: the BRS search
+// checks ctx between counting passes and aborts with ctx's error, so an
+// abandoned request stops paying for table passes almost immediately. A
+// canceled expansion leaves n collapsed, records the partial search's
+// statistics, and leaves the session fully usable.
+func (e *Engine) DrillDownCtx(ctx context.Context, n *Node) error {
+	return e.s.ExpandCtx(ctx, n)
+}
+
 // DrillDownStar expands n like DrillDown but requires every returned rule
 // to instantiate the named column — the paper's "click on a ?" operation.
 func (e *Engine) DrillDownStar(n *Node, column string) error {
+	return e.DrillDownStarCtx(context.Background(), n, column)
+}
+
+// DrillDownStarCtx is DrillDownStar under a cancellation context (see
+// DrillDownCtx).
+func (e *Engine) DrillDownStarCtx(ctx context.Context, n *Node, column string) error {
 	c, err := e.tab.ColumnIndex(column)
 	if err != nil {
 		return err
 	}
-	return e.s.ExpandStar(n, c)
+	return e.s.ExpandStarCtx(ctx, n, c)
 }
 
 // Collapse removes n's children (roll-up).
@@ -246,6 +262,14 @@ func (e *Engine) Collapse(n *Node) { e.s.Collapse(n) }
 // (0 = unbounded). onRule may be nil.
 func (e *Engine) DrillDownStream(n *Node, maxRules int, budget time.Duration, onRule func(*Node) bool) error {
 	return e.s.ExpandStream(n, maxRules, budget, onRule)
+}
+
+// DrillDownStreamCtx is DrillDownStream under a cancellation context: the
+// search additionally stops between counting passes when ctx fires,
+// returning ctx's error. Rules streamed before the cancellation stay in
+// the tree; the session remains fully usable.
+func (e *Engine) DrillDownStreamCtx(ctx context.Context, n *Node, maxRules int, budget time.Duration, onRule func(*Node) bool) error {
+	return e.s.ExpandStreamCtx(ctx, n, maxRules, budget, onRule)
 }
 
 // RefineNode replaces a provisional (sample-estimated) node count with the
@@ -263,9 +287,12 @@ func (e *Engine) ProvisionalNodes() []*Node { return e.s.ProvisionalNodes() }
 func (e *Engine) ProvisionalNodesIn(n *Node) []*Node { return e.s.ProvisionalNodesIn(n) }
 
 // ConfidenceInterval returns 95% bounds on a node's true count. For exact
-// counts both bounds equal Count.
+// counts — and for estimates without interval support (Sum aggregates) —
+// both bounds equal Count. The node's explicit HasCI flag decides which, so
+// a provisional count whose genuine bound happens to be [0, 0] is reported
+// as that interval rather than misread as exact.
 func (e *Engine) ConfidenceInterval(n *Node) (lo, hi float64) {
-	if n.Exact || (n.CILow == 0 && n.CIHigh == 0) {
+	if n.Exact || !n.HasCI {
 		return n.Count, n.Count
 	}
 	return n.CILow, n.CIHigh

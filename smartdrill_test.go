@@ -1,6 +1,7 @@
 package smartdrill
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -204,5 +205,54 @@ func TestRenderNodeSubtree(t *testing.T) {
 	sub := e.RenderNode(child)
 	if strings.Contains(sub, "bicycles") && !strings.Contains(e.DescribeRule(child), "bicycles") {
 		t.Fatalf("RenderNode leaked sibling rows:\n%s", sub)
+	}
+}
+
+// TestConfidenceIntervalSentinel pins the HasCI contract: a provisional
+// node whose genuine 95% bound is [0, 0] reports that interval instead of
+// being misread as exact, while estimates without interval support (and
+// exact nodes) collapse to the displayed value.
+func TestConfidenceIntervalSentinel(t *testing.T) {
+	e := storeEngine(t)
+	genuine := &Node{Count: 0, Exact: false, HasCI: true, CILow: 0, CIHigh: 0}
+	if lo, hi := e.ConfidenceInterval(genuine); lo != 0 || hi != 0 {
+		t.Fatalf("genuine [0,0] interval: got [%g,%g]", lo, hi)
+	}
+	// The same bounds WITHOUT the flag (a Sum estimate, say) must fall
+	// back to the displayed value, not claim a zero interval.
+	sumEst := &Node{Count: 123, Exact: false, HasCI: false, CILow: 0, CIHigh: 0}
+	if lo, hi := e.ConfidenceInterval(sumEst); lo != 123 || hi != 123 {
+		t.Fatalf("no-interval estimate: got [%g,%g], want [123,123]", lo, hi)
+	}
+	exact := &Node{Count: 7, Exact: true, HasCI: true, CILow: 1, CIHigh: 9}
+	if lo, hi := e.ConfidenceInterval(exact); lo != 7 || hi != 7 {
+		t.Fatalf("exact node: got [%g,%g], want [7,7]", lo, hi)
+	}
+}
+
+// TestNodeIDSurface covers the engine's stable-ID wire helpers.
+func TestNodeIDSurface(t *testing.T) {
+	e := storeEngine(t)
+	if got := e.NodeID(e.Root()); got != "n1" {
+		t.Fatalf("root NodeID = %q, want n1", got)
+	}
+	if err := e.DrillDown(e.Root()); err != nil {
+		t.Fatal(err)
+	}
+	child := e.Root().Children[0]
+	id := e.NodeID(child)
+	back, err := e.NodeByID(id)
+	if err != nil || back != child {
+		t.Fatalf("NodeByID(%q) = %v, %v", id, back, err)
+	}
+	if path, ok := e.PathOf(child); !ok || len(path) != 1 || path[0] != 0 {
+		t.Fatalf("PathOf(child) = %v, %v", path, ok)
+	}
+	if _, err := e.NodeByID("banana"); err == nil {
+		t.Fatal("malformed ID accepted")
+	}
+	e.Collapse(e.Root())
+	if _, err := e.NodeByID(id); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("collapsed node ID: err %v, want ErrUnknownNode", err)
 	}
 }

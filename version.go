@@ -1,0 +1,6 @@
+package smartdrill
+
+// Version identifies this build of the smartdrill module. Binaries surface
+// it (smartdrilld -version, GET /v1/health); release tooling may override
+// it at link time with -ldflags "-X smartdrill.Version=...".
+var Version = "1.0.0-dev"
