@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: test race bench bench-check smoke large
+.PHONY: test race race-equivalence bench bench-check smoke large
 
 test:
 	$(GO) build ./... && $(GO) test ./...
@@ -10,19 +10,29 @@ test:
 race:
 	$(GO) test -race ./client/ ./internal/server/ ./internal/drill/ ./internal/table/ ./internal/brs/
 
-# bench re-records the search perf trajectory (exact BRS plus the sampled
-# million-row drill pipeline: ns/op, allocs/op, search counters) into
-# BENCH_4.json; commit the refreshed file alongside perf work. Promote it
-# to the regression baseline once the numbers are intentional:
-# cp BENCH_4.json BENCH_baseline.json
+# bench re-records the search perf trajectory (exact BRS, the sampled
+# million-row drill pipeline, and the cores={1,2,4,max} parallel-scaling
+# axis: ns/op, allocs/op, search counters) into BENCH_5.json; commit the
+# refreshed file alongside perf work. Promote it to the regression
+# baseline once the numbers are intentional:
+# cp BENCH_5.json BENCH_baseline.json
+# benchjson refuses to shrink an existing emission (-force overrides).
 bench:
-	$(GO) run ./cmd/benchjson -out BENCH_4.json
+	$(GO) run ./cmd/benchjson -out BENCH_5.json
 
-# bench-check is the CI guard: fails when allocs/op regresses >20% against
-# the checked-in baseline (allocation counts are machine-stable; wall
+# bench-check is the CI guard: fails when allocs/op regresses >20%
+# against the checked-in baseline anywhere (allocation counts are
+# machine-stable), or when the serial kernel cost — ns/op at cores=1 —
+# regresses >20% (one worker is free of scheduler noise; parallel wall
 # times are recorded but not gated).
 bench-check:
-	$(GO) run ./cmd/benchjson -out BENCH_4.json -baseline BENCH_baseline.json -check
+	$(GO) run ./cmd/benchjson -out BENCH_5.json -baseline BENCH_baseline.json -check
+
+# race-equivalence runs the kernel-equivalence and parallel-determinism
+# property layer under the race detector: ablation subsets × worker
+# counts bit-identical, bitset containers and accumulator merges raced.
+race-equivalence:
+	$(GO) test -race -run 'Equivalence|Parallel' ./internal/...
 
 smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...

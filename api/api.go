@@ -137,6 +137,7 @@ type SearchStats struct {
 	CandidatesReused   int   `json:"candidates_reused"`
 	RowsScanned        int64 `json:"rows_scanned"`
 	PostingsRead       int64 `json:"postings_read"`
+	BitmapWordsRead    int64 `json:"bitmap_words_read"`
 	IndexLevels        int   `json:"index_levels"`
 	CandidateCapHit    bool  `json:"candidate_cap_hit"`
 	SampledRowsScanned int64 `json:"sampled_rows_scanned"`

@@ -490,7 +490,7 @@ func BenchmarkRepeatedDrilldown(b *testing.B) {
 // BenchmarkBRS measures the raw BRS hot path — full-table search, K=4 —
 // on the three evaluation datasets, with the index warmed (the server's
 // steady state after dataset registration). cmd/benchjson records these
-// configurations in BENCH_3.json; the /prior variants run the same search
+// configurations in the BENCH file; the /prior variants run the same search
 // with cross-step reuse and postings-driven counting disabled (the
 // pre-optimization path) for before/after comparison.
 func BenchmarkBRS(b *testing.B) {
@@ -523,7 +523,7 @@ func BenchmarkBRS(b *testing.B) {
 // ~1.8s at 100k rows and BRS scales linearly — so this is the path that
 // keeps million-row drill-downs interactive. The /refine variant measures
 // the background half: re-counting each displayed rule exactly with one
-// accounted pass. cmd/benchjson records both in BENCH_4.json.
+// accounted pass. cmd/benchjson records both in the BENCH file.
 func BenchmarkSampledDrill(b *testing.B) {
 	for _, c := range benchcfg.SampledCases() {
 		tab := c.Tab()
@@ -572,14 +572,21 @@ func BenchmarkSampledDrill(b *testing.B) {
 	}
 }
 
-// BenchmarkAblationParallel measures BRS speedup from parallel passes.
-func BenchmarkAblationParallel(b *testing.B) {
+// BenchmarkBRSCores measures BRS parallel scaling on the canonical cores
+// axis (benchcfg.CoresAxis: 1, 2, 4, and this machine's max) — full-table
+// Census, K=4, warmed index, the same configuration cmd/benchjson records
+// in the BENCH file's cores=<label> entries and README's perf table. The
+// cores=1 point is the machine-comparable serial kernel cost; the rest
+// show how the per-candidate fan-out and chunked counting passes use the
+// hardware at hand.
+func BenchmarkBRSCores(b *testing.B) {
 	tab := benchCensus()
 	w := weight.NewSize(tab.NumCols())
-	for _, workers := range []int{1, 2, 4, 8} {
-		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+	tab.Index().Warm()
+	for _, pt := range benchcfg.CoresAxis() {
+		b.Run("cores="+pt.Label, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, _, err := brs.Run(tab.All(), w, brs.Options{K: 4, MaxWeight: 4, Workers: workers}); err != nil {
+				if _, _, err := brs.Run(tab.All(), w, brs.Options{K: 4, MaxWeight: 4, Workers: pt.Workers}); err != nil {
 					b.Fatal(err)
 				}
 			}

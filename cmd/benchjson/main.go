@@ -10,14 +10,24 @@
 // — captures each run's brs.Stats counters, and writes everything as JSON
 // so successive PRs leave a machine-readable perf trail.
 //
-//	go run ./cmd/benchjson -out BENCH_4.json
+//	go run ./cmd/benchjson -out BENCH_5.json
+//
+// plus the parallel-scaling axis: BRS/Census/cores={1,2,4,max}
+// (benchcfg.CoresAxis), recording how the chunked counting passes scale
+// with worker count on the measuring machine.
 //
 // With -baseline pointing at a checked-in earlier emission and -check set,
-// the tool exits nonzero when any benchmark's allocs/op regresses more
-// than -tolerance (default 20%) over the baseline — the CI guard that
-// keeps string keys and per-candidate allocations from creeping back into
-// the BRS inner loops. allocs/op is the compared metric because it is
-// stable across machines; ns/op is recorded for humans.
+// the tool exits nonzero when any benchmark's allocs/op — or a cores=1
+// entry's ns/op — regresses more than -tolerance (default 20%) over the
+// baseline: the CI guard that keeps string keys and per-candidate
+// allocations from creeping back into the BRS inner loops, and the serial
+// kernel cost from silently drifting. allocs/op is gated everywhere
+// because it is stable across machines; parallel wall times are recorded
+// for humans only.
+//
+// The tool refuses to overwrite an -out file that holds more benchmarks
+// than the current run produced (a shrunken suite usually means a broken
+// or partial run, not an intentional retirement); -force overrides.
 package main
 
 import (
@@ -26,6 +36,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -52,10 +63,11 @@ type benchFile struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_4.json", "output JSON path")
+	out := flag.String("out", "BENCH_5.json", "output JSON path")
 	baseline := flag.String("baseline", "", "earlier benchjson emission to compare against")
-	check := flag.Bool("check", false, "exit nonzero when allocs/op regresses past -tolerance vs -baseline")
-	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional allocs/op regression")
+	check := flag.Bool("check", false, "exit nonzero when a gated metric regresses past -tolerance vs -baseline")
+	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional regression on gated metrics")
+	force := flag.Bool("force", false, "overwrite -out even when it holds more benchmarks than this run produced")
 	flag.Parse()
 
 	file := benchFile{
@@ -96,6 +108,47 @@ func main() {
 		})
 		fmt.Fprintf(os.Stderr, "benchjson: %s: %d ns/op, %d allocs/op, reused=%d postings=%d\n",
 			name, r.NsPerOp(), r.AllocsPerOp(), stats.CandidatesReused, stats.PostingsRead)
+	}
+
+	// The parallel-scaling axis: full-table Census K=4 at cores ∈
+	// {1, 2, 4, max}. cores=1 is the machine-comparable serial kernel cost
+	// (compare() gates its ns/op against the baseline); the other points
+	// record how the chunked counting passes scale on the measuring
+	// machine, whose core count the file also notes per entry via the
+	// label→workers mapping printed here.
+	{
+		tab := benchcfg.Census()
+		tab.Index().Warm()
+		w := weight.NewSize(tab.NumCols())
+		for _, pt := range benchcfg.CoresAxis() {
+			name := "BRS/Census/cores=" + pt.Label
+			fmt.Fprintf(os.Stderr, "benchjson: running %s (workers=%d)...\n", name, pt.Workers)
+			opts := brs.Options{K: 4, MaxWeight: 4, Workers: pt.Workers}
+			results, stats, err := brs.Run(tab.All(), w, opts)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, _, err := brs.Run(tab.All(), w, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			file.Benchmarks = append(file.Benchmarks, benchResult{
+				Name:        name,
+				NsPerOp:     r.NsPerOp(),
+				AllocsPerOp: r.AllocsPerOp(),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+				Iterations:  r.N,
+				Rules:       len(results),
+				Stats:       stats,
+			})
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %d ns/op, bitmap_words=%d postings=%d\n",
+				name, r.NsPerOp(), stats.BitmapWordsRead, stats.PostingsRead)
+		}
 	}
 
 	for _, c := range benchcfg.SampledCases() {
@@ -177,6 +230,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %s/refine: %d ns/op\n", name, rr.NsPerOp())
 	}
 
+	if !*force {
+		if err := guardOverwrite(*out, file); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	buf, err := json.MarshalIndent(file, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
@@ -203,6 +262,24 @@ func main() {
 	}
 }
 
+// guardOverwrite refuses to clobber an existing emission at path with a
+// smaller one: fewer benchmarks means the tool was run with part of the
+// suite missing (a renamed case, a partial hand-edit of the runner) and
+// overwriting would silently erase recorded trajectory. -force overrides
+// after a deliberate suite shrink. A missing or unparseable file never
+// blocks — there is nothing meaningful to protect.
+func guardOverwrite(path string, fresh benchFile) error {
+	old, err := readBench(path)
+	if err != nil {
+		return nil
+	}
+	if len(old.Benchmarks) > len(fresh.Benchmarks) {
+		return fmt.Errorf("refusing to overwrite %s: it holds %d benchmarks, this run produced %d (use -force after a deliberate suite shrink)",
+			path, len(old.Benchmarks), len(fresh.Benchmarks))
+	}
+	return nil
+}
+
 func readBench(path string) (benchFile, error) {
 	var f benchFile
 	buf, err := os.ReadFile(path)
@@ -212,8 +289,13 @@ func readBench(path string) (benchFile, error) {
 	return f, json.Unmarshal(buf, &f)
 }
 
-// compare reports each benchmark's allocs/op against the baseline and
-// returns true when any regresses past the tolerance (or disappeared).
+// compare reports each benchmark against the baseline and returns true
+// when any gated metric regresses past the tolerance (or a baseline
+// benchmark disappeared). allocs/op is gated everywhere — allocation
+// counts are machine-stable. ns/op is additionally gated on the cores=1
+// entries: the serial kernel cost is the one wall time whose trajectory
+// must not drift, and at one worker it is free of scheduler noise (CI
+// runners vary in cores, not so much in per-core speed).
 func compare(old, new benchFile, tolerance float64) (failed bool) {
 	byName := make(map[string]benchResult, len(new.Benchmarks))
 	for _, b := range new.Benchmarks {
@@ -226,14 +308,26 @@ func compare(old, new benchFile, tolerance float64) (failed bool) {
 			failed = true
 			continue
 		}
+		bad := false
 		if o.AllocsPerOp > 0 {
 			ratio := float64(n.AllocsPerOp) / float64(o.AllocsPerOp)
 			if ratio > 1+tolerance {
 				fmt.Fprintf(os.Stderr, "benchjson: FAIL %s: allocs/op %d vs baseline %d (%.0f%% regression > %.0f%% tolerance)\n",
 					o.Name, n.AllocsPerOp, o.AllocsPerOp, (ratio-1)*100, tolerance*100)
-				failed = true
-				continue
+				bad = true
 			}
+		}
+		if strings.Contains(o.Name, "cores=1") && o.NsPerOp > 0 {
+			ratio := float64(n.NsPerOp) / float64(o.NsPerOp)
+			if ratio > 1+tolerance {
+				fmt.Fprintf(os.Stderr, "benchjson: FAIL %s: ns/op %d vs baseline %d (%.0f%% regression > %.0f%% tolerance)\n",
+					o.Name, n.NsPerOp, o.NsPerOp, (ratio-1)*100, tolerance*100)
+				bad = true
+			}
+		}
+		if bad {
+			failed = true
+			continue
 		}
 		fmt.Fprintf(os.Stderr, "benchjson: ok   %s: allocs/op %d vs baseline %d\n", o.Name, n.AllocsPerOp, o.AllocsPerOp)
 	}

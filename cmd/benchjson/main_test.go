@@ -1,0 +1,105 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func emission(names ...string) benchFile {
+	f := benchFile{GoVersion: "go-test"}
+	for _, n := range names {
+		f.Benchmarks = append(f.Benchmarks, benchResult{Name: n, NsPerOp: 100, AllocsPerOp: 10})
+	}
+	return f
+}
+
+func writeEmission(t *testing.T, path string, f benchFile) {
+	t.Helper()
+	buf := []byte(`{"generated_at":"t","go_version":"go-test","benchmarks":[`)
+	for i, b := range f.Benchmarks {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, []byte(`{"name":"`+b.Name+`"}`)...)
+	}
+	buf = append(buf, []byte(`]}`)...)
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGuardOverwrite pins the staleness guard: a fresh emission with
+// fewer benchmarks than the file it would replace is refused, equal or
+// larger emissions pass, and missing or corrupt existing files never
+// block a write.
+func TestGuardOverwrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH.json")
+	writeEmission(t, path, emission("a", "b", "c"))
+
+	if err := guardOverwrite(path, emission("a", "b")); err == nil {
+		t.Fatal("overwriting 3 benchmarks with 2 was allowed")
+	}
+	if err := guardOverwrite(path, emission()); err == nil {
+		t.Fatal("overwriting 3 benchmarks with 0 was allowed")
+	}
+	if err := guardOverwrite(path, emission("a", "b", "c")); err != nil {
+		t.Fatalf("equal-size overwrite refused: %v", err)
+	}
+	if err := guardOverwrite(path, emission("a", "b", "c", "d")); err != nil {
+		t.Fatalf("larger overwrite refused: %v", err)
+	}
+	if err := guardOverwrite(filepath.Join(dir, "absent.json"), emission("a")); err != nil {
+		t.Fatalf("missing file blocked a write: %v", err)
+	}
+	corrupt := filepath.Join(dir, "corrupt.json")
+	if err := os.WriteFile(corrupt, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := guardOverwrite(corrupt, emission("a")); err != nil {
+		t.Fatalf("corrupt file blocked a write: %v", err)
+	}
+}
+
+// TestCompareGates pins the regression gates: allocs/op everywhere,
+// ns/op additionally on cores=1 entries only — parallel points may have
+// noisy wall times, the serial kernel cost may not drift.
+func TestCompareGates(t *testing.T) {
+	mk := func(name string, ns, allocs int64) benchResult {
+		return benchResult{Name: name, NsPerOp: ns, AllocsPerOp: allocs}
+	}
+	base := benchFile{Benchmarks: []benchResult{
+		mk("BRS/Census", 1000, 100),
+		mk("BRS/Census/cores=1", 1000, 100),
+		mk("BRS/Census/cores=max", 1000, 100),
+	}}
+
+	run := func(results ...benchResult) bool {
+		return compare(base, benchFile{Benchmarks: results}, 0.20)
+	}
+
+	if run(mk("BRS/Census", 1000, 100), mk("BRS/Census/cores=1", 1000, 100), mk("BRS/Census/cores=max", 1000, 100)) {
+		t.Fatal("identical run flagged as regression")
+	}
+	// Within tolerance on every gated metric.
+	if run(mk("BRS/Census", 5000, 115), mk("BRS/Census/cores=1", 1150, 115), mk("BRS/Census/cores=max", 9000, 115)) {
+		t.Fatal("within-tolerance run flagged as regression")
+	}
+	// allocs/op regression anywhere fails.
+	if !run(mk("BRS/Census", 1000, 130), mk("BRS/Census/cores=1", 1000, 100), mk("BRS/Census/cores=max", 1000, 100)) {
+		t.Fatal("allocs/op regression not flagged")
+	}
+	// ns/op regression on cores=1 fails...
+	if !run(mk("BRS/Census", 1000, 100), mk("BRS/Census/cores=1", 1300, 100), mk("BRS/Census/cores=max", 1000, 100)) {
+		t.Fatal("cores=1 ns/op regression not flagged")
+	}
+	// ...but the same slowdown on other entries is recorded, not gated.
+	if run(mk("BRS/Census", 9000, 100), mk("BRS/Census/cores=1", 1000, 100), mk("BRS/Census/cores=max", 9000, 100)) {
+		t.Fatal("non-cores=1 wall time was gated")
+	}
+	// A vanished benchmark fails.
+	if !run(mk("BRS/Census", 1000, 100), mk("BRS/Census/cores=1", 1000, 100)) {
+		t.Fatal("missing benchmark not flagged")
+	}
+}

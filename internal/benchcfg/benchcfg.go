@@ -7,6 +7,7 @@
 package benchcfg
 
 import (
+	"runtime"
 	"sync"
 
 	"smartdrill/internal/datagen"
@@ -90,10 +91,35 @@ type SampledCase struct {
 }
 
 // SampledCases lists the configurations BenchmarkSampledDrill runs and
-// benchjson records in BENCH_4.json.
+// benchjson records in the BENCH file.
 func SampledCases() []SampledCase {
 	return []SampledCase{
 		{"Census1M", CensusLarge, 50000, 5000, 100000, 4},
+	}
+}
+
+// CoresPoint is one point on the parallel-scaling axis: a display label
+// and the worker count it resolves to on this machine.
+type CoresPoint struct {
+	Label   string
+	Workers int
+}
+
+// CoresAxis returns the canonical parallel-scaling sweep recorded in the
+// BENCH files and the README perf table: cores ∈ {1, 2, 4, max}, where
+// max is runtime.NumCPU() at measurement time. The labels are fixed
+// across machines so successive emissions stay diffable; only the worker
+// count behind "max" varies. Workers beyond NumCPU are honored by BRS
+// (oversubscription is harmless), so the axis is well-defined even on
+// boxes with fewer than 4 cores — the cores=1 point is the
+// machine-comparable one, the rest measure scaling on the hardware at
+// hand.
+func CoresAxis() []CoresPoint {
+	return []CoresPoint{
+		{"1", 1},
+		{"2", 2},
+		{"4", 4},
+		{"max", runtime.NumCPU()},
 	}
 }
 
@@ -106,7 +132,7 @@ type BRSCase struct {
 }
 
 // BRSCases lists the configurations BenchmarkBRS runs and benchjson
-// records in BENCH_3.json.
+// records in the BENCH file.
 func BRSCases() []BRSCase {
 	return []BRSCase{
 		{"Census", Census, 4},

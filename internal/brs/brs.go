@@ -82,14 +82,30 @@ type Options struct {
 	DisableReuse bool
 	// DisableIndex turns off postings-driven counting (ablation, and the
 	// equivalence suite's reference): every level is counted by row scans.
+	// Implies DisableBitmap — the bitmap kernel is an index access path.
 	DisableIndex bool
+	// DisableBitmap turns off the bitset counting kernel (ablation): the
+	// cost planner only ever chooses between row scans and galloping
+	// posting intersections, as before the packed containers existed.
+	DisableBitmap bool
+	// DisableParallel forces every pass serial regardless of Workers and
+	// the automatic core count (ablation, and the deterministic reference
+	// for the parallel-merge equivalence suite).
+	DisableParallel bool
 	// MaxCandidatesPerLevel caps the candidate set per pass as a memory
 	// safety valve; 0 means DefaultMaxCandidates. When the cap is hit the
 	// result may be suboptimal; Stats.CandidateCapHit records it.
 	MaxCandidatesPerLevel int
-	// Workers sets the number of goroutines used for table passes; 0 or 1
-	// runs serially. With the Count aggregate, parallel results are
-	// bit-identical to serial ones (all accumulators stay integral).
+	// Workers sets the number of goroutines used for table passes. 0 (the
+	// default) saturates the hardware: runtime.NumCPU() workers under the
+	// Count aggregate, serial otherwise (auto-parallelism is only applied
+	// where bit-identity to the serial path is guaranteed — Count
+	// accumulators stay integral; Sum callers opt in explicitly and accept
+	// last-ulp float reordering). 1 runs serially; see also
+	// DisableParallel. Every pass splits rows (or candidates) into one
+	// contiguous chunk per worker with private accumulators merged in
+	// worker order at the pass boundary, so results never depend on
+	// goroutine scheduling.
 	Workers int
 	// MinGainRatio (used by RunIncremental only) stops the stream once a
 	// rule's marginal value drops below this fraction of the first rule's
@@ -123,7 +139,8 @@ type Stats struct {
 	CandidatesReused  int   `json:"candidates_reused"`  // counted rules served from the cross-step cache
 	RowsScanned       int64 `json:"rows_scanned"`       // total row visits by scan passes
 	PostingsRead      int64 `json:"postings_read"`      // posting entries read by index-driven counting
-	IndexLevels       int   `json:"index_levels"`       // counting/maintenance steps answered from postings
+	BitmapWordsRead   int64 `json:"bitmap_words_read"`  // packed bitset words read by the bitmap kernel
+	IndexLevels       int   `json:"index_levels"`       // counting/generation/maintenance steps answered from the index
 	CandidateCapHit   bool  `json:"candidate_cap_hit"`  // a level hit MaxCandidatesPerLevel
 	// SampledRowsScanned is the portion of RowsScanned read from a uniform
 	// sample rather than the authoritative table (runs with SampleScale
@@ -141,6 +158,7 @@ func (s *Stats) Add(o Stats) {
 	s.CandidatesReused += o.CandidatesReused
 	s.RowsScanned += o.RowsScanned
 	s.PostingsRead += o.PostingsRead
+	s.BitmapWordsRead += o.BitmapWordsRead
 	s.IndexLevels += o.IndexLevels
 	s.CandidateCapHit = s.CandidateCapHit || o.CandidateCapHit
 	s.SampledRowsScanned += o.SampledRowsScanned
@@ -245,7 +263,9 @@ func newRunner(v *table.View, w weight.Weighter, opts Options) (*runner, error) 
 	run := &runner{
 		v: v, parent: v.Table(), w: w, agg: agg, mw: mw, base: base,
 		prune: !opts.DisablePruning, maxCand: maxCand, par: opts.Workers,
-		noReuse: opts.DisableReuse, noIndex: opts.DisableIndex, scale: scale,
+		noReuse: opts.DisableReuse, noIndex: opts.DisableIndex,
+		noBitmap: opts.DisableBitmap, noParallel: opts.DisableParallel,
+		scale: scale,
 	}
 	if !opts.BaseCovered && !base.IsTrivial() {
 		// One pass narrows the view so every subsequent pass iterates only
@@ -271,6 +291,12 @@ func newRunner(v *table.View, w weight.Weighter, opts Options) (*runner, error) 
 		if run.sorted {
 			run.ix = run.parent.Index()
 		}
+		// The bitmap kernel answers counting over the *parent* row universe,
+		// so it applies only when view positions are parent rows (full
+		// table); and popcount counting is mass accumulation only under
+		// Count (every row weighs 1, sums stay integral).
+		run.bitmapOK = !run.noBitmap && run.fullTable && run.countAgg && run.ix != nil
+		run.bitmapWords = int64((run.parent.NumRows() + 63) / 64)
 	}
 	run.store = newCandStore()
 	return run, nil
@@ -294,24 +320,28 @@ func resultsToRules(rs []Result) []rule.Rule {
 // candidate store (every candidate materialized this run, with counted
 // masses and current marginals), and the cached level-1 candidate list.
 type runner struct {
-	v         *table.View
-	parent    *table.Table // v's parent, for aggregate mass and sub-rule tests
-	ix        *table.Index // parent's inverted index; nil when unusable
-	w         weight.Weighter
-	agg       score.Aggregator
-	countAgg  bool // agg is the plain Count aggregate
-	mw        float64
-	base      rule.Rule
-	baseMask  rule.Mask
-	freeCols  []int // columns the base leaves starred
-	prune     bool
-	maxCand   int
-	par       int
-	noReuse   bool
-	noIndex   bool
-	scale     float64 // SampleScale normalized: emitted masses multiply by it
-	sorted    bool    // view rows ascending: postings-driven counting possible
-	fullTable bool    // view spans every parent row
+	v           *table.View
+	parent      *table.Table // v's parent, for aggregate mass and sub-rule tests
+	ix          *table.Index // parent's inverted index; nil when unusable
+	w           weight.Weighter
+	agg         score.Aggregator
+	countAgg    bool // agg is the plain Count aggregate
+	mw          float64
+	base        rule.Rule
+	baseMask    rule.Mask
+	freeCols    []int // columns the base leaves starred
+	prune       bool
+	maxCand     int
+	par         int
+	noReuse     bool
+	noIndex     bool
+	noBitmap    bool
+	noParallel  bool
+	scale       float64 // SampleScale normalized: emitted masses multiply by it
+	sorted      bool    // view rows ascending: postings-driven counting possible
+	fullTable   bool    // view spans every parent row
+	bitmapOK    bool    // bitset kernel eligible: full table, Count, index present
+	bitmapWords int64   // words per bitset container: ceil(parentRows/64)
 
 	topW     []float64 // W(TOP(t, selection)) per view row; nil until first selection
 	selected []selectedRule
@@ -561,12 +591,18 @@ func (rn *runner) applySelection(best *cand) {
 		}
 	}
 
-	if rn.planPostingsOne(best) {
+	if plan, ok := rn.planPostingsOne(best); ok {
 		deltas := make([]float64, len(counted))
-		read := rn.v.EachInAll(rn.candLists(best), func(pos, row int) {
-			visit(pos, row, deltas)
-		})
-		rn.stats.PostingsRead += read
+		if plan.bitmap {
+			// Full-table bitmap walk: view positions are parent rows.
+			rn.stats.BitmapWordsRead += table.AndEach(rn.candBitmaps(best), func(row int) {
+				visit(row, row, deltas)
+			})
+		} else {
+			rn.stats.PostingsRead += rn.v.EachInAll(rn.candLists(best), func(pos, row int) {
+				visit(pos, row, deltas)
+			})
+		}
 		rn.stats.IndexLevels++
 		for p, d := range deltas {
 			counted[p].marginal += d
@@ -859,7 +895,6 @@ func sortCands(cands []*cand) {
 func (rn *runner) expandParents(parents []*cand) {
 	v := rn.v
 	n := v.NumRows()
-	idx := rn.buildCandIndex(parents)
 
 	// Phase 1: seen[p][si][val] marks that parent p extends with value val
 	// in its si-th star column.
@@ -873,6 +908,40 @@ func (rn *runner) expandParents(parents []*cand) {
 			}
 		}
 	}
+	parent := rn.parent
+	if plans, ok := rn.planIndex(parents); ok {
+		// Index route: walk each parent's own coverage (bitset AND or
+		// galloping intersection per its plan) and mark its extension
+		// values. Workers partition whole parents, and each parent's walk
+		// writes only that parent's seen arrays, so nothing is shared and
+		// no merge is needed; the marks are idempotent booleans, identical
+		// to the scan route's.
+		nw := rn.workers()
+		preads := make([]int64, nw)
+		breads := make([]int64, nw)
+		rn.parallelRows(len(parents), func(lo, hi, g int) {
+			for p := lo; p < hi; p++ {
+				mark := func(row int) {
+					for si, sc := range starCols[p] {
+						seen[p][si][parent.Value(sc, row)] = true
+					}
+				}
+				if plans[p].bitmap {
+					breads[g] += table.AndEach(rn.candBitmaps(parents[p]), func(row int) { mark(row) })
+				} else {
+					preads[g] += rn.v.EachInAll(rn.candLists(parents[p]), func(pos, row int) { mark(row) })
+				}
+			}
+		})
+		for g := 0; g < nw; g++ {
+			rn.stats.PostingsRead += preads[g]
+			rn.stats.BitmapWordsRead += breads[g]
+		}
+		rn.stats.IndexLevels++
+		rn.materializeChildren(parents, starCols, seen)
+		return
+	}
+	idx := rn.buildCandIndex(parents)
 	// Parallelize with one seen-array set per worker, OR-merged after the
 	// pass — but only while the extra memory stays modest.
 	nw := rn.workers()
@@ -898,7 +967,6 @@ func (rn *runner) expandParents(parents []*cand) {
 		}
 		perWorker[g] = cp
 	}
-	parent := rn.parent
 	scanRange := func(lo, hi int, mine [][][]bool) {
 		for i := lo; i < hi; i++ {
 			pi := v.ParentRow(i)
@@ -932,6 +1000,13 @@ func (rn *runner) expandParents(parents []*cand) {
 	}
 	rn.stats.Passes++
 	rn.stats.RowsScanned += int64(n)
+	rn.materializeChildren(parents, starCols, seen)
+}
+
+// materializeChildren is expandParents' phase 2, shared by the scan and
+// index routes: resolve each distinct marked extension to its (possibly
+// already-registered) candidate and cache it on the parent.
+func (rn *runner) materializeChildren(parents []*cand, starCols [][]int, seen [][][]bool) {
 
 	// Phase 2: materialize each distinct extension once; candidates the
 	// store already holds are linked, not rebuilt.
@@ -1040,10 +1115,11 @@ func (rn *runner) upperBound(c *cand) float64 {
 }
 
 // countCandidates measures count and marginal value for each candidate,
-// routing to posting intersections or a row scan per the cost model.
+// routing to the index kernels (bitset AND or galloping intersection, per
+// candidate) or a row scan per the cost model.
 func (rn *runner) countCandidates(cands []*cand) {
-	if rn.planPostings(cands) {
-		rn.countCandidatesPostings(cands)
+	if plans, ok := rn.planIndex(cands); ok {
+		rn.countCandidatesIndex(cands, plans)
 		return
 	}
 	rn.countCandidatesScan(cands)

@@ -1,24 +1,44 @@
 package brs
 
-import "sync"
+import (
+	"runtime"
+	"sync"
+)
 
 // Parallel row processing. BRS's passes are embarrassingly parallel over
-// rows: each pass accumulates per-candidate counts/marginals, so workers
-// process disjoint row ranges into private accumulators that are merged
-// after the pass. With the Count aggregate all accumulators hold integral
-// values, so parallel runs are bit-identical to serial ones; with Sum,
-// floating-point addition order may differ in the last ulps.
+// rows (and, for index-driven counting, over candidates): each pass
+// accumulates per-candidate counts/marginals, so workers process disjoint
+// chunks into private accumulators that are merged in worker order at the
+// pass boundary. The chunk split depends only on the pass size and worker
+// count — never on goroutine scheduling — so a given (data, Workers)
+// configuration always merges in the same order and results are
+// deterministic. With the Count aggregate all accumulators hold integral
+// values, so parallel runs are additionally bit-identical to serial ones;
+// with Sum, floating-point addition order may differ in the last ulps,
+// which is why automatic parallelism applies only under Count.
 
 // MaxWorkers caps the configured parallelism; beyond this, goroutine and
 // accumulator-merge overheads outweigh any conceivable gain.
 const MaxWorkers = 64
 
-// workers resolves the configured parallelism: 0 or 1 means serial. The
-// requested count is honored (capped at MaxWorkers) rather than clamped to
-// runtime.NumCPU — oversubscription is harmless, and honoring the request
-// keeps the parallel code paths exercised on single-core machines.
+// workers resolves the configured parallelism. DisableParallel forces
+// serial. Workers 0 saturates the hardware — runtime.NumCPU() under the
+// Count aggregate, serial otherwise (auto-parallelism only where
+// bit-identity to the serial path is guaranteed). An explicit request is
+// honored (capped at MaxWorkers) rather than clamped to NumCPU —
+// oversubscription is harmless, and honoring the request keeps the
+// parallel code paths exercised on single-core machines.
 func (rn *runner) workers() int {
+	if rn.noParallel {
+		return 1
+	}
 	w := rn.par
+	if w == 0 {
+		if !rn.countAgg {
+			return 1
+		}
+		w = runtime.NumCPU()
+	}
 	if w <= 1 {
 		return 1
 	}

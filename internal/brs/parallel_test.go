@@ -1,7 +1,9 @@
 package brs
 
 import (
+	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"smartdrill/internal/score"
@@ -78,6 +80,60 @@ func TestParallelRowsCoversAllRows(t *testing.T) {
 			if v != 1 {
 				t.Fatalf("n=%d: row %d visited %d times", n, i, v)
 			}
+		}
+	}
+}
+
+// TestParallelDeterministicMerge pins the merge contract: the chunk split
+// depends only on (pass size, worker count) and per-worker accumulators
+// merge in worker order, so the same parallel search repeated under
+// GOMAXPROCS jitter — forcing wildly different goroutine schedules, from
+// fully serialized to oversubscribed — yields byte-identical rule output
+// AND identical statistics counters every single time. A scheduling
+// dependence anywhere (a racy merge, a nondeterministic plan choice, a
+// first-worker-wins cache fill) shows up as a diff here long before it
+// corrupts an answer.
+func TestParallelDeterministicMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	tab := randomTable(rng, 5, 4, 700)
+	tab.Index().Warm()
+	w := weight.BitsFor(tab)
+	opts := Options{K: 5, MaxWeight: 12, Workers: 8}
+
+	render := func(rs []Result) string {
+		s := ""
+		for _, r := range rs {
+			s += fmt.Sprintf("%v w=%b c=%b m=%b\n", r.Rule, r.Weight, r.Count, r.MCount)
+		}
+		return s
+	}
+
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	var wantOut string
+	var wantStats Stats
+	for i := 0; i < 50; i++ {
+		runtime.GOMAXPROCS(1 + i%4)
+		got, stats, err := Run(tab.All(), w, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := render(got)
+		if i == 0 {
+			wantOut, wantStats = out, stats
+			if stats.IndexLevels == 0 {
+				t.Fatalf("run never used the index kernels: %+v", stats)
+			}
+			continue
+		}
+		if out != wantOut {
+			t.Fatalf("run %d (GOMAXPROCS=%d) output differs:\n%s\nwant:\n%s",
+				i, runtime.GOMAXPROCS(0), out, wantOut)
+		}
+		if stats != wantStats {
+			t.Fatalf("run %d (GOMAXPROCS=%d) stats differ:\n%+v\nwant:\n%+v",
+				i, runtime.GOMAXPROCS(0), stats, wantStats)
 		}
 	}
 }

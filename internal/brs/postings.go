@@ -1,83 +1,136 @@
 package brs
 
-import "smartdrill/internal/rule"
+import (
+	"smartdrill/internal/rule"
+	"smartdrill/internal/table"
+)
 
-// Postings-driven counting. A candidate's coverage within the view is the
+// Index-driven counting. A candidate's coverage within the view is the
 // intersection of the view's row set with the posting lists of the
-// candidate's instantiated free columns, so counting can be answered by
-// galloping merge walks (table.View.EachInAll) instead of scanning every
-// view row — and a level-1 count on the full table under Count is just a
-// posting-list length, read without touching a single row.
+// candidate's instantiated free columns, so counting (and candidate
+// generation, and post-selection marginal maintenance) can be answered
+// from the index instead of scanning every view row. Two index kernels
+// exist:
 //
-// A cost model decides per counting step which access path runs. Scan cost
-// is one visit per view row; postings cost per candidate is roughly
-// (number of lists) × (shortest list length), the work the galloping
-// intersection is bounded by. The planner only routes to columns whose
+//   - Galloping: merge walks over the sorted []int32 posting lists
+//     (table.View.EachInAll). Cost per candidate is roughly (number of
+//     lists) × (shortest list length) — governed by the most selective
+//     column. A level-1 count on the full table under Count is just a
+//     posting-list length, read without touching a single row.
+//
+//   - Bitmap: word-at-a-time AND over the packed []uint64 bitset
+//     containers that shadow dense posting lists (table.Bitset). Cost per
+//     candidate is (number of lists) × (words per container) regardless
+//     of selectivity, and a pure *count* needs only popcount — zero rows
+//     enumerated. Applies on full-table views under the Count aggregate,
+//     where view positions are parent rows and masses stay integral.
+//
+// A cost model decides per counting step which access path runs, and per
+// candidate which kernel. Scan cost is one visit per view row plus the
+// anchor-match work the scan kernel pays per candidate (rows sharing the
+// candidate's anchor value, scaled to the view); kernel costs are the
+// entry/word volumes above. The planner only routes to columns whose
 // posting lists are already built (table.Index.ColumnBuilt): a build is a
 // full pass, and silently charging it to one counting step would make the
 // "cheap" path the expensive one. Warm indexes (the server warms every
 // dataset at registration) make the decision purely about read volume.
 //
-// The walk visits rows ascending — the order a scan visits them — so
-// accumulated masses are bit-identical to the scan kernel's.
+// Every kernel visits rows ascending — the order a scan visits them — so
+// accumulated masses are bit-identical across all three access paths, and
+// routing is a pure performance decision. Options.DisableIndex removes
+// both kernels (every step scans); Options.DisableBitmap removes only the
+// bitmap kernel.
 
 // postingsCostSlack is the fixed per-candidate overhead charged by the
-// cost model (list setup, gallop restarts).
+// cost model (list setup, gallop restarts, AND-loop setup).
 const postingsCostSlack = 16
 
-// estCandCost estimates the posting-entry work of intersecting c's lists,
-// or ok=false when some needed column has no built posting lists.
-func (rn *runner) estCandCost(c *cand) (cost int64, ok bool) {
+// candPlan is the planner's routing decision for one candidate within an
+// index-driven pass.
+type candPlan struct {
+	cost   int64 // estimated entry/word reads for the chosen kernel
+	bitmap bool  // true: bitset AND kernel; false: galloping lists
+}
+
+// planCand costs the index kernels for c. anchor is the posting length of
+// c's anchor column (the scan kernel's per-candidate work, see
+// buildCandIndex); ok is false when some needed column has no built
+// posting lists, which forces the whole pass to scan.
+func (rn *runner) planCand(c *cand) (plan candPlan, anchor int64, ok bool) {
 	lists := 0
-	shortest := int(^uint(0) >> 1)
+	shortest := int64(^uint64(0) >> 1)
+	allBitmaps := rn.bitmapOK
 	for _, col := range rn.freeCols {
 		if c.r[col] == rule.Star {
 			continue
 		}
 		if !rn.ix.ColumnBuilt(col) {
-			return 0, false
+			return candPlan{}, 0, false
 		}
-		l := rn.ix.PostingsLen(col, c.r[col])
+		l := int64(rn.ix.PostingsLen(col, c.r[col]))
+		if lists == 0 {
+			anchor = l // first instantiated free column = scan anchor
+		}
 		lists++
 		if l < shortest {
 			shortest = l
 		}
+		if allBitmaps && rn.ix.Bitmap(col, c.r[col]) == nil {
+			allBitmaps = false
+		}
 	}
 	if lists == 0 {
-		return 0, false
+		return candPlan{}, 0, false
 	}
-	return int64(lists)*int64(shortest) + postingsCostSlack, true
+	plan.cost = int64(lists)*shortest + postingsCostSlack
+	if allBitmaps {
+		if bmCost := int64(lists)*rn.bitmapWords + postingsCostSlack; bmCost < plan.cost {
+			plan = candPlan{cost: bmCost, bitmap: true}
+		}
+	}
+	return plan, anchor, true
 }
 
-// planPostings decides scan vs postings for counting cands: postings win
-// when their estimated total read volume undercuts one scan of the view.
-func (rn *runner) planPostings(cands []*cand) bool {
+// planIndex decides scan vs index for a pass over cands (counting or
+// generation), returning per-candidate kernel choices when the index path
+// wins: the kernels' total estimated read volume must undercut one scan of
+// the view, where the scan is charged its row visits plus each candidate's
+// anchor-match work (anchor posting length, scaled to the view's share of
+// the table).
+func (rn *runner) planIndex(cands []*cand) ([]candPlan, bool) {
 	if rn.ix == nil || !rn.sorted || len(cands) == 0 {
-		return false
+		return nil, false
 	}
-	scanCost := int64(rn.v.NumRows())
-	var total int64
-	for _, c := range cands {
-		cost, ok := rn.estCandCost(c)
+	n := int64(rn.v.NumRows())
+	total := int64(0)
+	var anchors int64
+	plans := make([]candPlan, len(cands))
+	for i, c := range cands {
+		plan, anchor, ok := rn.planCand(c)
 		if !ok {
-			return false
+			return nil, false
 		}
-		total += cost
-		if total >= scanCost {
-			return false
-		}
+		plans[i] = plan
+		total += plan.cost
+		anchors += anchor
 	}
-	return true
+	scanCost := n + anchors*n/int64(rn.parent.NumRows())
+	if total >= scanCost {
+		return nil, false
+	}
+	return plans, true
 }
 
-// planPostingsOne is planPostings for a single rule (the marginal-
-// maintenance walk over a selected rule's coverage).
-func (rn *runner) planPostingsOne(c *cand) bool {
+// planPostingsOne is the planner for a single rule's coverage walk (the
+// marginal-maintenance pass over a selected rule). The walk's visit work
+// is identical on every path, so the decision weighs only enumeration
+// cost: galloping entries or bitmap words versus one row scan.
+func (rn *runner) planPostingsOne(c *cand) (plan candPlan, ok bool) {
 	if rn.ix == nil || !rn.sorted {
-		return false
+		return candPlan{}, false
 	}
-	cost, ok := rn.estCandCost(c)
-	return ok && cost < int64(rn.v.NumRows())
+	plan, _, ok = rn.planCand(c)
+	return plan, ok && plan.cost < int64(rn.v.NumRows())
 }
 
 // candLists gathers the posting lists of c's instantiated free columns.
@@ -91,34 +144,70 @@ func (rn *runner) candLists(c *cand) [][]int32 {
 	return lists
 }
 
-// countCandidatesPostings is the postings kernel: each candidate's count
-// and marginal accumulate over its intersection walk, candidates fanned
-// out across workers. Per-candidate accumulation is self-contained, so
-// results are bit-identical at any worker count.
-func (rn *runner) countCandidatesPostings(cands []*cand) {
+// candBitmaps gathers the bitset containers of c's instantiated free
+// columns. Only called for candidates the planner routed to the bitmap
+// kernel, so every container exists.
+func (rn *runner) candBitmaps(c *cand) []*table.Bitset {
+	sets := make([]*table.Bitset, 0, len(rn.freeCols))
+	for _, col := range rn.freeCols {
+		if c.r[col] != rule.Star {
+			sets = append(sets, rn.ix.Bitmap(col, c.r[col]))
+		}
+	}
+	return sets
+}
+
+// countCandidatesIndex is the index counting pass: each candidate's count
+// and marginal accumulate over its own intersection — bitset AND or
+// galloping walk per its plan — with candidates fanned out across
+// workers. Per-candidate accumulation is self-contained and visits rows
+// ascending, so results are bit-identical to the scan kernel at any
+// worker count.
+func (rn *runner) countCandidatesIndex(cands []*cand, plans []candPlan) {
 	virgin := len(rn.selected) == 0
 	topW := rn.topW
 	parent := rn.parent
-	reads := make([]int64, rn.workers())
+	nw := rn.workers()
+	preads := make([]int64, nw)
+	breads := make([]int64, nw)
 	rn.parallelRows(len(cands), func(lo, hi, g int) {
 		for i := lo; i < hi; i++ {
 			c := cands[i]
-			reads[g] += rn.v.EachInAll(rn.candLists(c), func(pos, row int) {
-				mass := rn.agg.Mass(parent, row)
-				c.count += mass
-				if !virgin {
-					if tw := topW[pos]; c.weight > tw {
-						c.marginal += (c.weight - tw) * mass
-					}
+			if plans[i].bitmap {
+				// Full-table Count: mass ≡ 1 and positions are rows. A
+				// virgin step needs no per-row work at all — the count is a
+				// popcount over the ANDed words.
+				if virgin {
+					cnt, words := table.AndCount(rn.candBitmaps(c))
+					c.count += float64(cnt)
+					breads[g] += words
+				} else {
+					breads[g] += table.AndEach(rn.candBitmaps(c), func(row int) {
+						c.count++
+						if tw := topW[row]; c.weight > tw {
+							c.marginal += c.weight - tw
+						}
+					})
 				}
-			})
+			} else {
+				preads[g] += rn.v.EachInAll(rn.candLists(c), func(pos, row int) {
+					mass := rn.agg.Mass(parent, row)
+					c.count += mass
+					if !virgin {
+						if tw := topW[pos]; c.weight > tw {
+							c.marginal += (c.weight - tw) * mass
+						}
+					}
+				})
+			}
 			if virgin {
 				c.marginal = c.weight * c.count
 			}
 		}
 	})
-	for _, r := range reads {
-		rn.stats.PostingsRead += r
+	for g := 0; g < nw; g++ {
+		rn.stats.PostingsRead += preads[g]
+		rn.stats.BitmapWordsRead += breads[g]
 	}
 	rn.stats.IndexLevels++
 }

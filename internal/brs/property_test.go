@@ -1,0 +1,135 @@
+package brs
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"smartdrill/internal/table"
+	"smartdrill/internal/weight"
+)
+
+// Property layer for the counting kernels: every subset of the ablation
+// flags {DisableParallel, DisableBitmap, DisableReuse, DisableIndex},
+// crossed with worker counts, must produce bit-identical results under
+// the Count aggregate on randomized tables. The reference is the fully
+// ablated serial run — the textbook per-step scan algorithm. CI runs this
+// file under -race (the Equivalence|Parallel job), so the lazy shared
+// index build, the bitset containers, and the per-worker accumulator
+// merges are all exercised for data races, not just for answers.
+
+// ablationSubsets enumerates all 16 flag combinations.
+func ablationSubsets() []Options {
+	out := make([]Options, 0, 16)
+	for mask := 0; mask < 16; mask++ {
+		out = append(out, Options{
+			DisableParallel: mask&1 != 0,
+			DisableBitmap:   mask&2 != 0,
+			DisableReuse:    mask&4 != 0,
+			DisableIndex:    mask&8 != 0,
+		})
+	}
+	return out
+}
+
+func ablationLabel(o Options) string {
+	return fmt.Sprintf("par=%v bmp=%v reuse=%v ix=%v",
+		!o.DisableParallel, !o.DisableBitmap, !o.DisableReuse, !o.DisableIndex)
+}
+
+// TestEquivalencePropertyMatrix: seeded random tables × all 16 ablation
+// subsets × Workers ∈ {1, 2, 8}, every cell bit-identical to the fully
+// ablated serial reference. Skewed value distributions make some posting
+// lists dense (bitmap containers) and others sparse (galloping), so one
+// table exercises all three kernels; the test also asserts the bitmap
+// and parallel paths actually engaged somewhere, so the matrix cannot
+// silently degenerate into comparing the reference with itself.
+func TestEquivalencePropertyMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	subsets := ablationSubsets()
+	var sawBitmap, sawIndex, sawParallelPath bool
+	trials := 6
+	if testing.Short() {
+		trials = 2
+	}
+	for trial := 0; trial < trials; trial++ {
+		cols := 3 + rng.Intn(2)
+		tab := skewedTable(rng, cols, 3+rng.Intn(3), 150+rng.Intn(250))
+		tab.Index().Warm()
+		var w weight.Weighter = weight.NewSize(cols)
+		if trial%2 == 1 {
+			w = weight.BitsFor(tab)
+		}
+		mw := w.MaxWeight(3)
+
+		ref := Options{K: 4, MaxWeight: mw, Workers: 1,
+			DisableParallel: true, DisableBitmap: true, DisableReuse: true, DisableIndex: true}
+		want, _, err := Run(tab.All(), w, ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		for _, base := range subsets {
+			for _, workers := range []int{1, 2, 8} {
+				opts := base
+				opts.K, opts.MaxWeight, opts.Workers = 4, mw, workers
+				got, stats, err := Run(tab.All(), w, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				label := fmt.Sprintf("trial %d [%s] workers=%d", trial, ablationLabel(base), workers)
+				sameResults(t, label, got, want)
+
+				if stats.BitmapWordsRead > 0 {
+					if base.DisableBitmap {
+						t.Fatalf("%s: DisableBitmap run read %d bitmap words", label, stats.BitmapWordsRead)
+					}
+					sawBitmap = true
+				}
+				if stats.IndexLevels > 0 {
+					if base.DisableIndex {
+						t.Fatalf("%s: DisableIndex run served %d levels from the index", label, stats.IndexLevels)
+					}
+					sawIndex = true
+				}
+				if !base.DisableParallel && workers > 1 {
+					sawParallelPath = true
+				}
+			}
+		}
+	}
+	if !sawBitmap {
+		t.Error("no cell exercised the bitmap kernel (BitmapWordsRead == 0 everywhere)")
+	}
+	if !sawIndex {
+		t.Error("no cell exercised postings-driven counting (IndexLevels == 0 everywhere)")
+	}
+	if !sawParallelPath {
+		t.Error("no cell ran the parallel path")
+	}
+}
+
+// skewedTable builds a random table whose first column concentrates 85%
+// of its mass on one value — its posting list is dense enough for a
+// bitmap container — while the remaining columns draw uniformly, leaving
+// a mix of dense and sparse lists for the planner to choose between.
+func skewedTable(rng *rand.Rand, cols, vals, n int) *table.Table {
+	names := make([]string, cols)
+	for c := range names {
+		names[c] = string(rune('A' + c))
+	}
+	b := table.MustBuilder(names, nil)
+	row := make([]string, cols)
+	for i := 0; i < n; i++ {
+		if rng.Intn(100) < 85 {
+			row[0] = "a"
+		} else {
+			row[0] = string(rune('b' + rng.Intn(vals)))
+		}
+		for c := 1; c < cols; c++ {
+			row[c] = string(rune('a' + rng.Intn(vals)))
+		}
+		b.MustAddRow(row)
+	}
+	return b.Build()
+}

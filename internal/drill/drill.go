@@ -52,9 +52,16 @@ type Config struct {
 	Prefetch bool
 	// Seed makes sampling deterministic; 0 means seed 1.
 	Seed int64
-	// Workers parallelizes BRS table passes across goroutines; 0 runs
-	// serially. Results are identical under the Count aggregate.
+	// Workers parallelizes BRS table passes across goroutines; 0 picks the
+	// hardware core count under the Count aggregate (serial otherwise).
+	// Results are identical under the Count aggregate at any worker count.
 	Workers int
+	// DisableParallel forces every BRS pass serial (ablation; the
+	// equivalence suites' deterministic reference).
+	DisableParallel bool
+	// DisableBitmap turns off the packed-bitset counting kernel, leaving
+	// scan and galloping-postings counting (ablation).
+	DisableBitmap bool
 	// ProbModel predicts which displayed rule the analyst drills next,
 	// steering prefetch memory allocation (Section 4.1). Nil means the
 	// uniform distribution. drill sessions feed the model their own
@@ -293,13 +300,15 @@ func (s *Session) expand(ctx context.Context, n *Node, w weight.Weighter) error 
 		mw = EstimateMaxWeight(view, w, s.cfg.K, s.cfg.Seed)
 	}
 	results, stats, err := brs.RunCtx(ctx, view, w, brs.Options{
-		K:           s.cfg.K,
-		MaxWeight:   mw,
-		Base:        n.Rule,
-		BaseCovered: true, // coveredView delivers exactly the rule's coverage
-		Agg:         s.cfg.Agg,
-		Workers:     s.cfg.Workers,
-		SampleScale: scale, // BRS emits table-level estimates directly
+		K:               s.cfg.K,
+		MaxWeight:       mw,
+		Base:            n.Rule,
+		BaseCovered:     true, // coveredView delivers exactly the rule's coverage
+		Agg:             s.cfg.Agg,
+		Workers:         s.cfg.Workers,
+		DisableParallel: s.cfg.DisableParallel,
+		DisableBitmap:   s.cfg.DisableBitmap,
+		SampleScale:     scale, // BRS emits table-level estimates directly
 	})
 	// A canceled search still did real work; record it before bailing so
 	// the session's accounting (and the caller's SearchStats view) shows
@@ -337,6 +346,7 @@ func (s *Session) recordStats(stats brs.Stats) {
 	s.LastStats = stats
 	s.TotalStats.Add(stats)
 	s.store.AccountSearchIndex(stats.PostingsRead)
+	s.store.AccountSearchBitmap(stats.BitmapWordsRead)
 	s.store.AccountSampledRead(stats.SampledRowsScanned)
 }
 

@@ -68,13 +68,15 @@ func (s *Session) expandStream(ctx context.Context, n *Node, w weight.Weighter, 
 	}
 	bound := scale * float64(view.NumRows()) // the enclosing view's scaled size
 	stats, err := brs.RunIncrementalCtx(ctx, view, w, brs.Options{
-		MaxWeight:    mw,
-		Base:         n.Rule,
-		BaseCovered:  true, // coveredView delivers exactly the rule's coverage
-		Agg:          s.cfg.Agg,
-		Workers:      s.cfg.Workers,
-		MinGainRatio: 0.01, // drop the long tail of near-worthless rules
-		SampleScale:  scale,
+		MaxWeight:       mw,
+		Base:            n.Rule,
+		BaseCovered:     true, // coveredView delivers exactly the rule's coverage
+		Agg:             s.cfg.Agg,
+		Workers:         s.cfg.Workers,
+		DisableParallel: s.cfg.DisableParallel,
+		DisableBitmap:   s.cfg.DisableBitmap,
+		MinGainRatio:    0.01, // drop the long tail of near-worthless rules
+		SampleScale:     scale,
 	}, maxRules, deadline, func(r brs.Result) bool {
 		child := &Node{
 			Rule:   r.Rule,

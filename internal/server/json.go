@@ -67,6 +67,7 @@ func encodeStats(s smartdrill.SearchStats) *api.SearchStats {
 		CandidatesReused:   s.CandidatesReused,
 		RowsScanned:        s.RowsScanned,
 		PostingsRead:       s.PostingsRead,
+		BitmapWordsRead:    s.BitmapWordsRead,
 		IndexLevels:        s.IndexLevels,
 		CandidateCapHit:    s.CandidateCapHit,
 		SampledRowsScanned: s.SampledRowsScanned,

@@ -35,6 +35,11 @@ type Stats struct {
 	// from rule-filter lookups so both access paths stay individually
 	// visible in pass-count experiments.
 	SearchIndexRead int64
+	// SearchBitmapRead counts packed bitset words read by BRS's bitmap
+	// counting kernel (reported via AccountSearchBitmap). A word covers 64
+	// rows, so these are not commensurate with posting entries — they get
+	// their own counter rather than inflating SearchIndexRead.
+	SearchBitmapRead int64
 	// SampledRowsRead counts rows the search read from in-memory uniform
 	// samples instead of the authoritative table (the approximate
 	// pipeline's working set, reported via AccountSampledRead). These are
@@ -53,13 +58,14 @@ type Store struct {
 	// emulate slow media. Tests leave it zero; demos may set it.
 	PerRowDelay time.Duration
 
-	mu              sync.Mutex
-	fullScans       int64
-	rowsRead        int64
-	indexLookups    int64
-	indexRowsRead   int64
-	searchIndexRead int64
-	sampledRowsRead int64
+	mu               sync.Mutex
+	fullScans        int64
+	rowsRead         int64
+	indexLookups     int64
+	indexRowsRead    int64
+	searchIndexRead  int64
+	searchBitmapRead int64
+	sampledRowsRead  int64
 }
 
 // NewStore wraps t.
@@ -126,6 +132,18 @@ func (s *Store) AccountSearchIndex(entries int64) {
 	s.mu.Unlock()
 }
 
+// AccountSearchBitmap charges packed bitset words read by the bitmap
+// counting kernel (BRS reports its Stats.BitmapWordsRead here after each
+// search).
+func (s *Store) AccountSearchBitmap(words int64) {
+	if words == 0 {
+		return
+	}
+	s.mu.Lock()
+	s.searchBitmapRead += words
+	s.mu.Unlock()
+}
+
 // AccountSampledRead charges rows the search read from in-memory uniform
 // samples (BRS reports its Stats.SampledRowsScanned here after each
 // sampled search).
@@ -143,12 +161,13 @@ func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Stats{
-		FullScans:       s.fullScans,
-		RowsRead:        s.rowsRead,
-		IndexLookups:    s.indexLookups,
-		IndexRowsRead:   s.indexRowsRead,
-		SearchIndexRead: s.searchIndexRead,
-		SampledRowsRead: s.sampledRowsRead,
+		FullScans:        s.fullScans,
+		RowsRead:         s.rowsRead,
+		IndexLookups:     s.indexLookups,
+		IndexRowsRead:    s.indexRowsRead,
+		SearchIndexRead:  s.searchIndexRead,
+		SearchBitmapRead: s.searchBitmapRead,
+		SampledRowsRead:  s.sampledRowsRead,
 	}
 }
 
@@ -157,7 +176,7 @@ func (s *Store) ResetStats() {
 	s.mu.Lock()
 	s.fullScans, s.rowsRead = 0, 0
 	s.indexLookups, s.indexRowsRead = 0, 0
-	s.searchIndexRead = 0
+	s.searchIndexRead, s.searchBitmapRead = 0, 0
 	s.sampledRowsRead = 0
 	s.mu.Unlock()
 }

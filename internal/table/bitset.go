@@ -1,0 +1,99 @@
+package table
+
+import "math/bits"
+
+// Packed bitset containers. A Bitset stores one (column, value) posting
+// list as row-membership bits in []uint64 words: bit (row % 64) of word
+// (row / 64) is set iff the row holds the value. Dense lists answer
+// intersections word-at-a-time — 64 rows per AND — and intersection
+// *counts* by popcount alone, never touching rows, which is exactly what
+// BRS candidate counting under the Count aggregate needs.
+//
+// Bitsets exist alongside the sorted []int32 lists, not instead of them:
+// the index builds a bitset only for lists dense enough that the bitmap
+// (numRows/8 bytes) costs no more memory than the sorted list it shadows
+// (4 bytes per entry), i.e. when the list covers at least 1/32 of the
+// table. Sparse lists keep galloping; the cost planner picks per
+// candidate.
+
+// Bitset is an immutable packed row set over a fixed universe [0, n).
+// Safe for concurrent readers, like the posting lists it shadows.
+type Bitset struct {
+	words []uint64
+	n     int // set bits (the shadowed posting list's length)
+}
+
+// bitsetDense reports whether a posting list of the given length over a
+// table of numRows rows qualifies for a bitset container: the bitmap's
+// numRows/8 bytes must not exceed the 4·length bytes the sorted list
+// already pays, i.e. length ≥ numRows/32.
+func bitsetDense(length, numRows int) bool {
+	return length > 0 && 32*length >= numRows
+}
+
+// NewBitsetFromSorted packs an ascending row list over universe [0, rows)
+// into a bitset. The list must be strictly ascending with entries in
+// range, as posting lists are by construction.
+func NewBitsetFromSorted(list []int32, rows int) *Bitset {
+	b := &Bitset{words: make([]uint64, (rows+63)/64), n: len(list)}
+	for _, r := range list {
+		b.words[r>>6] |= 1 << (uint(r) & 63)
+	}
+	return b
+}
+
+// Len returns the number of set bits (the posting list length).
+func (b *Bitset) Len() int { return b.n }
+
+// NumWords returns the container's word count: ceil(universe / 64).
+func (b *Bitset) NumWords() int { return len(b.words) }
+
+// Contains reports whether row is set. Out-of-universe rows are not set.
+func (b *Bitset) Contains(row int) bool {
+	if row < 0 || row>>6 >= len(b.words) {
+		return false
+	}
+	return b.words[row>>6]&(1<<(uint(row)&63)) != 0
+}
+
+// AndCount returns the number of rows common to all sets — the
+// intersection cardinality by word-at-a-time AND + popcount, no row
+// enumerated — together with the words read (len(sets) per word position,
+// the I/O charged in place of posting entries). All sets must share one
+// universe (containers of one Index always do). Zero sets yield zero.
+func AndCount(sets []*Bitset) (count int, wordsRead int64) {
+	if len(sets) == 0 {
+		return 0, 0
+	}
+	first := sets[0].words
+	for i, w := range first {
+		for _, s := range sets[1:] {
+			w &= s.words[i]
+		}
+		count += bits.OnesCount64(w)
+	}
+	return count, int64(len(sets)) * int64(len(first))
+}
+
+// AndEach calls fn(row) for every row common to all sets, in ascending
+// row order — the order a scan or galloping walk visits them, so
+// aggregate accumulation stays bit-identical across access paths — and
+// returns the words read. All sets must share one universe. Zero sets
+// visit nothing.
+func AndEach(sets []*Bitset, fn func(row int)) (wordsRead int64) {
+	if len(sets) == 0 {
+		return 0
+	}
+	first := sets[0].words
+	for i, w := range first {
+		for _, s := range sets[1:] {
+			w &= s.words[i]
+		}
+		base := i << 6
+		for w != 0 {
+			fn(base + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+	return int64(len(sets)) * int64(len(first))
+}

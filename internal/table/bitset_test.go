@@ -1,0 +1,262 @@
+package table
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"smartdrill/internal/rule"
+)
+
+// The bitmap kernel must agree with sorted-list intersection on every
+// input, including the shapes where word-packing goes wrong: bits on both
+// sides of a word boundary, universes that are not word multiples, empty
+// and full containers, and single-word sets. The reference here is an
+// independent naive intersection, not intersect.go's galloping walk, so
+// the two production kernels are never checked against each other.
+
+// naiveIntersect returns the ascending rows common to all lists.
+func naiveIntersect(lists [][]int32) []int32 {
+	if len(lists) == 0 {
+		return nil
+	}
+	counts := map[int32]int{}
+	for _, l := range lists {
+		for _, r := range l {
+			counts[r]++
+		}
+	}
+	var out []int32
+	for r, c := range counts {
+		if c == len(lists) {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// checkKernels runs AndCount and AndEach over the packed lists and
+// verifies count, visit order, visited rows, and words-read accounting
+// against the naive reference.
+func checkKernels(t *testing.T, label string, lists [][]int32, rows int) {
+	t.Helper()
+	sets := make([]*Bitset, len(lists))
+	for i, l := range lists {
+		sets[i] = NewBitsetFromSorted(l, rows)
+		if sets[i].Len() != len(l) {
+			t.Fatalf("%s: set %d Len = %d, want %d", label, i, sets[i].Len(), len(l))
+		}
+	}
+	want := naiveIntersect(lists)
+	wantWords := int64(len(sets)) * int64((rows+63)/64)
+
+	count, words := AndCount(sets)
+	if count != len(want) {
+		t.Fatalf("%s: AndCount = %d, want %d", label, count, len(want))
+	}
+	if words != wantWords {
+		t.Fatalf("%s: AndCount words = %d, want %d", label, words, wantWords)
+	}
+
+	var got []int32
+	words = AndEach(sets, func(row int) {
+		if row < 0 || row >= rows {
+			t.Fatalf("%s: AndEach visited out-of-universe row %d (rows=%d)", label, row, rows)
+		}
+		got = append(got, int32(row))
+	})
+	if words != wantWords {
+		t.Fatalf("%s: AndEach words = %d, want %d", label, words, wantWords)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%s: AndEach visited %d rows, want %d\ngot %v\nwant %v", label, len(got), len(want), got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: AndEach row %d = %d, want %d (order must be ascending)", label, i, got[i], want[i])
+		}
+	}
+}
+
+func span(lo, hi int32) []int32 {
+	var out []int32
+	for r := lo; r < hi; r++ {
+		out = append(out, r)
+	}
+	return out
+}
+
+func every(rows, step, phase int32) []int32 {
+	var out []int32
+	for r := phase; r < rows; r += step {
+		out = append(out, r)
+	}
+	return out
+}
+
+// TestBitsetKernelsAdversarial pins the kernels on hand-built shapes that
+// stress word packing: boundaries at 63/64 and 127/128, universes that
+// are not multiples of 64, empty/full/alternating containers.
+func TestBitsetKernelsAdversarial(t *testing.T) {
+	cases := []struct {
+		name  string
+		rows  int
+		lists [][]int32
+	}{
+		{"one-empty-set", 100, [][]int32{{}, span(0, 100)}},
+		{"both-empty", 64, [][]int32{{}, {}}},
+		{"single-set", 70, [][]int32{{0, 63, 64, 69}}},
+		{"single-word-universe", 17, [][]int32{{0, 5, 16}, {5, 16}}},
+		{"word-boundary-63-64", 128, [][]int32{{62, 63, 64, 65}, {63, 64}}},
+		{"word-boundary-127-128", 200, [][]int32{{126, 127, 128, 129}, {127, 128, 199}}},
+		{"last-bit-of-ragged-word", 100, [][]int32{{99}, {0, 99}}},
+		{"all-dense", 150, [][]int32{span(0, 150), span(0, 150), span(0, 150)}},
+		{"alternating-even-odd", 130, [][]int32{every(130, 2, 0), every(130, 2, 1)}},
+		{"alternating-overlap", 130, [][]int32{every(130, 2, 0), every(130, 4, 0)}},
+		{"disjoint-halves", 128, [][]int32{span(0, 64), span(64, 128)}},
+		{"three-way", 129, [][]int32{every(129, 2, 0), every(129, 3, 0), every(129, 5, 0)}},
+		{"sparse-vs-dense", 256, [][]int32{{1, 64, 128, 255}, span(0, 256)}},
+	}
+	for _, tc := range cases {
+		checkKernels(t, tc.name, tc.lists, tc.rows)
+	}
+
+	// Zero sets: both kernels are defined to do nothing.
+	if c, w := AndCount(nil); c != 0 || w != 0 {
+		t.Fatalf("AndCount(nil) = (%d, %d), want (0, 0)", c, w)
+	}
+	if w := AndEach(nil, func(int) { t.Fatal("AndEach(nil) visited a row") }); w != 0 {
+		t.Fatalf("AndEach(nil) words = %d, want 0", w)
+	}
+}
+
+// TestBitsetContains covers membership including out-of-universe probes.
+func TestBitsetContains(t *testing.T) {
+	b := NewBitsetFromSorted([]int32{0, 63, 64, 99}, 100)
+	if b.NumWords() != 2 {
+		t.Fatalf("NumWords = %d, want 2 for 100 rows", b.NumWords())
+	}
+	for _, r := range []int{0, 63, 64, 99} {
+		if !b.Contains(r) {
+			t.Fatalf("Contains(%d) = false, want true", r)
+		}
+	}
+	for _, r := range []int{-1, 1, 62, 65, 98, 128, 1 << 20} {
+		if b.Contains(r) {
+			t.Fatalf("Contains(%d) = true, want false", r)
+		}
+	}
+}
+
+// TestBitsetDense pins the container-eligibility rule: a bitmap is built
+// only when its numRows/8 bytes cost no more than the sorted list's
+// 4·length bytes.
+func TestBitsetDense(t *testing.T) {
+	cases := []struct {
+		length, rows int
+		want         bool
+	}{
+		{0, 100, false}, // empty lists never get containers
+		{1, 32, true},   // exactly 1/32 of the table
+		{1, 33, false},  // just under
+		{100, 3200, true},
+		{99, 3200, false},
+		{5, 5, true}, // tiny universe: everything is dense
+	}
+	for _, tc := range cases {
+		if got := bitsetDense(tc.length, tc.rows); got != tc.want {
+			t.Fatalf("bitsetDense(%d, %d) = %v, want %v", tc.length, tc.rows, got, tc.want)
+		}
+	}
+}
+
+// TestBitsetMatchesIndexPostings cross-checks the index-built containers:
+// for every dense (column, value) the bitmap holds exactly the sorted
+// posting list's rows, and sparse values get no container.
+func TestBitsetMatchesIndexPostings(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	names := []string{"A", "B"}
+	b := MustBuilder(names, nil)
+	row := make([]string, 2)
+	for i := 0; i < 500; i++ {
+		// Column A is skewed: value "a" dominates, the tail is sparse.
+		if rng.Intn(100) < 90 {
+			row[0] = "a"
+		} else {
+			row[0] = string(rune('b' + rng.Intn(20)))
+		}
+		row[1] = string(rune('a' + rng.Intn(3)))
+		b.MustAddRow(row)
+	}
+	tab := b.Build()
+	ix := tab.Index()
+	ix.Warm()
+	for c := 0; c < tab.NumCols(); c++ {
+		for v := 0; v < tab.DistinctCount(c); v++ {
+			list := ix.Postings(c, rule.Value(v))
+			bm := ix.Bitmap(c, rule.Value(v))
+			if !bitsetDense(len(list), tab.NumRows()) {
+				if bm != nil {
+					t.Fatalf("col %d val %d: sparse list (len %d) has a container", c, v, len(list))
+				}
+				continue
+			}
+			if bm == nil {
+				t.Fatalf("col %d val %d: dense list (len %d of %d) has no container", c, v, len(list), tab.NumRows())
+			}
+			if bm.Len() != len(list) {
+				t.Fatalf("col %d val %d: bitmap Len %d != list len %d", c, v, bm.Len(), len(list))
+			}
+			for _, r := range list {
+				if !bm.Contains(int(r)) {
+					t.Fatalf("col %d val %d: row %d in list but not bitmap", c, v, r)
+				}
+			}
+		}
+	}
+}
+
+// FuzzBitsetIntersect feeds the kernels randomized list shapes — sizes,
+// densities, and universes derived from the fuzz input — and checks both
+// against the naive reference.
+func FuzzBitsetIntersect(f *testing.F) {
+	f.Add(int64(1), uint16(100), uint8(3), uint8(50))
+	f.Add(int64(2), uint16(64), uint8(1), uint8(100))
+	f.Add(int64(3), uint16(65), uint8(4), uint8(1))
+	f.Add(int64(4), uint16(1), uint8(2), uint8(100))
+	f.Add(int64(5), uint16(4096), uint8(5), uint8(10))
+	f.Fuzz(func(t *testing.T, seed int64, rows16 uint16, nsets uint8, density uint8) {
+		rows := int(rows16)%5000 + 1
+		k := int(nsets)%6 + 1
+		rng := rand.New(rand.NewSource(seed))
+		lists := make([][]int32, k)
+		for i := range lists {
+			d := int(density)%101 + int(rng.Intn(20)) // per-set density jitter
+			for r := 0; r < rows; r++ {
+				if rng.Intn(120) < d {
+					lists[i] = append(lists[i], int32(r))
+				}
+			}
+		}
+		sets := make([]*Bitset, k)
+		for i, l := range lists {
+			sets[i] = NewBitsetFromSorted(l, rows)
+		}
+		want := naiveIntersect(lists)
+		count, _ := AndCount(sets)
+		if count != len(want) {
+			t.Fatalf("AndCount = %d, want %d (rows=%d k=%d)", count, len(want), rows, k)
+		}
+		var got []int32
+		AndEach(sets, func(row int) { got = append(got, int32(row)) })
+		if len(got) != len(want) {
+			t.Fatalf("AndEach visited %d, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("AndEach[%d] = %d, want %d", i, got[i], want[i])
+			}
+		}
+	})
+}

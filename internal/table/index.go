@@ -26,6 +26,11 @@ type colPostings struct {
 	once  sync.Once
 	built atomic.Bool
 	lists [][]int32 // lists[v] = ascending rows with Value(c, row) == v
+	// bits[v] shadows lists[v] with a packed bitset when the list is dense
+	// enough that the bitmap costs no more memory than the list (see
+	// bitsetDense); nil otherwise. Built together with lists under the same
+	// once, so built covers both representations.
+	bits []*Bitset
 }
 
 // Index returns the table's inverted index, allocating it on first call.
@@ -55,7 +60,14 @@ func (ix *Index) buildCol(c int) {
 		for i, v := range col {
 			lists[v] = append(lists[v], int32(i))
 		}
+		bits := make([]*Bitset, len(lists))
+		for v, list := range lists {
+			if bitsetDense(len(list), ix.t.n) {
+				bits[v] = NewBitsetFromSorted(list, ix.t.n)
+			}
+		}
 		cp.lists = lists
+		cp.bits = bits
 		cp.built.Store(true)
 	})
 }
@@ -83,6 +95,20 @@ func (ix *Index) Postings(c int, v rule.Value) []int32 {
 		return nil
 	}
 	return lists[v]
+}
+
+// Bitmap returns the packed bitset shadowing value v's posting list in
+// column c, or nil when the list is too sparse to carry one (see
+// bitsetDense) or v is outside the column's dictionary. Builds the
+// column's containers on first use, like Postings; callers that must not
+// pay a build (cost planners) gate on ColumnBuilt first.
+func (ix *Index) Bitmap(c int, v rule.Value) *Bitset {
+	ix.buildCol(c)
+	bits := ix.cols[c].bits
+	if v < 0 || int(v) >= len(bits) {
+		return nil
+	}
+	return bits[v]
 }
 
 // Lookup returns the ascending rows covered by r via posting-list
