@@ -1,11 +1,35 @@
 # Development entry points. CI runs the same commands (.github/workflows/ci.yml).
 
 GO ?= go
+SDLINT := tools/sdlint/bin/sdlint
 
-.PHONY: test race race-equivalence bench bench-check smoke large
+.PHONY: check test lint sdlint race race-equivalence bench bench-check smoke large
+
+# check is the default pre-commit gate: the sdlint invariants suite plus
+# the full test run.
+check: lint test
 
 test:
 	$(GO) build ./... && $(GO) test ./...
+
+# sdlint builds the repo's analysis suite (tools/sdlint, a nested module
+# so the main module stays dependency-free).
+sdlint:
+	cd tools/sdlint && $(GO) build -o bin/sdlint .
+
+# lint machine-checks the engine's invariants (see docs/INVARIANTS.md):
+# the sdlint analyzers run over every package via go vet, and the suite's
+# own golden tests run alongside. staticcheck joins when installed (CI
+# installs a pinned version; locally it is optional so the target works
+# in hermetic environments).
+lint: sdlint
+	$(GO) vet -vettool=$(CURDIR)/$(SDLINT) ./...
+	cd tools/sdlint && $(GO) test ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed; skipping (CI runs it pinned)"; \
+	fi
 
 race:
 	$(GO) test -race ./client/ ./internal/server/ ./internal/drill/ ./internal/table/ ./internal/brs/

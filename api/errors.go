@@ -37,9 +37,13 @@ const (
 // status fits a client that is no longer listening).
 const StatusCanceled = 499
 
-// HTTPStatus maps an error code to its HTTP status.
+// HTTPStatus maps an error code to its HTTP status. Every ErrorCode has
+// an explicit case (enforced by sdlint's apicodes check); the default arm
+// only catches codes minted by a newer server than this mapping.
 func HTTPStatus(code ErrorCode) int {
 	switch code {
+	case ErrBadRequest, ErrBadRule, ErrBudget:
+		return http.StatusBadRequest
 	case ErrNotFound:
 		return http.StatusNotFound
 	case ErrCanceled:

@@ -45,7 +45,7 @@ func RunIncrementalCtx(ctx context.Context, v *table.View, w weight.Weighter, op
 	run.ctx = ctx
 	firstGain := 0.0
 	for step := 0; maxRules <= 0 || step < maxRules; step++ {
-		if !deadline.IsZero() && !time.Now().Before(deadline) {
+		if !deadline.IsZero() && !time.Now().Before(deadline) { //sdlint:allow nondeterminism anytime deadline: the clock decides when to stop emitting rules, never which rule is emitted or its count
 			break
 		}
 		best := run.findBestMarginal()

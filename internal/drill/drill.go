@@ -105,34 +105,43 @@ func (n *Node) Expanded() bool { return len(n.Children) > 0 }
 func (n *Node) ID() uint64 { return n.id }
 
 // Session is an interactive drill-down over one table.
+//
+// A Session is a single-writer structure with no mutex of its own: the
+// mutable fields below are marked "guardedby: mu" for a lock the *owner*
+// holds — the serving layer wraps each Session in a server session whose
+// mu serializes every call (single-goroutine embedders need no lock at
+// all). Accessors therefore declare the contract with //sdlint:holds mu,
+// which the lockguard analyzer checks.
 type Session struct {
 	tab     *table.Table
 	store   *storage.Store
 	handler *sampling.Handler
 	cfg     Config
-	root    *Node
+	root    *Node // guardedby: mu (the owner's lock; see the type comment)
 
 	// LastMethod records how the most recent expansion obtained its
 	// tuples: "direct" or a sampling.Method name.
-	LastMethod string
+	LastMethod string // guardedby: mu
 	// LastStats holds the BRS statistics of the most recent expansion.
-	LastStats brs.Stats
+	LastStats brs.Stats // guardedby: mu
 	// TotalStats accumulates BRS statistics across every expansion of the
 	// session — repeated drill-downs share the dataset's warmed posting
 	// lists, so TotalStats.CandidatesReused and .PostingsRead measure how
 	// much of a session's search work the caches absorbed.
-	TotalStats brs.Stats
+	TotalStats brs.Stats // guardedby: mu
 
 	// nextID feeds the session-scoped node ID sequence; byID is the O(1)
 	// id→node index of every currently displayed node, maintained by
 	// adopt/forget so serving layers resolve wire addresses without tree
 	// walks.
-	nextID uint64
-	byID   map[uint64]*Node
+	nextID uint64           // guardedby: mu
+	byID   map[uint64]*Node // guardedby: mu
 }
 
 // adopt assigns n the next stable ID and registers it in the id index.
 // Every node enters the displayed tree through here exactly once.
+//
+//sdlint:holds mu — reached only from expansion paths the owner serializes
 func (s *Session) adopt(n *Node) {
 	s.nextID++
 	n.id = s.nextID
@@ -142,6 +151,8 @@ func (s *Session) adopt(n *Node) {
 // forget removes a subtree's nodes from the id index; their IDs are never
 // reused, so stale wire addresses resolve to "unknown node" rather than to
 // an unrelated later node.
+//
+//sdlint:holds mu — reached only from Collapse/re-expansion under the owner's lock
 func (s *Session) forget(nodes []*Node) {
 	for _, n := range nodes {
 		delete(s.byID, n.id)
@@ -151,10 +162,14 @@ func (s *Session) forget(nodes []*Node) {
 
 // NodeByID resolves a stable node ID in O(1), or nil when no displayed
 // node carries it (never assigned, or removed by collapse/re-expansion).
+//
+//sdlint:holds mu — callers resolve IDs inside their session critical section
 func (s *Session) NodeByID(id uint64) *Node { return s.byID[id] }
 
 // PathOf returns n's child-index address from the root (the legacy wire
 // address), reporting false when n is no longer displayed.
+//
+//sdlint:holds mu — the path is only stable inside the caller's critical section
 func (s *Session) PathOf(n *Node) ([]int, bool) {
 	var rev []int
 	cur := n
@@ -226,6 +241,8 @@ func NewSession(t *table.Table, cfg Config) (*Session, error) {
 }
 
 // Root returns the displayed tree's root.
+//
+//sdlint:holds mu — the tree is only stable inside the caller's critical section
 func (s *Session) Root() *Node { return s.root }
 
 // K returns the normalized rules-per-expansion setting.
@@ -342,6 +359,8 @@ func (s *Session) expand(ctx context.Context, n *Node, w weight.Weighter) error 
 // recordStats files one expansion's BRS statistics: the latest snapshot,
 // the session running totals, and the store's search-index accounting
 // (postings read by BRS counting are I/O the disk cost model must see).
+//
+//sdlint:holds mu — reached only from expansion paths the owner serializes
 func (s *Session) recordStats(stats brs.Stats) {
 	s.LastStats = stats
 	s.TotalStats.Add(stats)
@@ -355,6 +374,8 @@ func (s *Session) recordStats(stats brs.Stats) {
 // the table's inverted index through the accounting store (no full scan,
 // no materialized copy). scale converts view aggregates to table
 // estimates; exact reports whether they need no scaling.
+//
+//sdlint:holds mu — reached only from expansion paths the owner serializes
 func (s *Session) coveredView(r rule.Rule) (view *table.View, scale float64, exact bool, err error) {
 	if s.useSample(r) {
 		v, err := s.handler.GetSample(r)
@@ -456,6 +477,8 @@ func (s *Session) RefineNode(n *Node) bool {
 // tree: every link of its parent chain must still list it (or its
 // ancestor) as a child, and the chain must end at the root. Collapse and
 // re-expansion replace child slices, so orphaned nodes fail the check.
+//
+//sdlint:holds mu — walks parent links the owner's lock keeps consistent
 func (s *Session) displayed(n *Node) bool {
 	for cur := n; ; {
 		p := cur.parent
@@ -478,6 +501,8 @@ func (s *Session) displayed(n *Node) bool {
 
 // ProvisionalNodes lists displayed nodes whose counts are still sample
 // estimates, in display (pre-order) order — the refiner's work queue.
+//
+//sdlint:holds mu — callers enumerate inside their session critical section
 func (s *Session) ProvisionalNodes() []*Node { return s.ProvisionalNodesIn(s.root) }
 
 // ProvisionalNodesIn is ProvisionalNodes restricted to n's subtree.
@@ -499,6 +524,8 @@ func (s *Session) ProvisionalNodesIn(n *Node) []*Node {
 // prefetch rebuilds samples for the displayed tree's likely next
 // drill-downs and upgrades displayed counts to exact values learned during
 // the prefetching scan.
+//
+//sdlint:holds mu — reached only from expansion paths the owner serializes
 func (s *Session) prefetch() {
 	troot := s.buildTree(s.root, nil)
 	if s.cfg.ProbModel != nil {
@@ -547,6 +574,9 @@ func (s *Session) observeDrill(n *Node) {
 	model.Observe(rank, depth)
 }
 
+// buildTree mirrors the displayed tree into the sampling model's shape.
+//
+//sdlint:holds mu — reached only from expansion paths the owner serializes
 func (s *Session) buildTree(n *Node, parent *sampling.TreeNode) *sampling.TreeNode {
 	tn := &sampling.TreeNode{Rule: n.Rule, Count: n.Count}
 	if n == s.root {

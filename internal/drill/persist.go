@@ -37,6 +37,8 @@ type snapshot struct {
 }
 
 // Save writes the displayed tree as JSON.
+//
+//sdlint:holds mu — snapshots the tree inside the caller's critical section
 func (s *Session) Save(w io.Writer) error {
 	snap := snapshot{
 		Columns: append([]string{}, s.tab.ColumnNames()...),
@@ -66,6 +68,8 @@ func (s *Session) snapshotOf(n *Node) snapshotNode {
 // Load replaces the displayed tree with a previously saved one. The
 // session's table must have the same column names; rule values absent from
 // the current table are rejected (the snapshot describes different data).
+//
+//sdlint:holds mu — replaces the tree inside the caller's critical section
 func (s *Session) Load(r io.Reader) error {
 	var snap snapshot
 	if err := json.NewDecoder(r).Decode(&snap); err != nil {

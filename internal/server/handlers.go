@@ -146,6 +146,8 @@ func (s *Server) lookupSession(w http.ResponseWriter, r *http.Request) (*session
 // failure it writes the error response and returns false: an unknown (or
 // no-longer-displayed) ID is not_found, a malformed ID or invalid path is
 // bad_rule.
+//
+//sdlint:holds mu — every handler resolves nodes inside its session critical section
 func resolveNode(w http.ResponseWriter, sess *session, nodeID string, path []int) (*smartdrill.Node, []int, bool) {
 	if nodeID != "" {
 		n, err := sess.eng.NodeByID(nodeID)

@@ -45,6 +45,8 @@ func encodeNode(e *smartdrill.Engine, n *smartdrill.Node, path []int) *api.Node 
 
 // encodeTree converts a session's full displayed tree to wire form. The
 // caller must hold the session's lock.
+//
+//sdlint:holds mu — callers encode inside their session critical section
 func encodeTree(sess *session) *api.Tree {
 	e := sess.eng
 	return &api.Tree{

@@ -123,7 +123,7 @@ type Server struct {
 	store *sessionStore
 
 	mu       sync.RWMutex
-	datasets map[string]dataset
+	datasets map[string]dataset // guardedby: mu
 
 	// refiners tracks in-flight background refinement goroutines so tests
 	// and embedders can await quiescence (WaitRefiners).

@@ -22,7 +22,7 @@ type session struct {
 	created time.Time
 
 	mu  sync.Mutex
-	eng *smartdrill.Engine
+	eng *smartdrill.Engine // guardedby: mu
 }
 
 // sessionStore is a sharded, LRU-evicting registry of sessions. IDs hash to
@@ -36,9 +36,9 @@ type sessionStore struct {
 
 type storeShard struct {
 	mu      sync.Mutex
-	cap     int
-	entries map[string]*list.Element // values are *session
-	lru     *list.List               // front = most recently used
+	cap     int                      // immutable after construction
+	entries map[string]*list.Element // guardedby: mu (values are *session)
+	lru     *list.List               // guardedby: mu (front = most recently used)
 }
 
 // newSessionStore builds a store holding at most capacity sessions spread

@@ -1,0 +1,159 @@
+// Package apicodes checks that the API error-code vocabulary stays in
+// sync across its three homes: the ErrorCode constants in package api,
+// the HTTPStatus mapping, and the published OpenAPI spec
+// (docs/openapi.yaml).
+//
+// Every ErrorCode constant must (a) appear as an explicit case in
+// HTTPStatus — relying on the default arm means a new code silently
+// inherits an arbitrary status — and (b) occur in the spec's error-code
+// enum, so clients generated from the spec can name it. Codes that are
+// deliberately unpublished would carry //sdlint:allow apicodes <reason>
+// on the constant.
+package apicodes
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+
+	"smartdrill/tools/sdlint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "apicodes",
+	Doc: "flag api.ErrorCode constants missing from HTTPStatus or docs/openapi.yaml\n\n" +
+		"The error-code vocabulary lives in three places (constants, status mapping,\n" +
+		"OpenAPI spec); this keeps them from drifting apart.",
+	Run: run,
+}
+
+// code is one ErrorCode constant.
+type code struct {
+	obj   *types.Const
+	value string
+	pos   token.Pos
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if pass.Pkg.Name() != "api" {
+		return nil, nil
+	}
+	codes := collectCodes(pass)
+	if len(codes) == 0 {
+		return nil, nil
+	}
+
+	mapped, haveStatus := statusCases(pass)
+	for _, c := range codes {
+		if !haveStatus {
+			pass.Reportf(c.pos, "error code %s declared but no HTTPStatus function maps ErrorCode to statuses", c.obj.Name())
+			continue
+		}
+		if !mapped[c.obj] {
+			pass.Reportf(c.pos, "error code %s has no explicit case in HTTPStatus: map it rather than fall through to the default arm", c.obj.Name())
+		}
+	}
+
+	spec, specPath, err := loadSpec(pass)
+	if err != nil {
+		pass.Reportf(codes[0].pos, "cannot locate the OpenAPI spec to validate error codes against: %v", err)
+		return nil, nil
+	}
+	for _, c := range codes {
+		re := regexp.MustCompile(`(^|[^a-zA-Z0-9_])` + regexp.QuoteMeta(c.value) + `($|[^a-zA-Z0-9_])`)
+		if !re.Match(spec) {
+			pass.Reportf(c.pos, "error code %q is not listed in %s: add it to the spec's error-code enum", c.value, filepath.Base(specPath))
+		}
+	}
+	return nil, nil
+}
+
+// collectCodes gathers the package's string constants of type ErrorCode.
+func collectCodes(pass *analysis.Pass) []code {
+	var codes []code
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			spec, ok := n.(*ast.ValueSpec)
+			if !ok {
+				return true
+			}
+			for _, name := range spec.Names {
+				cst, ok := pass.TypesInfo.Defs[name].(*types.Const)
+				if !ok {
+					continue
+				}
+				named, ok := cst.Type().(*types.Named)
+				if !ok || named.Obj().Pkg() != pass.Pkg || named.Obj().Name() != "ErrorCode" {
+					continue
+				}
+				if cst.Val().Kind() != constant.String {
+					continue
+				}
+				codes = append(codes, code{obj: cst, value: constant.StringVal(cst.Val()), pos: name.Pos()})
+			}
+			return true
+		})
+	}
+	return codes
+}
+
+// statusCases returns the set of ErrorCode constants appearing as
+// explicit switch cases inside the HTTPStatus function.
+func statusCases(pass *analysis.Pass) (map[*types.Const]bool, bool) {
+	mapped := make(map[*types.Const]bool)
+	found := false
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "HTTPStatus" || fd.Body == nil {
+				continue
+			}
+			found = true
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				cc, ok := n.(*ast.CaseClause)
+				if !ok {
+					return true
+				}
+				for _, e := range cc.List {
+					id, ok := ast.Unparen(e).(*ast.Ident)
+					if !ok {
+						continue
+					}
+					if cst, ok := pass.TypesInfo.Uses[id].(*types.Const); ok {
+						mapped[cst] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	return mapped, found
+}
+
+// loadSpec finds the OpenAPI document: openapi.yaml beside the package
+// (analysistest layout), else docs/openapi.yaml walking up toward the
+// repository root.
+func loadSpec(pass *analysis.Pass) ([]byte, string, error) {
+	dir := filepath.Dir(pass.Fset.Position(pass.Files[0].Pos()).Filename)
+	if abs, err := filepath.Abs(dir); err == nil {
+		dir = abs
+	}
+	if data, err := os.ReadFile(filepath.Join(dir, "openapi.yaml")); err == nil {
+		return data, filepath.Join(dir, "openapi.yaml"), nil
+	}
+	for d, depth := dir, 0; depth < 8; d, depth = filepath.Dir(d), depth+1 {
+		p := filepath.Join(d, "docs", "openapi.yaml")
+		if data, err := os.ReadFile(p); err == nil {
+			return data, p, nil
+		}
+		if filepath.Dir(d) == d {
+			break
+		}
+	}
+	return nil, "", fmt.Errorf("no openapi.yaml beside %s and no docs/openapi.yaml above it", dir)
+}

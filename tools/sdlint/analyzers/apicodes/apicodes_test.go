@@ -1,0 +1,12 @@
+package apicodes_test
+
+import (
+	"testing"
+
+	"smartdrill/tools/sdlint/analysis/analysistest"
+	"smartdrill/tools/sdlint/analyzers/apicodes"
+)
+
+func TestApicodes(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), apicodes.Analyzer, "api")
+}

@@ -1,0 +1,19 @@
+package api
+
+type ErrorCode string
+
+const (
+	ErrBadRequest ErrorCode = "bad_request"
+	ErrNotFound   ErrorCode = "not_found" // want "error code ErrNotFound has no explicit case in HTTPStatus"
+	ErrSecret     ErrorCode = "secret"    //sdlint:allow apicodes internal-only code, deliberately absent from the published spec
+	ErrGhost      ErrorCode = "ghost"     // want "error code .ghost. is not listed in openapi.yaml"
+)
+
+func HTTPStatus(code ErrorCode) int {
+	switch code {
+	case ErrBadRequest, ErrGhost, ErrSecret:
+		return 400
+	default:
+		return 500
+	}
+}

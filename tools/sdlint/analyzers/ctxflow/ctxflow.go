@@ -1,0 +1,250 @@
+// Package ctxflow checks that context.Context threads through the engine
+// instead of being dropped at an internal boundary — the cancellation
+// contract the streaming API depends on.
+//
+// Three rules:
+//
+//  1. A function that has a context.Context (or *net/http.Request) in
+//     scope must not call the context-free form of a function that has a
+//     Ctx variant: call ExpandCtx(ctx, ...), not Expand(...).
+//  2. A declared context.Context parameter must be used (or be named _):
+//     accepting ctx and ignoring it silently breaks cancellation for
+//     every caller upstream.
+//  3. In internal/brs, any loop that drives counting passes must poll
+//     cancellation between passes (rn.canceled(), run.ctxErr, ctx.Err(),
+//     or ctx.Done()): passes are the unit of interruption, so a loop
+//     that never polls can outlive its caller by an entire search.
+//
+// _test.go files are exempt. Suppress deliberate exceptions (e.g. an
+// interface implementation that genuinely cannot honor cancellation)
+// with //sdlint:allow ctxflow <reason>.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"smartdrill/tools/sdlint/analysis"
+	"smartdrill/tools/sdlint/internal/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "flag dropped contexts: non-Ctx calls with a ctx in scope, unused ctx params, unpolled counting loops\n\n" +
+		"Cancellation flows through Ctx variants and per-pass polling; a single dropped\n" +
+		"context breaks the whole chain. Suppress deliberate exceptions with\n" +
+		"//sdlint:allow ctxflow <reason>.",
+	Run: run,
+}
+
+// passFuncs are the BRS counting passes: the units of work between which
+// cancellation is polled (internal/brs only, rule 3).
+var passFuncs = map[string]bool{
+	"findBestMarginal":     true,
+	"countCandidates":      true,
+	"countLevelOne":        true,
+	"countCandidatesScan":  true,
+	"countCandidatesIndex": true,
+	"expandParents":        true,
+	"applySelection":       true,
+	"rebuildTopW":          true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	brs := lintutil.PathIn(pass.Pkg.Path(), "internal/brs")
+	for _, file := range pass.Files {
+		if lintutil.IsTestFile(pass.Fset, file) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkCtxCalls(pass, fd)
+			checkUnusedCtx(pass, fd)
+			if brs {
+				checkLoopPolling(pass, fd)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// checkCtxCalls implements rule 1: with a ctx (or request) parameter in
+// scope, prefer the Ctx variant of any callee that has one.
+func checkCtxCalls(pass *analysis.Pass, fd *ast.FuncDecl) {
+	if !hasCtxParam(pass.TypesInfo, fd) {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := lintutil.Callee(pass.TypesInfo, call)
+		if fn == nil {
+			return true
+		}
+		if sib := ctxSibling(fn); sib != nil {
+			pass.Reportf(call.Pos(), "call to %s with a context in scope: use %s so cancellation propagates", fn.Name(), sib.Name())
+		}
+		return true
+	})
+}
+
+// checkUnusedCtx implements rule 2: a named context.Context parameter
+// must appear in the body.
+func checkUnusedCtx(pass *analysis.Pass, fd *ast.FuncDecl) {
+	if fd.Type.Params == nil {
+		return
+	}
+	for _, field := range fd.Type.Params.List {
+		if t := pass.TypesInfo.TypeOf(field.Type); t == nil || !lintutil.IsContextType(t) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[name]
+			if obj == nil || usesObject(pass.TypesInfo, fd.Body, obj) {
+				continue
+			}
+			pass.Reportf(name.Pos(), "context parameter %s is never used: thread it into the calls below or rename it _", name.Name)
+		}
+	}
+}
+
+// checkLoopPolling implements rule 3 for internal/brs.
+func checkLoopPolling(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			body = n.Body
+		case *ast.RangeStmt:
+			body = n.Body
+		default:
+			return true
+		}
+		if drivesPasses(pass.TypesInfo, body) && !pollsCancellation(pass.TypesInfo, body) {
+			pass.Reportf(n.Pos(), "loop drives counting passes but never polls cancellation: check rn.canceled() / run.ctxErr between passes")
+		}
+		return true
+	})
+}
+
+// drivesPasses reports whether the loop body calls a counting pass.
+func drivesPasses(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if fn := lintutil.Callee(info, call); fn != nil && passFuncs[fn.Name()] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// pollsCancellation reports whether the loop body observes cancellation:
+// a call to a method named canceled or Err on a context, a read of a
+// ctxErr field, or a receive from ctx.Done().
+func pollsCancellation(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if fn := lintutil.Callee(info, n); fn != nil {
+				switch fn.Name() {
+				case "canceled", "Done":
+					found = true
+				case "Err":
+					if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil && lintutil.IsContextType(sig.Recv().Type()) {
+						found = true
+					}
+				}
+			}
+		case *ast.SelectorExpr:
+			if n.Sel.Name == "ctxErr" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// hasCtxParam reports whether fd declares a context.Context or
+// *net/http.Request parameter.
+func hasCtxParam(info *types.Info, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		t := info.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		if lintutil.IsContextType(t) || lintutil.IsHTTPRequest(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// ctxSibling returns fn's Ctx variant — a function or method named
+// fn.Name()+"Ctx" in the same scope whose first parameter is a
+// context.Context — or nil.
+func ctxSibling(fn *types.Func) *types.Func {
+	if strings.HasSuffix(fn.Name(), "Ctx") {
+		return nil
+	}
+	var obj types.Object
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	if recv := sig.Recv(); recv != nil {
+		t := recv.Type()
+		if p, isPtr := t.(*types.Pointer); isPtr {
+			t = p.Elem()
+		}
+		named, isNamed := t.(*types.Named)
+		if !isNamed {
+			return nil
+		}
+		for i := 0; i < named.NumMethods(); i++ {
+			if m := named.Method(i); m.Name() == fn.Name()+"Ctx" {
+				obj = m
+				break
+			}
+		}
+	} else if fn.Pkg() != nil {
+		obj = fn.Pkg().Scope().Lookup(fn.Name() + "Ctx")
+	}
+	sib, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	sibSig, ok := sib.Type().(*types.Signature)
+	if !ok || sibSig.Params().Len() == 0 || !lintutil.IsContextType(sibSig.Params().At(0).Type()) {
+		return nil
+	}
+	return sib
+}
+
+// usesObject reports whether obj is referenced anywhere under n.
+func usesObject(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

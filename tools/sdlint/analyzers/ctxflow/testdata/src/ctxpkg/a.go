@@ -1,0 +1,36 @@
+package ctxpkg
+
+import "context"
+
+type Engine struct{}
+
+func (e *Engine) Expand(n int) error                         { return nil }
+func (e *Engine) ExpandCtx(ctx context.Context, n int) error { _ = ctx; return nil }
+
+func search(v int) error                         { return nil }
+func searchCtx(ctx context.Context, v int) error { _ = ctx; return nil }
+
+func drive(ctx context.Context, e *Engine) error {
+	if err := searchCtx(ctx, 1); err != nil {
+		return err
+	}
+	if err := search(2); err != nil { // want "call to search with a context in scope: use searchCtx"
+		return err
+	}
+	return e.Expand(1) // want "call to Expand with a context in scope: use ExpandCtx"
+}
+
+func dropped(ctx context.Context, e *Engine) error { // want "context parameter ctx is never used"
+	return e.ExpandCtx(context.Background(), 1)
+}
+
+func anonymous(_ context.Context, e *Engine) error { // blank ctx: deliberate, not flagged
+	return e.ExpandCtx(context.Background(), 1)
+}
+
+// legacy satisfies an interface that cannot thread a context.
+//
+//sdlint:allow ctxflow interface-pinned signature; the caller's watchdog cancels via Engine state
+func legacy(ctx context.Context, e *Engine) error {
+	return e.Expand(1)
+}

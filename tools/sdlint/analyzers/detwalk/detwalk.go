@@ -1,0 +1,79 @@
+// Package detwalk checks that result-producing paths are deterministic.
+//
+// The smart drill-down engine's regression suite (and the paper's
+// experiments) depend on byte-identical output for identical input: the
+// BRS greedy loop, rule scoring, and the API encoding must not depend on
+// map iteration order, the wall clock, or math/rand. detwalk flags, in
+// the packages that produce results (internal/brs, internal/rule,
+// internal/score, api):
+//
+//   - `range` statements over map types,
+//   - calls to time.Now,
+//   - imports of math/rand and math/rand/v2.
+//
+// _test.go files are exempt. Legitimate sites — such as the anytime
+// deadline check in internal/brs/incremental.go, which reads the clock
+// but only decides *when* to stop, never *what* is returned — carry
+//
+//	//sdlint:allow nondeterminism <reason>
+package detwalk
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+
+	"smartdrill/tools/sdlint/analysis"
+	"smartdrill/tools/sdlint/internal/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "detwalk",
+	Doc: "flag nondeterminism (map range, time.Now, math/rand) in result-producing packages\n\n" +
+		"Identical input must yield identical output in internal/brs, internal/rule,\n" +
+		"internal/score and api. Suppress legitimate sites (e.g. anytime deadlines that\n" +
+		"only decide when to stop) with //sdlint:allow nondeterminism <reason>.",
+	Run:       run,
+	AllowKeys: []string{"nondeterminism"},
+}
+
+// scope lists the result-producing packages, matched on path-element
+// boundaries so analysistest trees qualify too.
+var scope = []string{"internal/brs", "internal/rule", "internal/score", "api"}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !lintutil.PathIn(pass.Pkg.Path(), scope...) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		if lintutil.IsTestFile(pass.Fset, file) {
+			continue
+		}
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(), "import of %s in a result-producing package: results must be deterministic", path)
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						pass.Reportf(n.Pos(), "range over a map has nondeterministic order: iterate a sorted key slice instead")
+					}
+				}
+			case *ast.CallExpr:
+				if fn := lintutil.Callee(pass.TypesInfo, n); fn != nil &&
+					fn.Pkg() != nil && fn.Pkg().Path() == "time" && fn.Name() == "Now" {
+					pass.Reportf(n.Pos(), "time.Now in a result-producing package: results must not depend on the wall clock")
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

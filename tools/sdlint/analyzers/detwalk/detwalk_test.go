@@ -1,0 +1,12 @@
+package detwalk_test
+
+import (
+	"testing"
+
+	"smartdrill/tools/sdlint/analysis/analysistest"
+	"smartdrill/tools/sdlint/analyzers/detwalk"
+)
+
+func TestDetwalk(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), detwalk.Analyzer, "internal/brs", "outofscope")
+}

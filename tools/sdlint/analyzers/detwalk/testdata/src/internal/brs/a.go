@@ -1,0 +1,31 @@
+package brs
+
+import "time"
+
+func sumCounts(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want "range over a map has nondeterministic order"
+		total += v
+	}
+	return total
+}
+
+func sumSorted(keys []string, m map[string]int) int {
+	total := 0
+	for _, k := range keys { // slice range: deterministic, not flagged
+		total += m[k]
+	}
+	return total
+}
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want "time.Now in a result-producing package"
+}
+
+func deadlineOK(deadline time.Time) bool {
+	return !time.Now().Before(deadline) //sdlint:allow nondeterminism anytime deadline: decides when to stop, never what is returned
+}
+
+func missingReason(deadline time.Time) bool {
+	return time.Now().After(deadline) /* want "missing reason" */ //sdlint:allow nondeterminism
+}

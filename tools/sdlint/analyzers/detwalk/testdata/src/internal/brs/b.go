@@ -1,0 +1,5 @@
+package brs
+
+import "math/rand" // want "import of math/rand in a result-producing package"
+
+func roll() int { return rand.Intn(6) }

@@ -1,0 +1,15 @@
+// Package outofscope is not result-producing: map iteration and clocks
+// are fine here, so detwalk must stay silent.
+package outofscope
+
+import "time"
+
+func SumCounts(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func Stamp() int64 { return time.Now().UnixNano() }

@@ -1,0 +1,160 @@
+// Package ioaccount checks that the engine's I/O counters stay honest.
+//
+// The paper's cost model — and the repo's bench-check gates — rely on
+// Stats.RowsScanned, Stats.PostingsRead and Stats.BitmapWordsRead being
+// exact. Every site that touches a posting list, bitset words, or scans
+// rows must therefore either be an accounted helper (a metering kernel
+// that returns the amount read for the caller to book) or book the
+// matching Stats field in the same function.
+//
+// ioaccount flags, in internal/brs, internal/table and internal/drill,
+// any function that invokes a raw I/O operation without a matching
+// Stats increment in its body. Sites whose accounting genuinely happens
+// elsewhere (e.g. gatherers that only collect list headers for a kernel
+// to consume) carry //sdlint:allow ioaccount <reason>.
+package ioaccount
+
+import (
+	"go/ast"
+	"go/types"
+
+	"smartdrill/tools/sdlint/analysis"
+	"smartdrill/tools/sdlint/internal/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ioaccount",
+	Doc: "flag posting-list/bitmap/row-scan access without a matching Stats increment\n\n" +
+		"RowsScanned, PostingsRead and BitmapWordsRead back the cost model and the\n" +
+		"bench gates; raw I/O outside accounted helpers silently skews them. Suppress\n" +
+		"caller-accounted sites with //sdlint:allow ioaccount <reason>.",
+	Run: run,
+}
+
+var scope = []string{"internal/brs", "internal/table", "internal/drill"}
+
+// class partitions raw operations by the Stats field that must book them.
+type class int
+
+const (
+	rowscan class = iota
+	postings
+	bitmap
+)
+
+func (c class) String() string {
+	return [...]string{"rows", "posting entries", "bitmap words"}[c]
+}
+
+// statsFields lists the Stats field names that satisfy each class.
+// SampledRowsScanned covers the confidence-bounded sampling paths.
+var statsFields = map[class][]string{
+	rowscan:  {"RowsScanned", "SampledRowsScanned"},
+	postings: {"PostingsRead"},
+	bitmap:   {"BitmapWordsRead"},
+}
+
+// rawOps maps "pkg.Recv.Func" (package NAME, so analysistest stubs
+// qualify) to the I/O class the callee performs. These are the only ways
+// the engine touches storage below the accounted storage.Store layer.
+var rawOps = map[string]class{
+	"table.Index.Postings":    postings, // hands out the raw posting list
+	"table.Index.Lookup":      postings, // metered kernel: returns postingsRead
+	"table.View.EachInAll":    postings, // metered kernel: returns entries read
+	"table.Index.Bitmap":      bitmap,   // hands out the raw bitset
+	"table..AndCount":         bitmap,   // metered kernel: returns wordsRead
+	"table..AndEach":          bitmap,   // metered kernel: returns wordsRead
+	"table.View.Refine":       rowscan,  // full scan of the view's rows
+	"brs.runner.parallelRows": rowscan,  // chunked row fan-out of a counting pass
+}
+
+// exemptCallees perform no data-plane I/O despite living next to it:
+// PostingsLen reads catalog metadata (list lengths) for the planner.
+var exemptCallees = map[string]bool{
+	"table.Index.PostingsLen": true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !lintutil.PathIn(pass.Pkg.Path(), scope...) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		if lintutil.IsTestFile(pass.Fset, file) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	// The metering layer itself is exempt: a raw op's own body (and the
+	// metadata helpers) measure rather than consume.
+	if own, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+		key := opKey(own)
+		if _, isRaw := rawOps[key]; isRaw || exemptCallees[key] {
+			return
+		}
+	}
+	booked := bookedFields(fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := lintutil.Callee(pass.TypesInfo, call)
+		if fn == nil {
+			return true
+		}
+		key := opKey(fn)
+		cls, isRaw := rawOps[key]
+		if !isRaw || exemptCallees[key] {
+			return true
+		}
+		for _, f := range statsFields[cls] {
+			if booked[f] {
+				return true
+			}
+		}
+		pass.Reportf(call.Pos(), "%s reads %s but this function never adds to Stats.%s: account the read here or move it into an accounted helper",
+			key, cls, statsFields[cls][0])
+		return true
+	})
+}
+
+// opKey renders fn as "pkg.Recv.Name" with an empty Recv for plain
+// functions, matching the rawOps table.
+func opKey(fn *types.Func) string {
+	return lintutil.PkgName(fn) + "." + lintutil.RecvTypeName(fn) + "." + fn.Name()
+}
+
+// bookedFields collects the Stats-style field names this function
+// assigns to (x.Stats.Field += n, stats.Field++, ...), anywhere in its
+// body including closures: counting passes fan work out to workers and
+// book the merged totals afterwards.
+func bookedFields(fd *ast.FuncDecl) map[string]bool {
+	booked := make(map[string]bool)
+	note := func(e ast.Expr) {
+		if sel, ok := e.(*ast.SelectorExpr); ok {
+			booked[sel.Sel.Name] = true
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				note(lhs)
+			}
+		case *ast.IncDecStmt:
+			note(n.X)
+		}
+		return true
+	})
+	return booked
+}

@@ -1,0 +1,21 @@
+// Package table stubs the real internal/table surface: ioaccount matches
+// raw operations by package name, receiver and method, so these empty
+// bodies stand in for the metering kernels.
+package table
+
+type Bitset struct{ words []uint64 }
+
+type Index struct{}
+
+func (ix *Index) Postings(col, val int) []int32 { return nil }
+func (ix *Index) PostingsLen(col, val int) int  { return len(ix.Postings(col, val)) }
+func (ix *Index) Bitmap(col, val int) *Bitset   { return nil }
+func (ix *Index) Lookup(r int) ([]int, int64)   { return nil, 0 }
+
+type View struct{}
+
+func (v *View) EachInAll(lists [][]int32, fn func(pos, row int)) int64 { return 0 }
+func (v *View) Refine(base []int) *View                                { return nil }
+
+func AndCount(sets []*Bitset) (int, int64)           { return 0, 0 }
+func AndEach(sets []*Bitset, fn func(row int)) int64 { return 0 }

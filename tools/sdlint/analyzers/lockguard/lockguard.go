@@ -1,0 +1,243 @@
+// Package lockguard checks mutex discipline for annotated struct fields.
+//
+// A struct field carrying a "guardedby: <mu>" comment may only be
+// accessed by functions that demonstrably hold the lock:
+//
+//	type session struct {
+//		mu  sync.Mutex
+//		eng *smartdrill.Engine // guardedby: mu
+//	}
+//
+// An access is accepted when the enclosing function (a) calls
+// <owner>.<mu>.Lock() or .RLock() itself, (b) declares
+// //sdlint:holds <mu> in its doc comment (the caller-holds-the-lock
+// contract), or (c) operates on a value it just constructed locally, so
+// no other goroutine can see it yet. Composite-literal construction
+// (&session{eng: e}) is likewise exempt.
+//
+// When the named guard is not a field of the owning struct — the
+// drill.Session case, whose fields are guarded by the server session's
+// lock — rule (a) can never apply and every access needs the holds
+// annotation, which keeps the external-lock contract written down at
+// each use.
+//
+// The check is package-local (the mini framework has no cross-package
+// facts): accesses from other packages are only covered when those
+// packages are also analyzed, and exported guarded fields rely on the
+// annotation being visible in the owning package's doc. _test.go files
+// are exempt.
+package lockguard
+
+import (
+	"go/ast"
+	"go/types"
+
+	"smartdrill/tools/sdlint/analysis"
+	"smartdrill/tools/sdlint/internal/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockguard",
+	Doc: "flag access to 'guardedby: mu' fields in functions that neither lock mu nor declare //sdlint:holds mu\n\n" +
+		"Guarded fields may only be touched under their mutex; functions relying on a\n" +
+		"caller's lock declare //sdlint:holds <mu> in their doc comment.",
+	Run: run,
+}
+
+// guardInfo describes one annotated field.
+type guardInfo struct {
+	guard        string       // mutex field name from the annotation
+	owner        *types.Named // struct type declaring the field
+	guardIsField bool         // guard is a field of owner (lockable locally)
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	guarded := collectGuarded(pass)
+	if len(guarded) == 0 {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		if lintutil.IsTestFile(pass.Fset, file) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd, guarded)
+		}
+	}
+	return nil, nil
+}
+
+// collectGuarded finds every "guardedby:" annotated field declared in
+// this package.
+func collectGuarded(pass *analysis.Pass) map[types.Object]guardInfo {
+	guarded := make(map[types.Object]guardInfo)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			tn, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+			if !ok {
+				return true
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				return true
+			}
+			fieldNames := make(map[string]bool)
+			for _, f := range st.Fields.List {
+				for _, name := range f.Names {
+					fieldNames[name.Name] = true
+				}
+			}
+			for _, f := range st.Fields.List {
+				guard, ok := analysis.GuardedBy(f)
+				if !ok {
+					continue
+				}
+				for _, name := range f.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						guarded[obj] = guardInfo{guard: guard, owner: named, guardIsField: fieldNames[guard]}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guarded
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, guarded map[types.Object]guardInfo) {
+	locked := lockedGuards(pass.TypesInfo, fd)
+	fresh := freshLocals(pass.TypesInfo, fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[sel.Sel]
+		gi, isGuarded := guarded[obj]
+		if !isGuarded {
+			return true
+		}
+		if analysis.Holds(fd, gi.guard) {
+			return true
+		}
+		if locked[lockKey{gi.owner.Obj(), gi.guard}] {
+			return true
+		}
+		if base, ok := ast.Unparen(sel.X).(*ast.Ident); ok && fresh[pass.TypesInfo.Uses[base]] {
+			return true
+		}
+		if gi.guardIsField {
+			pass.Reportf(sel.Sel.Pos(), "access to %s.%s outside its lock: call %s.%s.Lock/RLock in this function or declare //sdlint:holds %s",
+				gi.owner.Obj().Name(), sel.Sel.Name, gi.owner.Obj().Name(), gi.guard, gi.guard)
+		} else {
+			pass.Reportf(sel.Sel.Pos(), "access to %s.%s without //sdlint:holds %s: the guard %q lives outside %s, so each accessor must declare it holds the caller's lock",
+				gi.owner.Obj().Name(), sel.Sel.Name, gi.guard, gi.guard, gi.owner.Obj().Name())
+		}
+		return true
+	})
+}
+
+// lockKey identifies a (struct type, mutex field) pair.
+type lockKey struct {
+	owner types.Object
+	guard string
+}
+
+// lockedGuards records every guard the function acquires anywhere in its
+// body (x.mu.Lock(), x.mu.RLock()), keyed by the owning struct's type.
+// The check is function-granular, matching how the engine structures its
+// critical sections: lock, work, unlock within one function.
+func lockedGuards(info *types.Info, fd *ast.FuncDecl) map[lockKey]bool {
+	locked := make(map[lockKey]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fun, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (fun.Sel.Name != "Lock" && fun.Sel.Name != "RLock") {
+			return true
+		}
+		muSel, ok := ast.Unparen(fun.X).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		base := info.TypeOf(muSel.X)
+		if base == nil {
+			return true
+		}
+		if p, isPtr := base.(*types.Pointer); isPtr {
+			base = p.Elem()
+		}
+		if named, isNamed := base.(*types.Named); isNamed {
+			locked[lockKey{named.Obj(), muSel.Sel.Name}] = true
+		}
+		return true
+	})
+	return locked
+}
+
+// freshLocals collects local variables bound to values constructed in
+// this function (x := &T{...}, x := T{...}, x := new(T)): until such a
+// value is shared, its fields need no lock.
+func freshLocals(info *types.Info, fd *ast.FuncDecl) map[types.Object]bool {
+	fresh := make(map[types.Object]bool)
+	bind := func(lhs, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || !isConstruction(info, rhs) {
+			return
+		}
+		if obj := info.Defs[id]; obj != nil {
+			fresh[obj] = true
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					bind(n.Lhs[i], n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) == len(n.Values) {
+				for i := range n.Names {
+					bind(n.Names[i], n.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+// isConstruction reports whether e constructs a new value: &T{...},
+// T{...}, or new(T).
+func isConstruction(info *types.Info, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		_, isLit := ast.Unparen(e.X).(*ast.CompositeLit)
+		return e.Op.String() == "&" && isLit
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+			if b, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && b.Name() == "new" {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package lockguard_test
+
+import (
+	"testing"
+
+	"smartdrill/tools/sdlint/analysis/analysistest"
+	"smartdrill/tools/sdlint/analyzers/lockguard"
+)
+
+func TestLockguard(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), lockguard.Analyzer, "lockpkg")
+}

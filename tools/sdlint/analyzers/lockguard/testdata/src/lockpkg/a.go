@@ -1,0 +1,65 @@
+package lockpkg
+
+import "sync"
+
+type Engine struct{ n int }
+
+// session mirrors the server's per-session shape: the engine pointer may
+// only be touched under mu.
+type session struct {
+	mu  sync.Mutex
+	eng *Engine // guardedby: mu
+}
+
+func locked(s *session) *Engine {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng
+}
+
+func unlocked(s *session) *Engine {
+	return s.eng // want "access to session.eng outside its lock"
+}
+
+// trusted documents that its callers hold the session lock.
+//
+//sdlint:holds mu — called only from locked's critical section
+func trusted(s *session) *Engine {
+	return s.eng
+}
+
+func fresh() *Engine {
+	s := &session{eng: &Engine{}}
+	return s.eng // local construction: not yet shared, no lock needed
+}
+
+// registry exercises the read-lock path.
+type registry struct {
+	mu sync.RWMutex
+	m  map[string]int // guardedby: mu
+}
+
+func (r *registry) lookup(k string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.m[k]
+}
+
+func (r *registry) unlockedLen() int {
+	return len(r.m) // want "access to registry.m outside its lock"
+}
+
+// tree mirrors drill.Session: guarded by a lock that is not one of its
+// own fields, so only the holds annotation can satisfy the check.
+type tree struct {
+	root int // guardedby: mu (the owning session's lock)
+}
+
+func readRoot(t *tree) int {
+	return t.root // want "access to tree.root without //sdlint:holds mu"
+}
+
+//sdlint:holds mu — callers access the tree inside their session critical section
+func readRootHeld(t *tree) int {
+	return t.root
+}

@@ -1,0 +1,3 @@
+module smartdrill/tools/sdlint
+
+go 1.24

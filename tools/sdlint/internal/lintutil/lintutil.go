@@ -1,0 +1,104 @@
+// Package lintutil carries the small AST/type helpers shared by the
+// sdlint analyzers: callee resolution, receiver naming, path-scoped
+// package matching, and test-file detection.
+package lintutil
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// IsTestFile reports whether the file is a _test.go file — sdlint's
+// invariants govern production paths; tests are free to range over maps,
+// read clocks, and poke unexported state.
+func IsTestFile(fset *token.FileSet, f *ast.File) bool {
+	return strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// Callee resolves the *types.Func a call invokes (methods included), or
+// nil for calls through function values, conversions, and builtins.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// RecvTypeName returns the name of fn's receiver's named type ("" for
+// plain functions), looking through pointers.
+func RecvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	return NamedName(sig.Recv().Type())
+}
+
+// NamedName returns the name of t's named type, dereferencing one
+// pointer level, or "" when t is unnamed.
+func NamedName(t types.Type) string {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// PkgName returns the name of fn's defining package ("" for builtins).
+func PkgName(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Name()
+}
+
+// PathIn reports whether pkgpath lies in one of the given package-path
+// fragments: the fragment must appear on path-element boundaries, so
+// "internal/brs" matches both "smartdrill/internal/brs" and the
+// analysistest path "internal/brs", while "api" matches "smartdrill/api"
+// but not "smartdrill/capi".
+func PathIn(pkgpath string, frags ...string) bool {
+	padded := "/" + pkgpath + "/"
+	for _, f := range frags {
+		if strings.Contains(padded, "/"+f+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// IsContextType reports whether t is context.Context.
+func IsContextType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// IsHTTPRequest reports whether t is *net/http.Request.
+func IsHTTPRequest(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	n, ok := p.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == "Request"
+}
