@@ -3,7 +3,7 @@
 GO ?= go
 SDLINT := tools/sdlint/bin/sdlint
 
-.PHONY: check test lint sdlint race race-equivalence bench bench-check smoke large
+.PHONY: check test lint sdlint race race-equivalence bench bench-check smoke large chaos
 
 # check is the default pre-commit gate: the sdlint invariants suite plus
 # the full test run.
@@ -33,6 +33,21 @@ lint: sdlint
 
 race:
 	$(GO) test -race ./client/ ./internal/server/ ./internal/drill/ ./internal/table/ ./internal/brs/
+
+# chaos runs the fault-injection end-to-end suite (crash/restart resume,
+# 429-storm convergence, dropped connections, flaky-disk snapshots) under
+# the race detector across a seed matrix. The fault schedule is
+# deterministic per seed; a failing run prints its FAULT_SEED — replay it
+# with `make chaos SEEDS=<seed>`.
+SEEDS ?= 1 2 3
+chaos:
+	@for seed in $(SEEDS); do \
+		echo "chaos: FAULT_SEED=$$seed"; \
+		FAULT_SEED=$$seed $(GO) test -race -count=1 \
+			-run 'TestChaos|TestRestartResumes|TestEvictionRehydrates|TestProvisionalRoundTrip|TestPersistFailure' \
+			./client/ ./internal/server/ || exit 1; \
+		FAULT_SEED=$$seed $(GO) test -race -count=1 ./internal/faultinject/ || exit 1; \
+	done
 
 # bench re-records the search perf trajectory (exact BRS, the sampled
 # million-row drill pipeline, and the cores={1,2,4,max} parallel-scaling

@@ -3,6 +3,7 @@ package api
 import (
 	"fmt"
 	"net/http"
+	"time"
 )
 
 // ErrorCode is a machine-readable failure class. Clients branch on codes;
@@ -28,6 +29,12 @@ const (
 	// search stops at the next counting-pass boundary; the session stays
 	// valid.
 	ErrCanceled ErrorCode = "canceled"
+	// ErrOverloaded: the server's admission controller shed the request
+	// before any work ran — every concurrency slot stayed busy for the
+	// whole admission wait. The response carries a Retry-After header
+	// (seconds); the request is always safe to retry, including
+	// non-idempotent methods, precisely because it never executed.
+	ErrOverloaded ErrorCode = "overloaded"
 	// ErrInternal: a server-side failure (handler panic).
 	ErrInternal ErrorCode = "internal"
 )
@@ -48,6 +55,8 @@ func HTTPStatus(code ErrorCode) int {
 		return http.StatusNotFound
 	case ErrCanceled:
 		return StatusCanceled
+	case ErrOverloaded:
+		return http.StatusTooManyRequests
 	case ErrInternal:
 		return http.StatusInternalServerError
 	default:
@@ -65,6 +74,11 @@ type Error struct {
 	// not part of the JSON body (the status line already carries it);
 	// clients populate it when decoding.
 	HTTPStatus int `json:"-"`
+	// RetryAfter is the response's Retry-After hint, when the server sent
+	// one (overloaded responses always do). Like HTTPStatus it travels as
+	// a header, not in the JSON body; clients populate it when decoding.
+	// Zero means no hint.
+	RetryAfter time.Duration `json:"-"`
 }
 
 func (e *Error) Error() string {

@@ -1,0 +1,296 @@
+package client_test
+
+// Chaos end-to-end suite: the SDK driving a real server through injected
+// faults — process crash/restart on a shared snapshot directory, a 429
+// storm against a single admission slot, and dropped connections. The
+// fault schedule is seeded (FAULT_SEED, default 1) and deterministic, so
+// `make chaos` can sweep seeds and any failure is replayable by exporting
+// the seed it printed. CI runs this suite under -race with the fixed
+// default seed.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"smartdrill/api"
+	"smartdrill/client"
+	"smartdrill/internal/datagen"
+	"smartdrill/internal/faultinject"
+	"smartdrill/internal/server"
+)
+
+// faultSeed returns the chaos seed, overridable for seed-matrix sweeps.
+func faultSeed(t *testing.T) uint64 {
+	raw := os.Getenv("FAULT_SEED")
+	if raw == "" {
+		return 1
+	}
+	seed, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		t.Fatalf("FAULT_SEED %q: %v", raw, err)
+	}
+	return seed
+}
+
+// newChaosServer builds a durable server on dir, optionally behind a
+// fault-injection middleware, and returns its base URL.
+func newChaosServer(t *testing.T, dir string, cfg server.Config, plan *faultinject.Plan) (*server.Server, *httptest.Server) {
+	t.Helper()
+	backend, err := server.NewDirBackend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Backend = backend
+	cfg.Logger = log.New(io.Discard, "", 0)
+	s := server.New(cfg)
+	s.RegisterDataset("store", datagen.StoreSales(42))
+	var h http.Handler = s.Handler()
+	if plan != nil {
+		h = faultinject.Middleware(plan, h)
+	}
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// TestChaosCrashRestartResume is the headline crash-safety check: a server
+// is killed mid-session (connections severed, no graceful shutdown) and a
+// new process on the same snapshot directory serves the same session id
+// with a byte-identical tree; the SDK then keeps drilling it.
+func TestChaosCrashRestartResume(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	_, ts1 := newChaosServer(t, dir, server.Config{}, nil)
+	c1 := client.New(ts1.URL)
+	tree, err := c1.CreateSession(ctx, api.CreateSessionRequest{Dataset: "store", K: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr, err := c1.Drill(ctx, tree.ID, api.DrillRequest{Node: tree.Root.ID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	star, err := c1.Drill(ctx, tree.ID, api.DrillRequest{Node: dr.Node.Children[0].ID, Column: "Region"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := c1.Tree(ctx, tree.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash: sever every live connection, then tear the listener down.
+	ts1.CloseClientConnections()
+	ts1.Close()
+
+	s2, ts2 := newChaosServer(t, dir, server.Config{}, nil)
+	if n, err := s2.RecoverSessions(); err != nil || n != 1 {
+		t.Fatalf("RecoverSessions = %d, %v; want 1 resumable", n, err)
+	}
+	c2 := client.New(ts2.URL)
+	after, err := c2.Tree(ctx, tree.ID)
+	if err != nil {
+		t.Fatalf("restarted server does not know session %s: %v", tree.ID, err)
+	}
+	rawBefore, _ := json.Marshal(before)
+	rawAfter, _ := json.Marshal(after)
+	if string(rawBefore) != string(rawAfter) {
+		t.Fatalf("tree changed across crash/restart:\nbefore: %s\nafter:  %s", rawBefore, rawAfter)
+	}
+
+	// The resumed session is live: collapse the star-drilled node by the
+	// stable ID minted before the crash, then re-drill it.
+	if _, err := c2.Collapse(ctx, tree.ID, api.DrillRequest{Node: star.Node.ID}); err != nil {
+		t.Fatalf("collapse after restart: %v", err)
+	}
+	redrill, err := c2.Drill(ctx, tree.ID, api.DrillRequest{Node: star.Node.ID})
+	if err != nil {
+		t.Fatalf("drill after restart: %v", err)
+	}
+	if len(redrill.Node.Children) == 0 {
+		t.Fatal("re-drill after restart produced no children")
+	}
+}
+
+// count429s wraps a transport, counting overload responses passing through.
+type count429s struct {
+	next http.RoundTripper
+	n    atomic.Int64
+}
+
+func (c *count429s) RoundTrip(r *http.Request) (*http.Response, error) {
+	resp, err := c.next.RoundTrip(r)
+	if err == nil && resp.StatusCode == http.StatusTooManyRequests {
+		c.n.Add(1)
+	}
+	return resp, err
+}
+
+// TestChaos429Storm: a fleet of SDK clients hammers a server with a single
+// admission slot and injected per-drill latency. Requests are shed with
+// 429s, the SDK retries with backoff honoring Retry-After, and every
+// client converges to success — the storm drains instead of failing.
+func TestChaos429Storm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second backoff convergence")
+	}
+	seed := faultSeed(t)
+	t.Logf("FAULT_SEED=%d", seed)
+	plan := faultinject.New(seed,
+		faultinject.Rule{Op: "/drill", Prob: 1, Latency: 50 * time.Millisecond})
+	_, ts := newChaosServer(t, t.TempDir(), server.Config{
+		MaxConcurrent: 1,
+		AdmissionWait: time.Millisecond,
+	}, plan)
+
+	counter := &count429s{next: http.DefaultTransport}
+	const clients = 5
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	start := time.Now()
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := client.New(ts.URL,
+				client.WithHTTPClient(&http.Client{Transport: counter}),
+				client.WithRetryPolicy(client.RetryPolicy{
+					MaxAttempts: 12,
+					BaseDelay:   100 * time.Millisecond,
+					MaxDelay:    2 * time.Second,
+				}))
+			ctx := context.Background()
+			tree, err := c.CreateSession(ctx, api.CreateSessionRequest{Dataset: "store", K: 3, Seed: 1})
+			if err != nil {
+				errs <- err
+				return
+			}
+			node := tree.Root.ID
+			for j := 0; j < 2; j++ {
+				dr, err := c.Drill(ctx, tree.ID, api.DrillRequest{Node: node})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(dr.Node.Children) > 0 {
+					node = dr.Node.Children[0].ID
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("client did not converge: %v", err)
+	}
+	shed := counter.n.Load()
+	if shed == 0 {
+		t.Fatal("storm produced no 429s; admission control never engaged")
+	}
+	// A retried shed waited out the ≥1s Retry-After floor.
+	if elapsed := time.Since(start); elapsed < time.Second {
+		t.Fatalf("%d sheds retried in %v — Retry-After cannot have been honored", shed, elapsed)
+	}
+	t.Logf("storm: %d requests shed and retried to convergence", shed)
+}
+
+// TestChaosDroppedConnections: the fault plan kills a bounded number of
+// connections mid-request on idempotent reads; the SDK's transport-error
+// retries absorb them.
+func TestChaosDroppedConnections(t *testing.T) {
+	seed := faultSeed(t)
+	t.Logf("FAULT_SEED=%d", seed)
+	plan := faultinject.New(seed,
+		faultinject.Rule{Op: "GET /v1/sessions", Prob: 1, DropConn: true, MaxCount: 2})
+	_, ts := newChaosServer(t, t.TempDir(), server.Config{}, plan)
+	c := client.New(ts.URL, client.WithRetryPolicy(client.RetryPolicy{
+		MaxAttempts: 5, BaseDelay: 10 * time.Millisecond, MaxDelay: 50 * time.Millisecond,
+	}))
+	ctx := context.Background()
+	tree, err := c.CreateSession(ctx, api.CreateSessionRequest{Dataset: "store", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Tree(ctx, tree.ID) // eats both dropped connections, then lands
+	if err != nil {
+		t.Fatalf("SDK did not absorb dropped connections: %v", err)
+	}
+	if got.ID != tree.ID {
+		t.Fatalf("tree id %q, want %q", got.ID, tree.ID)
+	}
+	if plan.Total() < 2 {
+		t.Fatalf("plan injected %d faults, want ≥ 2", plan.Total())
+	}
+}
+
+// TestChaosFlakyDisk: snapshot saves fail randomly under the seeded plan;
+// serving never fails, and once the disk heals a final mutation persists a
+// snapshot a restarted server can resume.
+func TestChaosFlakyDisk(t *testing.T) {
+	seed := faultSeed(t)
+	t.Logf("FAULT_SEED=%d", seed)
+	dir := t.TempDir()
+	plan := faultinject.New(seed,
+		faultinject.Rule{Op: "save", Prob: 0.7, Err: errors.New("injected disk failure"), MaxCount: 20})
+	backend, err := server.NewDirBackend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backend.Inject = plan.InjectFunc()
+	s := server.New(server.Config{Backend: backend, Logger: log.New(io.Discard, "", 0)})
+	s.RegisterDataset("store", datagen.StoreSales(42))
+	ts := httptest.NewServer(s.Handler())
+
+	c := client.New(ts.URL)
+	ctx := context.Background()
+	tree, err := c.CreateSession(ctx, api.CreateSessionRequest{Dataset: "store", K: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := tree.Root.ID
+	for j := 0; j < 6; j++ { // enough mutations to hit both fault and success draws
+		dr, err := c.Drill(ctx, tree.ID, api.DrillRequest{Node: node})
+		if err != nil {
+			t.Fatalf("drill %d failed under flaky disk: %v", j, err)
+		}
+		if len(dr.Node.Children) > 0 {
+			node = dr.Node.Children[0].ID
+		}
+		if _, err := c.Collapse(ctx, tree.ID, api.DrillRequest{Node: node}); err != nil {
+			t.Fatalf("collapse %d failed under flaky disk: %v", j, err)
+		}
+	}
+	backend.Inject = nil // disk heals
+	if _, err := c.Drill(ctx, tree.ID, api.DrillRequest{Node: tree.Root.ID}); err != nil {
+		t.Fatal(err)
+	}
+	want, err := c.Tree(ctx, tree.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts.CloseClientConnections()
+	ts.Close()
+
+	_, ts2 := newChaosServer(t, dir, server.Config{}, nil)
+	got, err := client.New(ts2.URL).Tree(ctx, tree.ID)
+	if err != nil {
+		t.Fatalf("restart after flaky disk lost the session: %v", err)
+	}
+	rawWant, _ := json.Marshal(want)
+	rawGot, _ := json.Marshal(got)
+	if string(rawWant) != string(rawGot) {
+		t.Fatalf("healed snapshot diverged:\nwant: %s\ngot:  %s", rawWant, rawGot)
+	}
+}

@@ -41,9 +41,14 @@ import (
 )
 
 // Client talks to one smartdrilld server. It is safe for concurrent use.
+// By default it retries overload (429) and idempotent transient failures
+// with jittered exponential backoff — see RetryPolicy for the exact
+// rules, and WithRetryPolicy / NoRetries to tune or disable them.
 type Client struct {
-	base string
-	http *http.Client
+	base   string
+	http   *http.Client
+	retry  RetryPolicy
+	jitter func() float64 // full-jitter draw in [0,1); pinned by tests
 }
 
 // Option configures a Client.
@@ -60,8 +65,10 @@ func WithHTTPClient(h *http.Client) Option {
 // "http://localhost:8080"); a trailing slash is tolerated.
 func New(baseURL string, opts ...Option) *Client {
 	c := &Client{
-		base: strings.TrimRight(baseURL, "/"),
-		http: &http.Client{},
+		base:   strings.TrimRight(baseURL, "/"),
+		http:   &http.Client{},
+		retry:  DefaultRetryPolicy(),
+		jitter: defaultJitter,
 	}
 	for _, o := range opts {
 		o(c)
@@ -212,34 +219,57 @@ func (c *Client) DrillStream(ctx context.Context, sessionID string, opts StreamO
 	return consumeStream(ctx, resp.Body, opts)
 }
 
-// do issues one JSON request and decodes a 2xx response into out (which
-// may be nil). Non-2xx responses decode into *api.Error.
+// do issues one JSON request — retrying per the client's RetryPolicy —
+// and decodes a 2xx response into out (which may be nil). Non-2xx
+// responses decode into *api.Error. The request body is marshaled once
+// and replayed from memory on each attempt.
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
-	var rd io.Reader
+	var raw []byte
 	if body != nil {
-		raw, err := json.Marshal(body)
-		if err != nil {
+		var err error
+		if raw, err = json.Marshal(body); err != nil {
 			return err
 		}
+	}
+	attempts := c.retry.attempts()
+	for attempt := 0; ; attempt++ {
+		err := c.doOnce(ctx, method, path, raw, body != nil, out)
+		if err == nil {
+			return nil
+		}
+		if attempt+1 >= attempts || !retryable(method, err) {
+			return err
+		}
+		if !sleepCtx(ctx, c.backoffDelay(attempt, retryAfterOf(err))) {
+			return err // ctx canceled mid-backoff: surface the last failure
+		}
+	}
+}
+
+// doOnce is one HTTP attempt. The response body is always fully drained
+// and closed — on every path, error paths included — so the underlying
+// connection returns to the pool instead of leaking per attempt.
+func (c *Client) doOnce(ctx context.Context, method, path string, raw []byte, hasBody bool, out any) error {
+	var rd io.Reader
+	if hasBody {
 		rd = bytes.NewReader(raw)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
 		return err
 	}
-	if body != nil {
+	if hasBody {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
+	defer drainClose(resp.Body)
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		return decodeError(resp)
 	}
 	if out == nil {
-		io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
 		return nil
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
@@ -248,18 +278,31 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	return nil
 }
 
+// drainClose consumes any unread remainder of a response body before
+// closing it, the precondition for net/http connection reuse.
+func drainClose(body io.ReadCloser) {
+	io.Copy(io.Discard, body) //nolint:errcheck // best-effort drain for keep-alive
+	body.Close()
+}
+
 // decodeError turns a non-2xx response into an *api.Error, synthesizing
 // one when the body is not the uniform envelope (a proxy in the way, say).
+// It drains and closes the body, and carries any Retry-After hint through
+// to the retry layer.
 func decodeError(resp *http.Response) error {
 	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	drainClose(resp.Body)
+	retryAfter := parseRetryAfter(resp.Header.Get("Retry-After"))
 	var env api.ErrorEnvelope
 	if err := json.Unmarshal(raw, &env); err == nil && env.Error != nil && env.Error.Code != "" {
 		env.Error.HTTPStatus = resp.StatusCode
+		env.Error.RetryAfter = retryAfter
 		return env.Error
 	}
 	return &api.Error{
 		Code:       api.ErrInternal,
 		Message:    fmt.Sprintf("HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(raw)),
 		HTTPStatus: resp.StatusCode,
+		RetryAfter: retryAfter,
 	}
 }

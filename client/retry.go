@@ -1,0 +1,159 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"math/rand/v2"
+	"net/http"
+	"strconv"
+	"time"
+
+	"smartdrill/api"
+)
+
+// RetryPolicy controls the SDK's automatic retries. The policy is
+// deliberately narrow about what it retries:
+//
+//   - 429 overloaded: retried for every method. The server sheds a request
+//     before any engine work runs (see api.ErrOverloaded), so resending a
+//     shed drill cannot double-apply it.
+//   - 5xx and transport-level failures (connection refused/reset, broken
+//     proxies): retried only for idempotent methods (GET, DELETE, HEAD). A
+//     POST that died mid-flight may or may not have executed; replaying it
+//     could drill the same node twice, so the error is surfaced instead.
+//   - 4xx other than 429, and context cancellation: never retried.
+//
+// Backoff between attempts is capped exponential with full jitter —
+// sleep ~ Uniform(0, min(MaxDelay, BaseDelay·2^attempt)) — which spreads a
+// thundering herd of retrying clients instead of synchronizing it. A
+// server Retry-After hint is honored as a floor on the computed delay, and
+// canceling the request context cuts any backoff sleep short.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries, the initial request
+	// included. 1 (or less) disables retries. Default 4.
+	MaxAttempts int
+	// BaseDelay is the jitter ceiling before the first retry; it doubles
+	// each attempt. Default 100ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the jitter ceiling. Default 5s.
+	MaxDelay time.Duration
+}
+
+// DefaultRetryPolicy is the policy a new Client starts with.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 4, BaseDelay: 100 * time.Millisecond, MaxDelay: 5 * time.Second}
+}
+
+// NoRetries disables automatic retries entirely.
+func NoRetries() RetryPolicy { return RetryPolicy{MaxAttempts: 1} }
+
+// WithRetryPolicy substitutes the client's retry policy.
+func WithRetryPolicy(p RetryPolicy) Option {
+	return func(c *Client) { c.retry = p }
+}
+
+// attempts normalizes MaxAttempts to at least one try.
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// idempotent reports whether a died-mid-flight request of this method is
+// safe to replay.
+func idempotent(method string) bool {
+	switch method {
+	case http.MethodGet, http.MethodHead, http.MethodDelete:
+		return true
+	}
+	return false
+}
+
+// retryable classifies one attempt's failure. Context cancellation is
+// terminal regardless of how deeply a transport wrapped it.
+func retryable(method string, err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var apiErr *api.Error
+	if errors.As(err, &apiErr) {
+		if apiErr.Code == api.ErrOverloaded || apiErr.HTTPStatus == http.StatusTooManyRequests {
+			return true // shed before executing: safe for any method
+		}
+		return apiErr.HTTPStatus >= 500 && idempotent(method)
+	}
+	// No decoded response at all: a transport-level failure.
+	return idempotent(method)
+}
+
+// retryAfterOf extracts the server's Retry-After hint, if the failure
+// carried one.
+func retryAfterOf(err error) time.Duration {
+	var apiErr *api.Error
+	if errors.As(err, &apiErr) {
+		return apiErr.RetryAfter
+	}
+	return 0
+}
+
+// backoffDelay computes the sleep before retry number attempt (0-based):
+// full jitter under an exponentially growing ceiling, floored by any
+// server-provided Retry-After hint.
+func (c *Client) backoffDelay(attempt int, retryAfter time.Duration) time.Duration {
+	ceil := c.retry.BaseDelay
+	for i := 0; i < attempt && ceil < c.retry.MaxDelay; i++ {
+		ceil *= 2
+	}
+	if ceil > c.retry.MaxDelay {
+		ceil = c.retry.MaxDelay
+	}
+	var d time.Duration
+	if ceil > 0 {
+		d = time.Duration(c.jitter() * float64(ceil))
+	}
+	if retryAfter > d {
+		d = retryAfter
+	}
+	return d
+}
+
+// defaultJitter draws the full-jitter fraction. It is a Client field so
+// tests can pin it.
+func defaultJitter() float64 { return rand.Float64() }
+
+// sleepCtx sleeps for d unless ctx is canceled first, reporting whether
+// the full sleep completed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// parseRetryAfter parses a Retry-After header (delta-seconds or HTTP
+// date), returning 0 when absent or unparseable.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
+}

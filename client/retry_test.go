@@ -1,0 +1,282 @@
+package client
+
+// Retry-policy unit tests live in-package so they can pin the jitter draw
+// and observe attempt counts deterministically.
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"smartdrill/api"
+)
+
+// newTestClient points a Client at ts with zero jitter (backoff sleeps are
+// exactly the Retry-After floor, usually 0) so retries run at test speed.
+func newTestClient(ts *httptest.Server, opts ...Option) *Client {
+	c := New(ts.URL, opts...)
+	c.jitter = func() float64 { return 0 }
+	return c
+}
+
+func overloadHandler(fails int32, retryAfter string) (http.HandlerFunc, *int32) {
+	var calls int32
+	h := func(w http.ResponseWriter, r *http.Request) {
+		if atomic.AddInt32(&calls, 1) <= fails {
+			if retryAfter != "" {
+				w.Header().Set("Retry-After", retryAfter)
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":{"code":"overloaded","message":"shed"}}`))
+			return
+		}
+		w.Write([]byte(`{"status":"ok","version":"test","sessions":0,"datasets":[]}`))
+	}
+	return h, &calls
+}
+
+// Test429RetriedForPOST: overload sheds are retried even for non-idempotent
+// methods — the server never started executing a shed request.
+func Test429RetriedForPOST(t *testing.T) {
+	var calls int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if atomic.AddInt32(&calls, 1) == 1 {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":{"code":"overloaded","message":"shed"}}`))
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+		w.Write([]byte(`{"id":"s1","dataset":"d","columns":[],"aggregate":"Count","k":1,"root":{"id":"n1","path":[]}}`))
+	}))
+	defer ts.Close()
+	c := newTestClient(ts)
+	tree, err := c.CreateSession(context.Background(), api.CreateSessionRequest{Dataset: "d"})
+	if err != nil {
+		t.Fatalf("POST not retried through 429: %v", err)
+	}
+	if tree.ID != "s1" || atomic.LoadInt32(&calls) != 2 {
+		t.Fatalf("tree %+v after %d calls", tree, calls)
+	}
+}
+
+// TestRetryAfterHonored: the server's Retry-After floors the backoff delay.
+func TestRetryAfterHonored(t *testing.T) {
+	h, _ := overloadHandler(1, "1")
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	c := newTestClient(ts)
+	start := time.Now()
+	if _, err := c.Health(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 900*time.Millisecond {
+		t.Fatalf("retried after %v; Retry-After: 1 not honored", d)
+	}
+}
+
+// TestRetriesExhausted: a persistent overload surfaces the 429 after
+// MaxAttempts tries.
+func TestRetriesExhausted(t *testing.T) {
+	h, calls := overloadHandler(1000, "")
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	c := newTestClient(ts, WithRetryPolicy(RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond}))
+	_, err := c.Health(context.Background())
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) || apiErr.Code != api.ErrOverloaded {
+		t.Fatalf("err = %v, want overloaded", err)
+	}
+	if got := atomic.LoadInt32(calls); got != 3 {
+		t.Fatalf("made %d attempts, want 3", got)
+	}
+}
+
+// TestNonIdempotent5xxNotRetried: a POST that reaches the server and fails
+// may have executed; the SDK must not replay it.
+func TestNonIdempotent5xxNotRetried(t *testing.T) {
+	var calls int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt32(&calls, 1)
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	c := newTestClient(ts)
+	if _, err := c.CreateSession(context.Background(), api.CreateSessionRequest{Dataset: "d"}); err == nil {
+		t.Fatal("expected error")
+	}
+	if got := atomic.LoadInt32(&calls); got != 1 {
+		t.Fatalf("POST attempted %d times, want 1", got)
+	}
+}
+
+// TestIdempotent5xxRetried: the same failure on a GET is retried.
+func TestIdempotent5xxRetried(t *testing.T) {
+	var calls int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if atomic.AddInt32(&calls, 1) == 1 {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte(`{"status":"ok","version":"test","sessions":0,"datasets":[]}`))
+	}))
+	defer ts.Close()
+	c := newTestClient(ts)
+	if _, err := c.Health(context.Background()); err != nil {
+		t.Fatalf("GET not retried through 500: %v", err)
+	}
+	if got := atomic.LoadInt32(&calls); got != 2 {
+		t.Fatalf("made %d attempts, want 2", got)
+	}
+}
+
+// TestBadRequestNotRetried: 4xx (other than 429) is the caller's bug, not
+// a transient — no retry even for GET.
+func TestBadRequestNotRetried(t *testing.T) {
+	var calls int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt32(&calls, 1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusNotFound)
+		w.Write([]byte(`{"error":{"code":"not_found","message":"nope"}}`))
+	}))
+	defer ts.Close()
+	c := newTestClient(ts)
+	_, err := c.Health(context.Background())
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) || apiErr.Code != api.ErrNotFound {
+		t.Fatalf("err = %v", err)
+	}
+	if got := atomic.LoadInt32(&calls); got != 1 {
+		t.Fatalf("made %d attempts, want 1", got)
+	}
+}
+
+// TestCancelCutsBackoffShort: a context canceled mid-backoff ends the
+// retry loop immediately instead of sleeping out the Retry-After.
+func TestCancelCutsBackoffShort(t *testing.T) {
+	h, _ := overloadHandler(1000, "30")
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	c := newTestClient(ts)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := c.Health(ctx)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("cancel did not cut the 30s backoff short: %v", d)
+	}
+}
+
+// TestTransportErrorRetriedForGET: a dropped connection (no response at
+// all) is retried for idempotent methods.
+func TestTransportErrorRetriedForGET(t *testing.T) {
+	var calls int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if atomic.AddInt32(&calls, 1) == 1 {
+			panic(http.ErrAbortHandler) // kill the connection mid-request
+		}
+		w.Write([]byte(`{"status":"ok","version":"test","sessions":0,"datasets":[]}`))
+	}))
+	defer ts.Close()
+	c := newTestClient(ts, WithRetryPolicy(RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond}))
+	if _, err := c.Health(context.Background()); err != nil {
+		t.Fatalf("GET not retried through dropped connection: %v", err)
+	}
+}
+
+// TestConnectionsReused: every response body — success and error alike —
+// is drained and closed, so a burst of sequential requests rides one
+// TCP connection instead of leaking one per call. The counting dialer
+// fails the test if any path forgets drainClose.
+func TestConnectionsReused(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/health":
+			w.Write([]byte(`{"status":"ok","version":"test","sessions":0,"datasets":[]}`))
+		default:
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusNotFound)
+			w.Write([]byte(`{"error":{"code":"not_found","message":"nope"}}`))
+		}
+	}))
+	defer ts.Close()
+
+	var dials int32
+	transport := &http.Transport{
+		DialContext: func(ctx context.Context, network, addr string) (net.Conn, error) {
+			atomic.AddInt32(&dials, 1)
+			var d net.Dialer
+			return d.DialContext(ctx, network, addr)
+		},
+	}
+	defer transport.CloseIdleConnections()
+	c := newTestClient(ts, WithHTTPClient(&http.Client{Transport: transport}), WithRetryPolicy(NoRetries()))
+	for i := 0; i < 5; i++ {
+		if _, err := c.Health(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Tree(context.Background(), "missing"); err == nil {
+			t.Fatal("expected not_found")
+		}
+	}
+	if got := atomic.LoadInt32(&dials); got != 1 {
+		t.Fatalf("10 sequential requests used %d connections, want 1 (body not drained/closed somewhere)", got)
+	}
+}
+
+// TestBackoffDelayGrowth: the jitter ceiling doubles per attempt and caps
+// at MaxDelay; Retry-After floors the result.
+func TestBackoffDelayGrowth(t *testing.T) {
+	c := New("http://unused", WithRetryPolicy(RetryPolicy{
+		MaxAttempts: 10, BaseDelay: 100 * time.Millisecond, MaxDelay: 400 * time.Millisecond,
+	}))
+	c.jitter = func() float64 { return 0.999999 }
+	approx := func(got, want time.Duration) bool {
+		diff := got - want
+		return diff > -time.Millisecond && diff < time.Millisecond
+	}
+	if d := c.backoffDelay(0, 0); !approx(d, 100*time.Millisecond) {
+		t.Fatalf("attempt 0: %v", d)
+	}
+	if d := c.backoffDelay(1, 0); !approx(d, 200*time.Millisecond) {
+		t.Fatalf("attempt 1: %v", d)
+	}
+	if d := c.backoffDelay(5, 0); !approx(d, 400*time.Millisecond) {
+		t.Fatalf("attempt 5 should cap at MaxDelay: %v", d)
+	}
+	if d := c.backoffDelay(0, time.Second); d != time.Second {
+		t.Fatalf("Retry-After floor ignored: %v", d)
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	if d := parseRetryAfter(""); d != 0 {
+		t.Fatalf("empty: %v", d)
+	}
+	if d := parseRetryAfter("2"); d != 2*time.Second {
+		t.Fatalf("seconds: %v", d)
+	}
+	if d := parseRetryAfter("-1"); d != 0 {
+		t.Fatalf("negative: %v", d)
+	}
+	if d := parseRetryAfter("garbage"); d != 0 {
+		t.Fatalf("garbage: %v", d)
+	}
+	future := time.Now().Add(3 * time.Second).UTC().Format(http.TimeFormat)
+	if d := parseRetryAfter(future); d <= 0 || d > 3*time.Second {
+		t.Fatalf("http date: %v", d)
+	}
+}

@@ -8,7 +8,10 @@
 //
 //	smartdrilld [-addr :8080] [-dataset name=path.csv[:measure,...]]...
 //	            [-demo] [-max-sessions 1024] [-workers N] [-k 3]
-//	            [-stream-budget 5s] [-background-refine=true] [-version]
+//	            [-stream-budget 5s] [-background-refine=true]
+//	            [-snapshot-dir DIR] [-max-concurrent N] [-admission-wait 1s]
+//	            [-request-timeout 30s] [-read-header-timeout 10s]
+//	            [-idle-timeout 2m] [-version]
 //
 // Each -dataset flag registers one CSV file under a name; the optional
 // colon-suffix lists measure (numeric) columns. -demo registers the
@@ -18,6 +21,13 @@
 //	smartdrilld &
 //	curl -s localhost:8080/v1/datasets
 //	curl -s -X POST localhost:8080/v1/sessions -d '{"dataset":"store"}'
+//
+// With -snapshot-dir, sessions are durable: every mutation writes through
+// to one JSON snapshot file per session, LRU eviction demotes sessions to
+// disk instead of destroying them, and a restarted smartdrilld on the same
+// directory resumes every session id. Overload behavior (concurrency cap,
+// degraded mode, 429 shedding) is tuned by -max-concurrent and friends;
+// see docs/OPERATIONS.md.
 //
 // The server shuts down gracefully on SIGINT/SIGTERM.
 package main
@@ -89,6 +99,13 @@ func main() {
 		streamBudget = flag.Duration("stream-budget", 5*time.Second, "default anytime budget for /drill/stream")
 		bgRefine     = flag.Bool("background-refine", true, "re-count provisional sampled drill results exactly in the background")
 		showVersion  = flag.Bool("version", false, "print the build version and exit")
+
+		snapshotDir   = flag.String("snapshot-dir", "", "directory for durable session snapshots (empty = sessions are memory-only)")
+		maxConcurrent = flag.Int("max-concurrent", 0, "concurrent work-request cap before shedding with 429 (0 = serving default, negative = unlimited)")
+		admissionWait = flag.Duration("admission-wait", 0, "max queueing time for a concurrency slot before shedding (0 = default 1s)")
+		reqTimeout    = flag.Duration("request-timeout", 0, "per-request deadline for non-streaming work endpoints (0 = default 30s, negative = none)")
+		readHdrTO     = flag.Duration("read-header-timeout", 0, "time limit for reading request headers (0 = default 10s)")
+		idleTO        = flag.Duration("idle-timeout", 0, "keep-alive idle connection timeout (0 = default 2m)")
 	)
 	flag.Var(&datasets, "dataset", "register a CSV dataset as name=path.csv[:measure,...] (repeatable)")
 	flag.Parse()
@@ -99,13 +116,28 @@ func main() {
 	}
 
 	logger := log.New(os.Stderr, "smartdrilld ", log.LstdFlags|log.Lmicroseconds)
+	var backend server.SessionBackend
+	if *snapshotDir != "" {
+		b, err := server.NewDirBackend(*snapshotDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		backend = b
+		logger.Printf("durable sessions: snapshot directory %s", b.Dir())
+	}
 	srv := server.New(server.Config{
-		MaxSessions:      *maxSessions,
-		Workers:          *workers,
-		DefaultK:         *k,
-		StreamBudget:     *streamBudget,
-		BackgroundRefine: *bgRefine,
-		Logger:           logger,
+		MaxSessions:       *maxSessions,
+		Workers:           *workers,
+		DefaultK:          *k,
+		StreamBudget:      *streamBudget,
+		BackgroundRefine:  *bgRefine,
+		Backend:           backend,
+		MaxConcurrent:     *maxConcurrent,
+		AdmissionWait:     *admissionWait,
+		RequestTimeout:    *reqTimeout,
+		ReadHeaderTimeout: *readHdrTO,
+		IdleTimeout:       *idleTO,
+		Logger:            logger,
 	})
 
 	if len(datasets.specs) == 0 {
@@ -123,6 +155,14 @@ func main() {
 		srv.RegisterDataset(spec.name, t)
 		logger.Printf("registered dataset %q: %d rows × %d columns from %s",
 			spec.name, t.NumRows(), t.NumCols(), spec.path)
+	}
+
+	if backend != nil {
+		if n, err := srv.RecoverSessions(); err != nil {
+			log.Fatalf("session recovery: %v", err)
+		} else if n > 0 {
+			logger.Printf("resuming %d session(s) from %s", n, *snapshotDir)
+		}
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -307,7 +307,8 @@ func (s *Session) expand(ctx context.Context, n *Node, w weight.Weighter) error 
 	}
 	s.observeDrill(n)
 
-	view, scale, exact, err := s.coveredView(n.Rule)
+	degraded := DegradedFrom(ctx)
+	view, scale, exact, err := s.coveredView(n.Rule, degraded)
 	if err != nil {
 		return err
 	}
@@ -350,7 +351,9 @@ func (s *Session) expand(ctx context.Context, n *Node, w weight.Weighter) error 
 		n.Children = append(n.Children, child)
 	}
 
-	if s.handler != nil && s.cfg.Prefetch {
+	// Prefetch is pure background work; a degraded (overloaded) server
+	// skips it — the ladder's first rung after forcing the sampled path.
+	if s.handler != nil && s.cfg.Prefetch && !degraded {
 		s.prefetch()
 	}
 	return nil
@@ -376,8 +379,8 @@ func (s *Session) recordStats(stats brs.Stats) {
 // estimates; exact reports whether they need no scaling.
 //
 //sdlint:holds mu — reached only from expansion paths the owner serializes
-func (s *Session) coveredView(r rule.Rule) (view *table.View, scale float64, exact bool, err error) {
-	if s.useSample(r) {
+func (s *Session) coveredView(r rule.Rule, degraded bool) (view *table.View, scale float64, exact bool, err error) {
+	if s.useSample(r, degraded) {
 		v, err := s.handler.GetSample(r)
 		if err != nil {
 			return nil, 0, false, err
@@ -394,11 +397,16 @@ func (s *Session) coveredView(r rule.Rule) (view *table.View, scale float64, exa
 
 // useSample decides an expansion's access path: the sampled pipeline runs
 // only when a handler exists and the (sub)view can exceed SampleThreshold
-// rows. The decision reads catalog metadata and posting-list lengths —
-// never rows — so routing itself costs nothing at interactive scale.
-func (s *Session) useSample(r rule.Rule) bool {
+// rows — or unconditionally when the request is degraded, the overload
+// ladder's cheap-answer rung. The decision reads catalog metadata and
+// posting-list lengths — never rows — so routing itself costs nothing at
+// interactive scale.
+func (s *Session) useSample(r rule.Rule, degraded bool) bool {
 	if s.handler == nil {
 		return false
+	}
+	if degraded {
+		return true
 	}
 	if s.cfg.SampleThreshold <= 0 {
 		return true

@@ -18,6 +18,12 @@ import (
 // decoded strings (with "?" wildcards) so snapshots remain readable and
 // survive dictionary-id reassignment across table reloads.
 type snapshotNode struct {
+	// ID is the node's session-scoped stable identifier. Persisting it
+	// lets a restored session keep every wire address valid — an analyst
+	// who drilled "n4" before a server restart can refine "n4" after it.
+	// Snapshots written before IDs existed carry none; Load then falls
+	// back to fresh pre-order assignment (see Load).
+	ID     uint64   `json:"id,omitempty"`
 	Values []string `json:"values"`
 	Weight float64  `json:"weight"`
 	Count  float64  `json:"count"`
@@ -34,6 +40,11 @@ type snapshotNode struct {
 type snapshot struct {
 	Columns []string     `json:"columns"`
 	Root    snapshotNode `json:"root"`
+	// NextID is the session's ID-sequence high-water mark, so nodes
+	// created after a restore never collide with IDs the snapshot's
+	// analyst already saw (including IDs of nodes collapsed away before
+	// the save).
+	NextID uint64 `json:"nextId,omitempty"`
 }
 
 // Save writes the displayed tree as JSON.
@@ -43,6 +54,7 @@ func (s *Session) Save(w io.Writer) error {
 	snap := snapshot{
 		Columns: append([]string{}, s.tab.ColumnNames()...),
 		Root:    s.snapshotOf(s.root),
+		NextID:  s.nextID,
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -51,6 +63,7 @@ func (s *Session) Save(w io.Writer) error {
 
 func (s *Session) snapshotOf(n *Node) snapshotNode {
 	out := snapshotNode{
+		ID:     n.id,
 		Values: s.tab.DecodeRule(n.Rule),
 		Weight: n.Weight,
 		Count:  n.Count,
@@ -91,14 +104,50 @@ func (s *Session) Load(r io.Reader) error {
 	if !root.Rule.IsTrivial() {
 		return fmt.Errorf("drill: snapshot root is not the trivial rule")
 	}
-	// Commit: the old tree's IDs are dropped wholesale and the restored
-	// nodes get fresh IDs in pre-order — wire addresses do not survive a
-	// Load, exactly as they do not survive a collapse. IDs are assigned
-	// only now, so a failed Load leaves the session's index untouched.
-	s.byID = make(map[uint64]*Node)
-	s.adoptTree(root)
+	// Commit: the old tree's index is dropped wholesale and the restored
+	// nodes are re-registered. Snapshots that recorded stable IDs restore
+	// them verbatim — wire addresses survive the Load, which is what lets
+	// a rehydrated server session resume exactly where the analyst
+	// stopped. Legacy snapshots without IDs get fresh IDs in pre-order
+	// (their analysts' addresses are long gone anyway). Either way the
+	// commit happens only now, so a failed Load leaves the session's
+	// index untouched.
+	if snap.Root.ID != 0 {
+		byID := make(map[uint64]*Node)
+		maxID, err := indexTree(root, byID)
+		if err != nil {
+			return err
+		}
+		s.byID = byID
+		s.nextID = max(snap.NextID, maxID)
+	} else {
+		s.byID = make(map[uint64]*Node)
+		s.adoptTree(root)
+	}
 	s.root = root
 	return nil
+}
+
+// indexTree registers a restored subtree under its snapshot-recorded IDs,
+// returning the largest ID seen. Zero or duplicate IDs mean a corrupt or
+// hand-edited snapshot and are rejected before any commit.
+func indexTree(n *Node, byID map[uint64]*Node) (maxID uint64, err error) {
+	if n.id == 0 {
+		return 0, fmt.Errorf("drill: snapshot node %v has no id but the root carries one", n.Rule)
+	}
+	if _, dup := byID[n.id]; dup {
+		return 0, fmt.Errorf("drill: snapshot reuses node id %d", n.id)
+	}
+	byID[n.id] = n
+	maxID = n.id
+	for _, c := range n.Children {
+		m, err := indexTree(c, byID)
+		if err != nil {
+			return 0, err
+		}
+		maxID = max(maxID, m)
+	}
+	return maxID, nil
 }
 
 // adoptTree assigns fresh IDs to a whole subtree in pre-order.
@@ -126,6 +175,7 @@ func (s *Session) restore(sn snapshotNode, parent *Node) (*Node, error) {
 		r[c] = id
 	}
 	n := &Node{
+		id:     sn.ID,
 		Rule:   r,
 		Weight: sn.Weight,
 		Count:  sn.Count,

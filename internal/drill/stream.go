@@ -38,7 +38,7 @@ func (s *Session) expandStream(ctx context.Context, n *Node, w weight.Weighter, 
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	view, scale, exact, err := s.coveredView(n.Rule)
+	view, scale, exact, err := s.coveredView(n.Rule, DegradedFrom(ctx))
 	if err != nil {
 		return err
 	}

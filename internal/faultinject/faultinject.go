@@ -1,0 +1,167 @@
+// Package faultinject is the deterministic fault-injection harness behind
+// the chaos test suite. A Plan is a seeded schedule of faults — added
+// latency, injected errors, dropped connections — matched against named
+// operations. Determinism is the point: the same seed and the same
+// sequence of Check calls produce the same faults, so a chaos run that
+// finds a bug is replayable with `make chaos SEED=...` instead of being a
+// one-off flake.
+//
+// The two injection seams it drives:
+//
+//   - server.DirBackend.Inject — disk faults on snapshot save/load/delete
+//     (wire with Plan.InjectFunc);
+//   - Middleware — HTTP-level faults (latency, 503s, connection drops) in
+//     front of any handler, keyed by "METHOD /path".
+//
+// Production code never imports this package; tests compose it around the
+// real server.
+package faultinject
+
+import (
+	"math/rand/v2"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Rule describes one fault source. A Check whose op matches Op (substring
+// match; empty matches everything) draws against Prob; on a hit, the
+// rule's faults apply: Latency is added, then — at most one of — the
+// connection drops or Err is returned.
+type Rule struct {
+	// Op selects operations by substring ("save", "POST /v1/sessions",
+	// "/drill"). Empty matches every operation.
+	Op string
+	// Prob is the per-match fault probability in [0,1]. 1 means always.
+	Prob float64
+	// Latency is added before the operation proceeds (or fails).
+	Latency time.Duration
+	// Err, when non-nil, is returned as the operation's failure.
+	Err error
+	// DropConn, for HTTP operations, kills the connection mid-request
+	// without writing a response (the client sees a transport error, not a
+	// status). Takes precedence over Err.
+	DropConn bool
+	// MaxCount caps how many times this rule fires; 0 means unlimited.
+	MaxCount int
+}
+
+// Outcome is the fault decision for one operation.
+type Outcome struct {
+	Latency  time.Duration
+	Err      error
+	DropConn bool
+}
+
+// Plan is a seeded fault schedule. Safe for concurrent use; concurrent
+// Checks serialize on an internal mutex so the random stream stays
+// deterministic for a given interleaving.
+type Plan struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	rules []Rule
+	fired []int
+	stats map[string]int
+}
+
+// New builds a Plan drawing from the given seed.
+func New(seed uint64, rules ...Rule) *Plan {
+	return &Plan{
+		rng:   rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)),
+		rules: rules,
+		fired: make([]int, len(rules)),
+		stats: make(map[string]int),
+	}
+}
+
+// Check evaluates op against the plan, aggregating every matching rule
+// that fires: latencies add up, and the first drop or error wins.
+func (p *Plan) Check(op string) Outcome {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out Outcome
+	for i, r := range p.rules {
+		if r.Op != "" && !strings.Contains(op, r.Op) {
+			continue
+		}
+		if r.MaxCount > 0 && p.fired[i] >= r.MaxCount {
+			continue
+		}
+		if p.rng.Float64() >= r.Prob {
+			continue
+		}
+		p.fired[i]++
+		p.stats[op]++
+		out.Latency += r.Latency
+		if !out.DropConn && out.Err == nil {
+			out.DropConn = r.DropConn
+			out.Err = r.Err
+		}
+	}
+	return out
+}
+
+// Stats reports how many faults have been injected per operation.
+func (p *Plan) Stats() map[string]int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]int, len(p.stats))
+	for k, v := range p.stats {
+		out[k] = v
+	}
+	return out
+}
+
+// Total reports the total number of injected faults.
+func (p *Plan) Total() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, v := range p.stats {
+		n += v
+	}
+	return n
+}
+
+// InjectFunc adapts the plan to the server backend's Inject seam: latency
+// is slept, errors are returned, and DropConn is meaningless for disk
+// operations (treated as an error-free hit).
+func (p *Plan) InjectFunc() func(op string) error {
+	return func(op string) error {
+		out := p.Check(op)
+		if out.Latency > 0 {
+			time.Sleep(out.Latency)
+		}
+		return out.Err
+	}
+}
+
+// Middleware wraps an HTTP handler with the plan's faults, keyed by
+// "METHOD /path". Latency is slept (bounded by the request context), a
+// DropConn hit aborts the connection via http.ErrAbortHandler — the
+// stdlib's sanctioned way to kill a response mid-flight — and an Err hit
+// answers 503 with a plain-text body (deliberately NOT the API's error
+// envelope, so client-side decoding of malformed errors gets exercised
+// too).
+func Middleware(p *Plan, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		out := p.Check(r.Method + " " + r.URL.Path)
+		if out.Latency > 0 {
+			t := time.NewTimer(out.Latency)
+			select {
+			case <-t.C:
+			case <-r.Context().Done():
+				t.Stop()
+			}
+		}
+		if out.DropConn {
+			panic(http.ErrAbortHandler)
+		}
+		if out.Err != nil {
+			http.Error(w, "injected fault: "+out.Err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}

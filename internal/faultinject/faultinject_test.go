@@ -1,0 +1,111 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestDeterminism: two plans with the same seed and rule set produce the
+// same fault sequence — the property that makes chaos failures replayable.
+func TestDeterminism(t *testing.T) {
+	mk := func() *Plan {
+		return New(42, Rule{Op: "save", Prob: 0.5, Err: errors.New("boom")})
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 200; i++ {
+		oa, ob := a.Check("save"), b.Check("save")
+		if (oa.Err == nil) != (ob.Err == nil) {
+			t.Fatalf("call %d diverged: %v vs %v", i, oa.Err, ob.Err)
+		}
+	}
+	if a.Total() != b.Total() {
+		t.Fatalf("totals diverged: %d vs %d", a.Total(), b.Total())
+	}
+	if a.Total() == 0 || a.Total() == 200 {
+		t.Fatalf("prob 0.5 fired %d/200 times; rng looks broken", a.Total())
+	}
+}
+
+func TestOpMatching(t *testing.T) {
+	p := New(1,
+		Rule{Op: "save", Prob: 1, Err: errors.New("disk full")},
+		Rule{Op: "POST /v1/sessions", Prob: 1, DropConn: true},
+	)
+	if out := p.Check("load"); out.Err != nil || out.DropConn {
+		t.Fatalf("non-matching op faulted: %+v", out)
+	}
+	if out := p.Check("save"); out.Err == nil {
+		t.Fatal("matching op did not fault")
+	}
+	// Substring semantics: the drill path contains neither rule's Op.
+	if out := p.Check("POST /v1/sessions/abc/drill"); !out.DropConn {
+		t.Fatal("substring match failed for HTTP op")
+	}
+}
+
+func TestMaxCount(t *testing.T) {
+	p := New(7, Rule{Op: "", Prob: 1, Err: errors.New("x"), MaxCount: 3})
+	hits := 0
+	for i := 0; i < 10; i++ {
+		if p.Check("anything").Err != nil {
+			hits++
+		}
+	}
+	if hits != 3 {
+		t.Fatalf("MaxCount 3 fired %d times", hits)
+	}
+}
+
+func TestInjectFuncLatency(t *testing.T) {
+	p := New(3, Rule{Op: "save", Prob: 1, Latency: 20 * time.Millisecond, MaxCount: 1})
+	inject := p.InjectFunc()
+	start := time.Now()
+	if err := inject("save"); err != nil {
+		t.Fatalf("latency-only rule returned error: %v", err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("latency not applied: %v", d)
+	}
+}
+
+// TestMiddleware covers all three HTTP fault modes against a live server.
+func TestMiddleware(t *testing.T) {
+	ok := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	})
+
+	t.Run("error", func(t *testing.T) {
+		p := New(1, Rule{Op: "GET /fail", Prob: 1, Err: errors.New("injected")})
+		ts := httptest.NewServer(Middleware(p, ok))
+		defer ts.Close()
+		resp, err := http.Get(ts.URL + "/fail")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("status = %d, want 503", resp.StatusCode)
+		}
+		resp, err = http.Get(ts.URL + "/other")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("unmatched path status = %d, want 200", resp.StatusCode)
+		}
+	})
+
+	t.Run("drop", func(t *testing.T) {
+		p := New(1, Rule{Op: "GET /drop", Prob: 1, DropConn: true})
+		ts := httptest.NewServer(Middleware(p, ok))
+		defer ts.Close()
+		if _, err := http.Get(ts.URL + "/drop"); err == nil {
+			t.Fatal("dropped connection produced a response")
+		}
+	})
+}

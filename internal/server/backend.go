@@ -1,0 +1,172 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// SessionBackend is the pluggable durability layer behind the session
+// store. The server writes one opaque snapshot record per session id —
+// write-through on every mutation — and reads it back to rehydrate a
+// session that is not in memory (evicted, or created by a previous
+// process). Implementations must be safe for concurrent use; the server
+// additionally serializes writes per session, so an implementation never
+// sees two concurrent Saves of the same id.
+//
+// The default implementation is DirBackend (one fsynced JSON file per
+// session). Replicated deployments can substitute a shared object store
+// so any replica resumes any session id (ROADMAP item 2).
+type SessionBackend interface {
+	// Save durably stores the snapshot record for id, replacing any
+	// previous one.
+	Save(id string, data []byte) error
+	// Load returns the stored record, or ErrNoSnapshot when id has none.
+	Load(id string) ([]byte, error)
+	// Delete removes id's record; deleting an absent id returns
+	// ErrNoSnapshot.
+	Delete(id string) error
+	// List enumerates the ids with stored records, in no particular
+	// order.
+	List() ([]string, error)
+}
+
+// ErrNoSnapshot reports that a backend holds no record for the session id.
+var ErrNoSnapshot = errors.New("server: no snapshot for session")
+
+// validSnapshotID gates ids before they reach a backend: session ids are
+// server-minted hex, but Load is driven by the URL path, so anything else
+// (traversal attempts included) is rejected as simply-not-found.
+func validSnapshotID(id string) bool {
+	if id == "" || len(id) > 128 {
+		return false
+	}
+	for _, r := range id {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// DirBackend persists one snapshot file per session under a directory:
+// <dir>/<id>.json, written atomically (temp file + fsync + rename) so a
+// crash mid-write never corrupts the previous snapshot. It is the default
+// SessionBackend behind smartdrilld's -snapshot-dir flag.
+type DirBackend struct {
+	dir string
+
+	// Inject, when non-nil, is consulted before each disk operation with
+	// the operation name ("save", "load", "delete", "list"); a non-nil
+	// return is surfaced as that operation's failure. It is the
+	// fault-injection seam the chaos suite drives (internal/faultinject);
+	// production leaves it nil.
+	Inject func(op string) error
+}
+
+// NewDirBackend opens (creating if needed) a snapshot directory.
+func NewDirBackend(dir string) (*DirBackend, error) {
+	if dir == "" {
+		return nil, errors.New("server: snapshot directory must not be empty")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: creating snapshot directory: %w", err)
+	}
+	return &DirBackend{dir: dir}, nil
+}
+
+// Dir reports the backing directory.
+func (b *DirBackend) Dir() string { return b.dir }
+
+func (b *DirBackend) inject(op string) error {
+	if b.Inject == nil {
+		return nil
+	}
+	return b.Inject(op)
+}
+
+func (b *DirBackend) path(id string) string {
+	return filepath.Join(b.dir, id+".json")
+}
+
+// Save writes the record atomically: a temp file in the same directory is
+// fully written and fsynced, then renamed over the target, so readers (and
+// post-crash recovery) see either the old snapshot or the new one — never
+// a torn write.
+func (b *DirBackend) Save(id string, data []byte) error {
+	if !validSnapshotID(id) {
+		return fmt.Errorf("server: invalid snapshot id %q", id)
+	}
+	if err := b.inject("save"); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(b.dir, ".tmp-"+id+"-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), b.path(id))
+}
+
+func (b *DirBackend) Load(id string) ([]byte, error) {
+	if !validSnapshotID(id) {
+		return nil, ErrNoSnapshot
+	}
+	if err := b.inject("load"); err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(b.path(id))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, ErrNoSnapshot
+	}
+	return data, err
+}
+
+func (b *DirBackend) Delete(id string) error {
+	if !validSnapshotID(id) {
+		return ErrNoSnapshot
+	}
+	if err := b.inject("delete"); err != nil {
+		return err
+	}
+	err := os.Remove(b.path(id))
+	if errors.Is(err, os.ErrNotExist) {
+		return ErrNoSnapshot
+	}
+	return err
+}
+
+func (b *DirBackend) List() ([]string, error) {
+	if err := b.inject("list"); err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(b.dir)
+	if err != nil {
+		return nil, err
+	}
+	var ids []string
+	for _, e := range entries {
+		name := e.Name()
+		id, ok := strings.CutSuffix(name, ".json")
+		if !ok || e.IsDir() || !validSnapshotID(id) {
+			continue // temp files, strangers
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"time"
 
 	"smartdrill"
 	"smartdrill/api"
@@ -67,11 +68,12 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	sess := &session{
 		id:      newSessionID(),
 		dataset: req.Dataset,
+		created: time.Now().UTC(),
+		req:     req,
 		eng:     eng,
 	}
-	if evicted := s.store.put(sess); evicted != "" {
-		s.cfg.Logger.Printf("session %s evicted (per-shard LRU, session cap %d)", evicted, s.cfg.MaxSessions)
-	}
+	s.putSession(sess)
+	s.persistSession(sess)
 	sess.mu.Lock()
 	tree := encodeTree(sess)
 	sess.mu.Unlock()
@@ -129,10 +131,16 @@ func (s *Server) buildEngine(d dataset, req api.CreateSessionRequest) (*smartdri
 	return smartdrill.New(d.table, opts...)
 }
 
-// lookupSession resolves the {id} path segment, writing a 404 on miss.
+// lookupSession resolves the {id} path segment. A store miss is a cache
+// miss, not an error, when a backend is configured: the session may have
+// been evicted to disk or belong to a previous process incarnation, so the
+// backend is consulted (rehydration) before writing the 404.
 func (s *Server) lookupSession(w http.ResponseWriter, r *http.Request) (*session, bool) {
 	id := r.PathValue("id")
 	sess, ok := s.store.get(id)
+	if !ok {
+		sess, ok = s.rehydrate(id)
+	}
 	if !ok {
 		writeError(w, api.ErrNotFound, fmt.Sprintf("unknown session %q (expired, evicted, or never created)", id))
 		return nil, false
@@ -223,10 +231,16 @@ func (s *Server) handleDrill(w http.ResponseWriter, r *http.Request) {
 		Node:   encodeNode(sess.eng, n, path),
 	}
 	var provisional []*smartdrill.Node
-	if s.cfg.BackgroundRefine {
+	// Under degraded admission pressure the refinement is skipped, not
+	// queued: provisional estimates are the graceful-degradation answer,
+	// and the refiner's extra counting passes are exactly the load the
+	// ladder is trying to shed. The nodes stay provisional and refine on
+	// demand (or on a later non-degraded drill).
+	if s.cfg.BackgroundRefine && !smartdrill.IsDegraded(r.Context()) {
 		provisional = sess.eng.ProvisionalNodesIn(n)
 	}
 	sess.mu.Unlock()
+	s.persistSession(sess)
 	if len(provisional) > 0 {
 		// Respond with the provisional estimates immediately; exact counts
 		// arrive in the background and show up on the next /tree fetch.
@@ -255,6 +269,7 @@ func (s *Server) handleCollapse(w http.ResponseWriter, r *http.Request) {
 	sess.eng.Collapse(n)
 	resp := api.DrillResponse{Node: encodeNode(sess.eng, n, path)}
 	sess.mu.Unlock()
+	s.persistSession(sess)
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -281,6 +296,9 @@ func (s *Server) handleRefine(w http.ResponseWriter, r *http.Request) {
 	changed := sess.eng.RefineNode(n)
 	resp := api.RefineResponse{Changed: changed, Node: encodeNode(sess.eng, n, path)}
 	sess.mu.Unlock()
+	if changed {
+		s.persistSession(sess)
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -322,7 +340,20 @@ func (s *Server) handleTraditional(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if !s.store.remove(id) {
+	// Delete is delete everywhere: a session evicted to disk (absent from
+	// the store) must still be deletable, and a deleted session must not
+	// resurrect through rehydration. Success if either layer had it.
+	inStore := s.store.remove(id)
+	onDisk := false
+	if s.backend != nil && validSnapshotID(id) {
+		switch err := s.backend.Delete(id); {
+		case err == nil:
+			onDisk = true
+		case !errors.Is(err, ErrNoSnapshot):
+			s.cfg.Logger.Printf("session %s: deleting snapshot failed: %v", id, err)
+		}
+	}
+	if !inStore && !onDisk {
 		writeError(w, api.ErrNotFound, fmt.Sprintf("unknown session %q", id))
 		return
 	}

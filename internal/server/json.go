@@ -2,7 +2,10 @@ package server
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
+	"strconv"
+	"time"
 
 	"smartdrill"
 	"smartdrill/api"
@@ -91,4 +94,17 @@ func writeError(w http.ResponseWriter, code api.ErrorCode, msg string) {
 	writeJSON(w, api.HTTPStatus(code), api.ErrorEnvelope{
 		Error: &api.Error{Code: code, Message: msg},
 	})
+}
+
+// writeOverloaded writes the shed-load response: 429 overloaded with a
+// Retry-After hint in whole seconds (rounded up, at least 1 — a zero
+// Retry-After would invite an immediate identical retry).
+func writeOverloaded(w http.ResponseWriter, retryAfter time.Duration) {
+	secs := int((retryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeError(w, api.ErrOverloaded,
+		fmt.Sprintf("server at concurrency capacity; retry after %ds", secs))
 }

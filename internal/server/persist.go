@@ -1,0 +1,209 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"time"
+
+	"smartdrill/api"
+)
+
+// Durable sessions: every session mutation writes through to the
+// configured SessionBackend as one self-contained record — the create
+// request (the engine-rebuild recipe) plus the engine's tree snapshot,
+// which persists stable node IDs. LRU eviction therefore demotes a
+// session from memory to disk instead of destroying it, a store miss
+// consults the backend before 404ing (rehydration), and a restarted
+// process resumes every persisted session id against the same snapshot
+// directory. Persistence failures degrade durability, never availability:
+// they are logged and counted, and the request that triggered the write
+// still succeeds.
+
+// sessionRecord is the JSON snapshot record a backend stores per session.
+type sessionRecord struct {
+	// Version guards the record format; bump on incompatible change.
+	Version int       `json:"version"`
+	ID      string    `json:"id"`
+	Dataset string    `json:"dataset"`
+	Created time.Time `json:"created"`
+	// Request is the original create request — replayed through
+	// buildEngine on rehydration so the restored engine carries the same
+	// k, weighter, sampling, and aggregate configuration.
+	Request api.CreateSessionRequest `json:"request"`
+	// Tree is the engine's own snapshot (Engine.SaveState): rules,
+	// display statistics, confidence intervals, and stable node IDs.
+	Tree json.RawMessage `json:"tree"`
+}
+
+// persistSession writes sess through to the backend (write-through on
+// mutation). Callers must NOT hold sess.mu — the snapshot is taken under
+// it here. Concurrent persists of one session are ordered by a sequence
+// number so a slow older snapshot never overwrites a newer one.
+func (s *Server) persistSession(sess *session) {
+	if s.backend == nil {
+		return
+	}
+	var buf bytes.Buffer
+	sess.mu.Lock()
+	sess.seq++
+	seq := sess.seq
+	rec := sessionRecord{
+		Version: 1,
+		ID:      sess.id,
+		Dataset: sess.dataset,
+		Created: sess.created,
+		Request: sess.req,
+	}
+	err := sess.eng.SaveState(&buf)
+	sess.mu.Unlock()
+	if err != nil {
+		s.persistFailures.Add(1)
+		s.cfg.Logger.Printf("session %s: snapshot failed: %v", sess.id, err)
+		return
+	}
+	rec.Tree = buf.Bytes()
+	data, err := json.Marshal(rec)
+	if err != nil {
+		s.persistFailures.Add(1)
+		s.cfg.Logger.Printf("session %s: encoding snapshot record failed: %v", sess.id, err)
+		return
+	}
+	sess.persistMu.Lock()
+	defer sess.persistMu.Unlock()
+	if seq <= sess.savedSeq {
+		return // a newer snapshot already landed on disk
+	}
+	if err := s.backend.Save(sess.id, data); err != nil {
+		// Durability degraded, availability intact: the mutation already
+		// happened in memory and the next successful write-through will
+		// carry it (savedSeq stays put, so that write is not skipped).
+		s.persistFailures.Add(1)
+		s.cfg.Logger.Printf("session %s: persisting snapshot failed: %v", sess.id, err)
+		return
+	}
+	sess.savedSeq = seq
+}
+
+// PersistFailures reports how many snapshot write-throughs have failed
+// since the server started — an operational signal that sessions are
+// being served from memory without a durable copy.
+func (s *Server) PersistFailures() uint64 { return s.persistFailures.Load() }
+
+// putSession inserts sess into the in-memory store. A session the insert
+// evicts is demoted to disk, not destroyed: write-through already keeps
+// its snapshot current, and a final best-effort persist here covers any
+// earlier failed write. Without a backend, eviction is what it always
+// was — the session is gone.
+func (s *Server) putSession(sess *session) {
+	evicted := s.store.put(sess)
+	if evicted == nil {
+		return
+	}
+	if s.backend != nil {
+		s.persistSession(evicted)
+		s.cfg.Logger.Printf("session %s evicted to disk (per-shard LRU, session cap %d)", evicted.id, s.cfg.MaxSessions)
+		return
+	}
+	s.cfg.Logger.Printf("session %s evicted (per-shard LRU, session cap %d)", evicted.id, s.cfg.MaxSessions)
+}
+
+// rehydrate restores a session from the backend after a store miss. The
+// single rehydration mutex keeps two concurrent misses on one id from
+// building two engines; the double-check under it resolves the race to
+// one winner. Returns false when the id has no snapshot (or the snapshot
+// is unusable — wrong dataset, corrupt record), in which case the caller
+// falls through to its usual not-found path.
+func (s *Server) rehydrate(id string) (*session, bool) {
+	if s.backend == nil || !validSnapshotID(id) {
+		return nil, false
+	}
+	s.rehydrateMu.Lock()
+	defer s.rehydrateMu.Unlock()
+	if sess, ok := s.store.get(id); ok {
+		return sess, true // another request rehydrated it first
+	}
+	data, err := s.backend.Load(id)
+	if err != nil {
+		if !errors.Is(err, ErrNoSnapshot) {
+			s.cfg.Logger.Printf("session %s: loading snapshot failed: %v", id, err)
+		}
+		return nil, false
+	}
+	var rec sessionRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		s.cfg.Logger.Printf("session %s: corrupt snapshot record: %v", id, err)
+		return nil, false
+	}
+	if rec.ID != "" && rec.ID != id {
+		s.cfg.Logger.Printf("session %s: snapshot record claims id %s; ignoring", id, rec.ID)
+		return nil, false
+	}
+	d, ok := s.dataset(rec.Dataset)
+	if !ok {
+		s.cfg.Logger.Printf("session %s: snapshot references unregistered dataset %q", id, rec.Dataset)
+		return nil, false
+	}
+	eng, err := s.buildEngine(d, rec.Request)
+	if err != nil {
+		s.cfg.Logger.Printf("session %s: rebuilding engine from snapshot failed: %v", id, err)
+		return nil, false
+	}
+	if len(rec.Tree) > 0 {
+		if err := eng.LoadState(bytes.NewReader(rec.Tree)); err != nil {
+			s.cfg.Logger.Printf("session %s: restoring tree from snapshot failed: %v", id, err)
+			return nil, false
+		}
+	}
+	sess := &session{
+		id:      id,
+		dataset: rec.Dataset,
+		created: rec.Created,
+		req:     rec.Request,
+		eng:     eng,
+	}
+	s.putSession(sess)
+	s.cfg.Logger.Printf("session %s rehydrated from snapshot (dataset %q)", id, rec.Dataset)
+	return sess, true
+}
+
+// RecoverSessions indexes the backend's persisted sessions at startup and
+// returns how many are resumable. Sessions are rehydrated lazily — the
+// first request for an id pays the engine rebuild — so recovery cost does
+// not scale with the number of dormant sessions; this call exists to
+// verify the backend is readable and to tell the operator what survived
+// the restart. Snapshots referencing datasets that are no longer
+// registered are counted separately and left on disk untouched.
+func (s *Server) RecoverSessions() (resumable int, err error) {
+	if s.backend == nil {
+		return 0, nil
+	}
+	ids, err := s.backend.List()
+	if err != nil {
+		return 0, err
+	}
+	orphaned := 0
+	for _, id := range ids {
+		data, err := s.backend.Load(id)
+		if err != nil {
+			orphaned++
+			continue
+		}
+		var rec sessionRecord
+		if err := json.Unmarshal(data, &rec); err != nil {
+			orphaned++
+			continue
+		}
+		if _, ok := s.dataset(rec.Dataset); !ok {
+			orphaned++
+			continue
+		}
+		resumable++
+	}
+	if orphaned > 0 {
+		s.cfg.Logger.Printf("session recovery: %d resumable, %d orphaned (unreadable or dataset not registered)", resumable, orphaned)
+	} else {
+		s.cfg.Logger.Printf("session recovery: %d resumable session(s)", resumable)
+	}
+	return resumable, nil
+}

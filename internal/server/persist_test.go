@@ -1,0 +1,251 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"smartdrill/api"
+)
+
+// newDurableServer builds a test server backed by a DirBackend on dir.
+func newDurableServer(t *testing.T, dir string, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	backend, err := NewDirBackend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Backend = backend
+	return newTestServer(t, cfg)
+}
+
+// fetchTree returns the raw tree JSON for byte-level comparison.
+func fetchTree(t *testing.T, base, id string) []byte {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/sessions/" + id + "/tree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("tree: status %d", resp.StatusCode)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestRestartResumesSession: a second server process (same snapshot dir)
+// serves a session created and drilled on the first, with a byte-identical
+// tree — stable node IDs included.
+func TestRestartResumesSession(t *testing.T) {
+	dir := t.TempDir()
+	_, ts1 := newDurableServer(t, dir, Config{})
+	tree := createSession(t, ts1.URL, api.CreateSessionRequest{Dataset: "store", K: 4, Seed: 1})
+	var dr api.DrillResponse
+	if code := doJSON(t, "POST", ts1.URL+"/v1/sessions/"+tree.ID+"/drill",
+		api.DrillRequest{Node: tree.Root.ID}, &dr); code != http.StatusOK {
+		t.Fatalf("drill: status %d", code)
+	}
+	before := fetchTree(t, ts1.URL, tree.ID)
+	ts1.CloseClientConnections() // crash, not graceful shutdown
+	ts1.Close()
+
+	s2, ts2 := newDurableServer(t, dir, Config{})
+	n, err := s2.RecoverSessions()
+	if err != nil {
+		t.Fatalf("RecoverSessions: %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("RecoverSessions = %d, want 1", n)
+	}
+	after := fetchTree(t, ts2.URL, tree.ID)
+	if string(before) != string(after) {
+		t.Fatalf("tree changed across restart:\nbefore: %s\nafter:  %s", before, after)
+	}
+
+	// The resumed session is live, not a read-only fossil: drilling a
+	// restored child by its persisted stable ID works.
+	child := dr.Node.Children[0]
+	var dr2 api.DrillResponse
+	if code := doJSON(t, "POST", ts2.URL+"/v1/sessions/"+tree.ID+"/drill",
+		api.DrillRequest{Node: child.ID}, &dr2); code != http.StatusOK {
+		t.Fatalf("drill after restart: status %d", code)
+	}
+	if dr2.Node.ID != child.ID {
+		t.Fatalf("drilled node id %q, want %q", dr2.Node.ID, child.ID)
+	}
+}
+
+// TestEvictionRehydrates: with a backend configured, LRU eviction demotes
+// a session to disk and the next request transparently rehydrates it —
+// the pre-backend behavior (404 on evicted, TestSessionEviction) becomes a
+// cache miss.
+func TestEvictionRehydrates(t *testing.T) {
+	_, ts := newDurableServer(t, t.TempDir(), Config{MaxSessions: 1, StoreShards: 1})
+	first := createSession(t, ts.URL, api.CreateSessionRequest{Dataset: "store", K: 3, Seed: 1})
+	before := fetchTree(t, ts.URL, first.ID)
+	createSession(t, ts.URL, api.CreateSessionRequest{Dataset: "store", K: 3, Seed: 2}) // evicts first
+
+	after := fetchTree(t, ts.URL, first.ID) // store miss → rehydrate
+	if string(before) != string(after) {
+		t.Fatalf("rehydrated tree differs:\nbefore: %s\nafter:  %s", before, after)
+	}
+}
+
+// TestProvisionalRoundTrip is the satellite check: a sampled session whose
+// children carry confidence intervals (HasCI) survives evict-to-disk →
+// rehydrate with the CIs intact, and RefineNode still upgrades a restored
+// provisional node to exact.
+func TestProvisionalRoundTrip(t *testing.T) {
+	_, ts := newDurableServer(t, t.TempDir(), Config{MaxSessions: 1, StoreShards: 1})
+	tree := createSession(t, ts.URL, api.CreateSessionRequest{
+		Dataset: "store", Seed: 7, SampleMemory: 3000, MinSampleSize: 500,
+	})
+	var dr api.DrillResponse
+	if code := doJSON(t, "POST", ts.URL+"/v1/sessions/"+tree.ID+"/drill",
+		api.DrillRequest{Node: tree.Root.ID}, &dr); code != http.StatusOK {
+		t.Fatalf("drill: status %d", code)
+	}
+	var provisional *api.Node
+	for _, c := range dr.Node.Children {
+		if !c.Exact && c.CI != nil {
+			provisional = c
+			break
+		}
+	}
+	if provisional == nil {
+		t.Fatalf("sampled drill produced no provisional child: %+v", dr.Node.Children)
+	}
+
+	createSession(t, ts.URL, api.CreateSessionRequest{Dataset: "store", K: 3, Seed: 2}) // evict to disk
+
+	var restored api.Tree
+	if code := doJSON(t, "GET", ts.URL+"/v1/sessions/"+tree.ID+"/tree", nil, &restored); code != http.StatusOK {
+		t.Fatalf("tree after eviction: status %d", code)
+	}
+	var again *api.Node
+	for _, c := range restored.Root.Children {
+		if c.ID == provisional.ID {
+			again = c
+		}
+	}
+	if again == nil {
+		t.Fatalf("provisional node %s lost in round-trip", provisional.ID)
+	}
+	if again.Exact || again.CI == nil || *again.CI != *provisional.CI || again.Count != provisional.Count {
+		t.Fatalf("provisional state mangled: before %+v CI %v, after %+v CI %v",
+			provisional, provisional.CI, again, again.CI)
+	}
+
+	// The restored provisional node still refines to exact.
+	var ref api.RefineResponse
+	if code := doJSON(t, "POST", ts.URL+"/v1/sessions/"+tree.ID+"/refine",
+		api.RefineRequest{Node: provisional.ID}, &ref); code != http.StatusOK {
+		t.Fatalf("refine after rehydrate: status %d", code)
+	}
+	if !ref.Changed || !ref.Node.Exact || ref.Node.CI != nil {
+		t.Fatalf("refine on restored node: %+v", ref)
+	}
+}
+
+// TestDeleteRemovesSnapshot: delete reaches the backend too, so a deleted
+// session cannot resurrect through rehydration — even after eviction.
+func TestDeleteRemovesSnapshot(t *testing.T) {
+	backend, err := NewDirBackend(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{Backend: backend, MaxSessions: 1, StoreShards: 1})
+	first := createSession(t, ts.URL, api.CreateSessionRequest{Dataset: "store", Seed: 1})
+	createSession(t, ts.URL, api.CreateSessionRequest{Dataset: "store", Seed: 2}) // evict first to disk
+
+	if code := doJSON(t, "DELETE", ts.URL+"/v1/sessions/"+first.ID, nil, nil); code != http.StatusOK {
+		t.Fatalf("delete evicted session: status %d", code)
+	}
+	if code := doJSON(t, "GET", ts.URL+"/v1/sessions/"+first.ID+"/tree", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("deleted session resurrected: status %d", code)
+	}
+	if _, err := backend.Load(first.ID); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("snapshot survived delete: %v", err)
+	}
+}
+
+// TestPersistFailureDegradesDurabilityNotAvailability: a failing backend
+// never fails requests — the mutation succeeds in memory, the failure is
+// counted, and the next successful write-through carries the state.
+func TestPersistFailureDegradesDurabilityNotAvailability(t *testing.T) {
+	backend, err := NewDirBackend(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	failing := true
+	backend.Inject = func(op string) error {
+		if op == "save" && failing {
+			return errors.New("injected disk failure")
+		}
+		return nil
+	}
+	s := New(Config{Backend: backend, Logger: log.New(io.Discard, "", 0)})
+	s.RegisterDataset("store", storeTable())
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	tree := createSession(t, ts.URL, api.CreateSessionRequest{Dataset: "store", Seed: 1})
+	if code := doJSON(t, "POST", ts.URL+"/v1/sessions/"+tree.ID+"/drill",
+		api.DrillRequest{Node: tree.Root.ID}, nil); code != http.StatusOK {
+		t.Fatalf("drill with failing backend: status %d", code)
+	}
+	if s.PersistFailures() == 0 {
+		t.Fatal("failed saves were not counted")
+	}
+	if _, err := backend.Load(tree.ID); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("expected no snapshot while backend failing, got %v", err)
+	}
+
+	// Disk heals: the next mutation writes through the full current state.
+	failing = false
+	if code := doJSON(t, "POST", ts.URL+"/v1/sessions/"+tree.ID+"/collapse",
+		api.DrillRequest{}, nil); code != http.StatusOK {
+		t.Fatalf("collapse: status %d", code)
+	}
+	data, err := backend.Load(tree.ID)
+	if err != nil {
+		t.Fatalf("snapshot missing after heal: %v", err)
+	}
+	var rec sessionRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatalf("corrupt healed snapshot: %v", err)
+	}
+	if rec.ID != tree.ID || rec.Dataset != "store" {
+		t.Fatalf("healed snapshot record: %+v", rec)
+	}
+}
+
+// TestSnapshotIDValidation: ids arrive from URL paths, so traversal-shaped
+// ids must never reach the filesystem.
+func TestSnapshotIDValidation(t *testing.T) {
+	for _, id := range []string{"", "../etc/passwd", "a/b", "a.b", "x y", string(make([]byte, 129))} {
+		if validSnapshotID(id) {
+			t.Errorf("validSnapshotID(%q) = true", id)
+		}
+	}
+	for _, id := range []string{"abc123", "A-b_9"} {
+		if !validSnapshotID(id) {
+			t.Errorf("validSnapshotID(%q) = false", id)
+		}
+	}
+	backend, err := NewDirBackend(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := backend.Load("../escape"); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("traversal id load: %v", err)
+	}
+}

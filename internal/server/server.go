@@ -42,9 +42,12 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"smartdrill"
@@ -71,9 +74,46 @@ type Config struct {
 	StreamBudget time.Duration
 	// MaxStreamBudget bounds client-requested budgets. Default 30s.
 	MaxStreamBudget time.Duration
-	// ShutdownGrace bounds how long Shutdown waits for in-flight requests.
-	// Default 10s.
+	// ShutdownGrace bounds how long Shutdown waits for in-flight requests
+	// — and, once they drain, for in-flight background refiners. Default
+	// 10s.
 	ShutdownGrace time.Duration
+	// Backend, when set, makes sessions durable: every mutation writes a
+	// snapshot through to it, LRU eviction demotes sessions to it instead
+	// of destroying them, store misses rehydrate from it, and a restarted
+	// server resumes every persisted session id. Nil (the default) keeps
+	// the historical in-memory-only behavior. See DirBackend.
+	Backend SessionBackend
+	// MaxConcurrent caps concurrently executing work requests (session
+	// create, drill, collapse, refine, traditional, stream) across all
+	// sessions. Requests beyond the cap queue up to AdmissionWait, run
+	// degraded when slots are scarce, and are shed with 429 overloaded +
+	// Retry-After when every slot stays busy. Default max(64,
+	// 4×GOMAXPROCS); negative disables admission control entirely.
+	MaxConcurrent int
+	// AdmissionWait bounds how long a work request may queue for an
+	// admission slot before being shed. Default 1s.
+	AdmissionWait time.Duration
+	// DegradeFraction is the in-use fraction of MaxConcurrent at or above
+	// which admitted requests run degraded (sampled sessions answer from
+	// the provisional pipeline; background refinement and prefetch are
+	// skipped). Default 0.75; values above 1 never degrade.
+	DegradeFraction float64
+	// RetryAfter is the Retry-After hint attached to shed (429)
+	// responses. Default 1s.
+	RetryAfter time.Duration
+	// RequestTimeout is the default per-request deadline applied to
+	// non-streaming work endpoints, threaded into the engine's context so
+	// an over-deadline search stops at the next counting-pass boundary.
+	// Default 30s; negative disables. Streaming endpoints are exempt —
+	// their anytime budget already bounds them.
+	RequestTimeout time.Duration
+	// ReadHeaderTimeout and IdleTimeout configure ListenAndServe's
+	// http.Server (slowloris protection and keep-alive reaping). Defaults
+	// 10s and 120s. There is deliberately no WriteTimeout: SSE streams
+	// hold response writers open for their whole budget.
+	ReadHeaderTimeout time.Duration
+	IdleTimeout       time.Duration
 	// BackgroundRefine re-counts provisional (sample-estimated) drill
 	// results exactly in a background goroutine after each /drill response,
 	// so a later /tree fetch shows authoritative counts without the analyst
@@ -104,6 +144,30 @@ func (c *Config) fill() {
 	if c.ShutdownGrace <= 0 {
 		c.ShutdownGrace = 10 * time.Second
 	}
+	if c.MaxConcurrent == 0 {
+		c.MaxConcurrent = 4 * runtime.GOMAXPROCS(0)
+		if c.MaxConcurrent < 64 {
+			c.MaxConcurrent = 64
+		}
+	}
+	if c.AdmissionWait <= 0 {
+		c.AdmissionWait = time.Second
+	}
+	if c.DegradeFraction <= 0 {
+		c.DegradeFraction = 0.75
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.ReadHeaderTimeout <= 0 {
+		c.ReadHeaderTimeout = 10 * time.Second
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 120 * time.Second
+	}
 	if c.Logger == nil {
 		c.Logger = log.New(os.Stderr, "smartdrilld ", log.LstdFlags|log.Lmicroseconds)
 	}
@@ -119,14 +183,24 @@ type dataset struct {
 // datasets, then serve Handler (or use ListenAndServe for a managed
 // listener with graceful shutdown).
 type Server struct {
-	cfg   Config
-	store *sessionStore
+	cfg     Config
+	store   *sessionStore
+	backend SessionBackend // durable session layer; nil = memory only
+	adm     *admission     // work-endpoint concurrency limiter; nil = unlimited
 
 	mu       sync.RWMutex
 	datasets map[string]dataset // guardedby: mu
 
+	// rehydrateMu serializes backend rehydrations so two concurrent store
+	// misses on one session id build one engine, not two.
+	rehydrateMu sync.Mutex
+	// persistFailures counts failed snapshot write-throughs (durability
+	// degraded, availability intact).
+	persistFailures atomic.Uint64
+
 	// refiners tracks in-flight background refinement goroutines so tests
-	// and embedders can await quiescence (WaitRefiners).
+	// and embedders can await quiescence (WaitRefiners) and graceful
+	// shutdown can drain them.
 	refiners sync.WaitGroup
 
 	handler http.Handler
@@ -138,7 +212,11 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:      cfg,
 		store:    newSessionStore(cfg.MaxSessions, cfg.StoreShards),
+		backend:  cfg.Backend,
 		datasets: make(map[string]dataset),
+	}
+	if cfg.MaxConcurrent > 0 {
+		s.adm = newAdmission(cfg.MaxConcurrent, cfg.AdmissionWait, cfg.DegradeFraction, cfg.RetryAfter)
 	}
 	s.handler = s.routes()
 	return s
@@ -195,13 +273,21 @@ func (s *Server) WaitRefiners() { s.refiners.Wait() }
 // refineNodes is the background refiner: it re-counts each provisional
 // node exactly (one accounted pass per node), taking the session lock per
 // node so live drill requests on the same session interleave with
-// refinement instead of queueing behind all the passes.
+// refinement instead of queueing behind all the passes. The refined
+// counts are persisted once at the end — losing a refinement to a crash
+// costs only re-deriving exact counts, never analyst state.
 func (s *Server) refineNodes(sess *session, nodes []*smartdrill.Node) {
 	defer s.refiners.Done()
+	changed := false
 	for _, n := range nodes {
 		sess.mu.Lock()
-		sess.eng.RefineNode(n)
+		if sess.eng.RefineNode(n) {
+			changed = true
+		}
 		sess.mu.Unlock()
+	}
+	if changed {
+		s.persistSession(sess)
 	}
 }
 
@@ -219,14 +305,18 @@ func (s *Server) routes() http.Handler {
 		mux.HandleFunc(method+" /v1"+path, h)
 		mux.HandleFunc(method+" "+path, h)
 	}
+	// Work endpoints run engine passes and go through admission control
+	// (concurrency cap → degraded mode → shed with 429) plus the default
+	// per-request deadline; cheap read/delete endpoints bypass both so
+	// probes and dashboards stay responsive while the server sheds work.
 	both("GET /datasets", s.handleDatasets)
-	both("POST /sessions", s.handleCreateSession)
+	both("POST /sessions", s.withAdmission(false, s.handleCreateSession))
 	both("GET /sessions/{id}/tree", s.handleTree)
-	both("POST /sessions/{id}/drill", s.handleDrill)
-	both("POST /sessions/{id}/collapse", s.handleCollapse)
-	both("POST /sessions/{id}/refine", s.handleRefine)
-	both("POST /sessions/{id}/traditional", s.handleTraditional)
-	both("GET /sessions/{id}/drill/stream", s.handleDrillStream)
+	both("POST /sessions/{id}/drill", s.withAdmission(false, s.handleDrill))
+	both("POST /sessions/{id}/collapse", s.withAdmission(false, s.handleCollapse))
+	both("POST /sessions/{id}/refine", s.withAdmission(false, s.handleRefine))
+	both("POST /sessions/{id}/traditional", s.withAdmission(false, s.handleTraditional))
+	both("GET /sessions/{id}/drill/stream", s.withAdmission(true, s.handleDrillStream))
 	both("DELETE /sessions/{id}", s.handleDeleteSession)
 	// Health: /v1/health is canonical; /healthz is the historical probe
 	// path, kept for liveness checks already deployed against it.
@@ -237,13 +327,20 @@ func (s *Server) routes() http.Handler {
 
 // ListenAndServe serves on addr until ctx is cancelled, then shuts down
 // gracefully: the listener closes immediately, in-flight requests (SSE
-// streams included) get ShutdownGrace to finish, and stragglers are cut.
+// streams included) get ShutdownGrace to finish, in-flight background
+// refiners get whatever grace remains after the requests drain, and
+// stragglers are cut.
 func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 	srv := &http.Server{
 		Addr:              addr,
 		Handler:           s.Handler(),
-		ReadHeaderTimeout: 10 * time.Second,
+		ReadHeaderTimeout: s.cfg.ReadHeaderTimeout,
+		IdleTimeout:       s.cfg.IdleTimeout,
+		// No WriteTimeout: SSE streams hold their response writers open
+		// for the whole anytime budget; work endpoints are bounded by the
+		// admission middleware's per-request deadline instead.
 	}
+	s.logLimits(addr)
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	select {
@@ -257,9 +354,44 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 			srv.Close()
 			return err
 		}
+		// Requests have drained; spend the remaining grace draining the
+		// background refiners so their exact counts (and write-through
+		// snapshots) land instead of being abandoned mid-count.
+		s.drainRefiners(shutCtx)
 		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
 			return err
 		}
 		return nil
 	}
+}
+
+// drainRefiners waits for in-flight background refiners until ctx
+// expires, logging whether they drained or were abandoned.
+func (s *Server) drainRefiners(ctx context.Context) {
+	done := make(chan struct{})
+	go func() {
+		s.refiners.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.cfg.Logger.Printf("shutdown grace expired with background refiners still in flight; abandoning them")
+	}
+}
+
+// logLimits records the effective serving limits once at startup, so an
+// operator can read a deployment's overload posture off the log head.
+func (s *Server) logLimits(addr string) {
+	maxConc := "unlimited"
+	if s.adm != nil {
+		maxConc = strconv.Itoa(cap(s.adm.slots))
+	}
+	durable := "none (sessions are memory-only; eviction and restart lose them)"
+	if s.backend != nil {
+		durable = "enabled (write-through snapshots; eviction demotes to backend)"
+	}
+	s.cfg.Logger.Printf("serving limits on %s: max-concurrent=%s admission-wait=%s degrade-fraction=%.2f request-timeout=%s read-header-timeout=%s idle-timeout=%s (no write timeout: SSE) max-sessions=%d durability=%s",
+		addr, maxConc, s.cfg.AdmissionWait, s.cfg.DegradeFraction, s.cfg.RequestTimeout,
+		s.cfg.ReadHeaderTimeout, s.cfg.IdleTimeout, s.cfg.MaxSessions, durable)
 }

@@ -117,6 +117,9 @@ func (s *Server) handleDrillStream(w http.ResponseWriter, r *http.Request) {
 	access := sess.eng.LastAccessMethod()
 	children := append([]*smartdrill.Node{}, n.Children...)
 	sess.mu.Unlock()
+	if rules > 0 {
+		s.persistSession(sess) // the streamed rules are a tree mutation
+	}
 
 	// Refinement phase: replace every provisional count the search just
 	// streamed with the exact one (one accounted pass per rule), pushing a
@@ -147,6 +150,9 @@ func (s *Server) handleDrillStream(w http.ResponseWriter, r *http.Request) {
 				refined++
 			}
 		}
+	}
+	if refined > 0 {
+		s.persistSession(sess) // exact counts replaced provisional ones
 	}
 	done := api.DoneEvent{
 		Rules:     rules,

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"smartdrill"
+	"smartdrill/api"
 )
 
 // session is one live drill-down exploration. All Engine operations must be
@@ -20,9 +21,22 @@ type session struct {
 	id      string
 	dataset string
 	created time.Time
+	// req is the create request that built (or rebuilt) the engine — the
+	// immutable recipe persisted in the session's snapshot record so a
+	// rehydrating server reconstructs an identically-configured engine.
+	req api.CreateSessionRequest
 
 	mu  sync.Mutex
 	eng *smartdrill.Engine // guardedby: mu
+	// seq numbers this object's snapshots: bumped by each write-through,
+	// so persistSession can refuse to overwrite a newer snapshot with a
+	// slower older one.
+	seq uint64 // guardedby: mu
+
+	// persistMu serializes backend writes for this session; savedSeq is
+	// the seq of the record known to be on disk.
+	persistMu sync.Mutex
+	savedSeq  uint64 // guardedby: persistMu
 }
 
 // sessionStore is a sharded, LRU-evicting registry of sessions. IDs hash to
@@ -80,8 +94,9 @@ func (st *sessionStore) shard(id string) *storeShard {
 }
 
 // put inserts a session, evicting the shard's least recently used entry
-// when the shard is at capacity. It returns the evicted session ID, if any.
-func (st *sessionStore) put(s *session) (evicted string) {
+// when the shard is at capacity. It returns the evicted session, if any,
+// so the owner can demote it to the durable backend (evict-to-disk).
+func (st *sessionStore) put(s *session) (evicted *session) {
 	sh := st.shard(s.id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -94,7 +109,7 @@ func (st *sessionStore) put(s *session) (evicted string) {
 			old := back.Value.(*session)
 			sh.lru.Remove(back)
 			delete(sh.entries, old.id)
-			evicted = old.id
+			evicted = old
 		}
 	}
 	sh.entries[s.id] = sh.lru.PushFront(s)

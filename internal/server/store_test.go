@@ -9,16 +9,16 @@ import (
 func TestStoreLRUEviction(t *testing.T) {
 	st := newSessionStore(3, 1)
 	for i := 0; i < 3; i++ {
-		if evicted := st.put(&session{id: fmt.Sprintf("s%d", i)}); evicted != "" {
-			t.Fatalf("premature eviction of %s", evicted)
+		if evicted := st.put(&session{id: fmt.Sprintf("s%d", i)}); evicted != nil {
+			t.Fatalf("premature eviction of %s", evicted.id)
 		}
 	}
 	// Touch s0 so s1 becomes the LRU entry.
 	if _, ok := st.get("s0"); !ok {
 		t.Fatal("s0 missing")
 	}
-	if evicted := st.put(&session{id: "s3"}); evicted != "s1" {
-		t.Fatalf("evicted %q, want s1", evicted)
+	if evicted := st.put(&session{id: "s3"}); evicted == nil || evicted.id != "s1" {
+		t.Fatalf("evicted %v, want s1", evicted)
 	}
 	if _, ok := st.get("s1"); ok {
 		t.Fatal("s1 should be evicted")

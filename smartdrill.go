@@ -285,6 +285,20 @@ func (e *Engine) DrillDownStreamCtx(ctx context.Context, n *Node, maxRules int, 
 	return e.s.ExpandStreamCtx(ctx, n, maxRules, budget, onRule)
 }
 
+// WithDegraded marks ctx for degraded-mode expansion — the serving
+// layer's graceful-degradation ladder. A degraded drill on a sampled
+// session is forced through the sampled/provisional pipeline regardless
+// of the session's SampleThreshold (a cheap, confidence-bounded answer
+// instead of full table passes), and post-expansion sample prefetch is
+// skipped. Sessions without sampling run unchanged apart from the
+// prefetch skip. Serving layers set this when under admission pressure.
+func WithDegraded(ctx context.Context) context.Context {
+	return drill.WithDegraded(ctx)
+}
+
+// IsDegraded reports whether ctx carries the WithDegraded mark.
+func IsDegraded(ctx context.Context) bool { return drill.DegradedFrom(ctx) }
+
 // RefineNode replaces a provisional (sample-estimated) node count with the
 // exact aggregate, learned with one accounted pass over the table — the
 // provisional→exact half of the approximate pipeline. It reports whether
