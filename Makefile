@@ -32,7 +32,7 @@ lint: sdlint
 	fi
 
 race:
-	$(GO) test -race ./client/ ./internal/server/ ./internal/drill/ ./internal/table/ ./internal/brs/
+	$(GO) test -race ./client/ ./internal/server/ ./internal/drill/ ./internal/table/ ./internal/brs/ ./internal/search/
 
 # chaos runs the fault-injection end-to-end suite (crash/restart resume,
 # 429-storm convergence, dropped connections, flaky-disk snapshots) under
@@ -50,14 +50,15 @@ chaos:
 	done
 
 # bench re-records the search perf trajectory (exact BRS, the sampled
-# million-row drill pipeline, and the cores={1,2,4,max} parallel-scaling
-# axis: ns/op, allocs/op, search counters) into BENCH_5.json; commit the
-# refreshed file alongside perf work. Promote it to the regression
-# baseline once the numbers are intentional:
-# cp BENCH_5.json BENCH_baseline.json
+# million-row drill pipeline, the cores={1,2,4,max} parallel-scaling
+# axis, and the CachedDrill/{cold,warm,concurrent-identical} answer-cache
+# axis: ns/op, allocs/op, search counters, cache hit ratio) into
+# BENCH_6.json; commit the refreshed file alongside perf work. Promote it
+# to the regression baseline once the numbers are intentional:
+# cp BENCH_6.json BENCH_baseline.json
 # benchjson refuses to shrink an existing emission (-force overrides).
 bench:
-	$(GO) run ./cmd/benchjson -out BENCH_5.json
+	$(GO) run ./cmd/benchjson -out BENCH_6.json
 
 # bench-check is the CI guard: fails when allocs/op regresses >20%
 # against the checked-in baseline anywhere (allocation counts are
@@ -65,7 +66,7 @@ bench:
 # regresses >20% (one worker is free of scheduler noise; parallel wall
 # times are recorded but not gated).
 bench-check:
-	$(GO) run ./cmd/benchjson -out BENCH_5.json -baseline BENCH_baseline.json -check
+	$(GO) run ./cmd/benchjson -out BENCH_6.json -baseline BENCH_baseline.json -check
 
 # race-equivalence runs the kernel-equivalence and parallel-determinism
 # property layer under the race detector: ablation subsets × worker

@@ -73,18 +73,37 @@ type DatasetList struct {
 	Datasets []Dataset `json:"datasets"`
 }
 
-// DatasetHealth is one dataset's row count in the health report.
+// CacheHealth reports one dataset's answer-cache activity: completed
+// expansions currently cached, expansions served from the cache (hits)
+// versus executed (misses), requests collapsed onto a concurrent
+// identical execution by singleflight, and expansions precomputed by
+// background warming.
+type CacheHealth struct {
+	Entries           int   `json:"entries"`
+	Hits              int64 `json:"hits"`
+	Misses            int64 `json:"misses"`
+	SingleflightWaits int64 `json:"singleflight_waits"`
+	Warmed            int64 `json:"warmed"`
+}
+
+// DatasetHealth is one dataset's row count and cache activity in the
+// health report.
 type DatasetHealth struct {
-	Name string `json:"name"`
-	Rows int    `json:"rows"`
+	Name  string       `json:"name"`
+	Rows  int          `json:"rows"`
+	Cache *CacheHealth `json:"cache,omitempty"`
 }
 
 // Health is the body of GET /v1/health (and the legacy /healthz alias).
 type Health struct {
-	Status   string          `json:"status"`
-	Version  string          `json:"version"`
-	Sessions int             `json:"sessions"`
-	Datasets []DatasetHealth `json:"datasets"`
+	Status   string `json:"status"`
+	Version  string `json:"version"`
+	Sessions int    `json:"sessions"`
+	// PersistFailures counts failed session-snapshot write-throughs since
+	// startup (durability degraded, availability intact); always 0 when no
+	// snapshot backend is configured.
+	PersistFailures uint64          `json:"persist_failures"`
+	Datasets        []DatasetHealth `json:"datasets"`
 }
 
 // CreateSessionRequest is the body of POST /v1/sessions.
@@ -141,6 +160,14 @@ type SearchStats struct {
 	IndexLevels        int   `json:"index_levels"`
 	CandidateCapHit    bool  `json:"candidate_cap_hit"`
 	SampledRowsScanned int64 `json:"sampled_rows_scanned"`
+	// CacheHits, CacheMisses and SingleflightWaits report the dataset
+	// answer cache's part in this request: a cache-hit drill shows
+	// cache_hits 1 with zero passes and zero rows scanned; cache_misses
+	// counts actual BRS executions; singleflight_waits marks a request
+	// served by adopting a concurrent identical run.
+	CacheHits         int `json:"cache_hits"`
+	CacheMisses       int `json:"cache_misses"`
+	SingleflightWaits int `json:"singleflight_waits"`
 }
 
 // DrillResponse returns the expanded (or collapsed) subtree plus the

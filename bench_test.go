@@ -11,6 +11,7 @@ package smartdrill
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"smartdrill/internal/benchcfg"
@@ -255,6 +256,63 @@ func BenchmarkTableScaling(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkCachedDrill measures the dataset answer cache on the full-table
+// Census expansion: cold executes the search every iteration (fresh
+// service), warm replays a shared service's cached answer into fresh
+// sessions, and concurrent-identical stampedes ten sessions into the same
+// expansion at once so singleflight collapses them onto one execution.
+func BenchmarkCachedDrill(b *testing.B) {
+	tab := benchCensus()
+	tab.Index().Warm()
+	newEngine := func(b *testing.B, svc *SearchService) *Engine {
+		b.Helper()
+		e, err := New(tab, WithK(4), WithMaxWeight(4), WithSearchService(svc))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return e
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e := newEngine(b, NewSearchService(SearchServiceConfig{}))
+			if err := e.DrillDown(e.Root()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		svc := NewSearchService(SearchServiceConfig{})
+		prime := newEngine(b, svc)
+		if err := prime.DrillDown(prime.Root()); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e := newEngine(b, svc)
+			if err := e.DrillDown(e.Root()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("concurrent-identical", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			svc := NewSearchService(SearchServiceConfig{})
+			var wg sync.WaitGroup
+			for g := 0; g < 10; g++ {
+				e := newEngine(b, svc)
+				wg.Add(1)
+				go func(e *Engine) {
+					defer wg.Done()
+					if err := e.DrillDown(e.Root()); err != nil {
+						b.Error(err)
+					}
+				}(e)
+			}
+			wg.Wait()
+		}
+	})
 }
 
 // BenchmarkAblationPruning quantifies the value of Algorithm 2's sub-rule

@@ -10,11 +10,15 @@
 // — captures each run's brs.Stats counters, and writes everything as JSON
 // so successive PRs leave a machine-readable perf trail.
 //
-//	go run ./cmd/benchjson -out BENCH_5.json
+//	go run ./cmd/benchjson -out BENCH_6.json
 //
 // plus the parallel-scaling axis: BRS/Census/cores={1,2,4,max}
 // (benchcfg.CoresAxis), recording how the chunked counting passes scale
-// with worker count on the measuring machine.
+// with worker count on the measuring machine, and the answer-cache axis:
+// CachedDrill/{cold,warm,concurrent-identical} (BenchmarkCachedDrill's
+// configurations), each entry carrying the fraction of requests served
+// without a BRS execution as cache_hit_ratio. The file header records
+// GOMAXPROCS and NumCPU so parallel wall times are compared like for like.
 //
 // With -baseline pointing at a checked-in earlier emission and -check set,
 // the tool exits nonzero when any benchmark's allocs/op — or a cores=1
@@ -37,12 +41,14 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"smartdrill/internal/benchcfg"
 	"smartdrill/internal/brs"
 	"smartdrill/internal/drill"
+	"smartdrill/internal/search"
 	"smartdrill/internal/weight"
 )
 
@@ -54,16 +60,25 @@ type benchResult struct {
 	Iterations  int       `json:"iterations"`
 	Rules       int       `json:"rules"`
 	Stats       brs.Stats `json:"brs_stats"`
+	// CacheHitRatio is the fraction of the CachedDrill entries' requests
+	// served without a BRS execution (cache hit or singleflight adoption);
+	// absent on entries that never touch the answer cache.
+	CacheHitRatio float64 `json:"cache_hit_ratio,omitempty"`
 }
 
 type benchFile struct {
-	GeneratedAt string        `json:"generated_at"`
-	GoVersion   string        `json:"go_version"`
-	Benchmarks  []benchResult `json:"benchmarks"`
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	// GoMaxProcs and NumCPU pin the measuring machine's parallelism: the
+	// cores=N and concurrent-identical wall times are only comparable
+	// between emissions that agree on them.
+	GoMaxProcs int           `json:"gomaxprocs"`
+	NumCPU     int           `json:"num_cpu"`
+	Benchmarks []benchResult `json:"benchmarks"`
 }
 
 func main() {
-	out := flag.String("out", "BENCH_5.json", "output JSON path")
+	out := flag.String("out", "BENCH_6.json", "output JSON path")
 	baseline := flag.String("baseline", "", "earlier benchjson emission to compare against")
 	check := flag.Bool("check", false, "exit nonzero when a gated metric regresses past -tolerance vs -baseline")
 	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional regression on gated metrics")
@@ -73,6 +88,8 @@ func main() {
 	file := benchFile{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
 	}
 	for _, c := range benchcfg.BRSCases() {
 		name := "BRS/" + c.Name
@@ -228,6 +245,104 @@ func main() {
 			Rules:       len(probe.Root().Children),
 		})
 		fmt.Fprintf(os.Stderr, "benchjson: %s/refine: %d ns/op\n", name, rr.NsPerOp())
+	}
+
+	// The answer-cache axis (BenchmarkCachedDrill's configurations): the
+	// full-table Census expansion cold (every iteration executes), warm
+	// (fresh sessions replay one shared service's cached answer), and under
+	// a 10-way identical stampede (singleflight collapses the herd onto one
+	// execution). cache_hit_ratio records the fraction of requests served
+	// without running BRS.
+	{
+		tab := benchcfg.Census()
+		tab.Index().Warm()
+		newSession := func(svc *search.Service) *drill.Session {
+			s, err := drill.NewSession(tab, drill.Config{
+				K: 4, MaxWeight: 4,
+				Weighter: weight.NewSize(tab.NumCols()),
+				Search:   svc,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: CachedDrill: %v\n", err)
+				os.Exit(1)
+			}
+			return s
+		}
+		expand := func(s *drill.Session) {
+			if err := s.Expand(s.Root()); err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: CachedDrill: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		record := func(name string, r testing.BenchmarkResult, probe *drill.Session, ratio float64) {
+			file.Benchmarks = append(file.Benchmarks, benchResult{
+				Name:          name,
+				NsPerOp:       r.NsPerOp(),
+				AllocsPerOp:   r.AllocsPerOp(),
+				BytesPerOp:    r.AllocedBytesPerOp(),
+				Iterations:    r.N,
+				Rules:         len(probe.Root().Children),
+				Stats:         probe.LastStats,
+				CacheHitRatio: ratio,
+			})
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %d ns/op, %d allocs/op, hit-ratio=%.2f\n",
+				name, r.NsPerOp(), r.AllocsPerOp(), ratio)
+		}
+
+		fmt.Fprintln(os.Stderr, "benchjson: running CachedDrill/cold...")
+		var coldProbe *drill.Session
+		cold := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s := newSession(search.NewService(search.Config{}))
+				expand(s)
+				coldProbe = s
+			}
+		})
+		record("CachedDrill/cold", cold, coldProbe, 0)
+
+		fmt.Fprintln(os.Stderr, "benchjson: running CachedDrill/warm...")
+		warmSvc := search.NewService(search.Config{})
+		prime := newSession(warmSvc)
+		expand(prime)
+		var warmProbe *drill.Session
+		warm := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s := newSession(warmSvc)
+				expand(s)
+				warmProbe = s
+			}
+		})
+		wc := warmSvc.Counters()
+		record("CachedDrill/warm", warm, warmProbe, float64(wc.Hits)/float64(wc.Hits+wc.Misses))
+
+		fmt.Fprintln(os.Stderr, "benchjson: running CachedDrill/concurrent-identical...")
+		var stampedeProbe *drill.Session
+		var served, total int64
+		stampede := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			served, total = 0, 0
+			for i := 0; i < b.N; i++ {
+				svc := search.NewService(search.Config{})
+				var wg sync.WaitGroup
+				sessions := make([]*drill.Session, 10)
+				for g := range sessions {
+					sessions[g] = newSession(svc)
+					wg.Add(1)
+					go func(s *drill.Session) {
+						defer wg.Done()
+						expand(s)
+					}(sessions[g])
+				}
+				wg.Wait()
+				stampedeProbe = sessions[0]
+				c := svc.Counters()
+				served += c.Hits + c.SingleflightWaits
+				total += int64(len(sessions))
+			}
+		})
+		record("CachedDrill/concurrent-identical", stampede, stampedeProbe, float64(served)/float64(total))
 	}
 
 	if !*force {

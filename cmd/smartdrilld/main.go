@@ -9,6 +9,7 @@
 //	smartdrilld [-addr :8080] [-dataset name=path.csv[:measure,...]]...
 //	            [-demo] [-max-sessions 1024] [-workers N] [-k 3]
 //	            [-stream-budget 5s] [-background-refine=true]
+//	            [-cache-entries 256] [-cache-off] [-warm-children 2]
 //	            [-snapshot-dir DIR] [-max-concurrent N] [-admission-wait 1s]
 //	            [-request-timeout 30s] [-read-header-timeout 10s]
 //	            [-idle-timeout 2m] [-version]
@@ -28,6 +29,15 @@
 // directory resumes every session id. Overload behavior (concurrency cap,
 // degraded mode, 429 shedding) is tuned by -max-concurrent and friends;
 // see docs/OPERATIONS.md.
+//
+// Every dataset carries a shared answer cache: completed expansions are
+// cached (bounded by -cache-entries, LRU beyond it) and repeated identical
+// drills — across sessions or within one — are served without re-running
+// the search, while concurrent identical searches collapse onto a single
+// execution. -warm-children N precomputes the root expansion plus the top
+// N level-1 children in the background right after each dataset registers,
+// so the first analyst's default drills are cache hits. -cache-off
+// disables all of it (the ablation switch).
 //
 // The server shuts down gracefully on SIGINT/SIGTERM.
 package main
@@ -98,6 +108,9 @@ func main() {
 		k            = flag.Int("k", 3, "default rules per expansion")
 		streamBudget = flag.Duration("stream-budget", 5*time.Second, "default anytime budget for /drill/stream")
 		bgRefine     = flag.Bool("background-refine", true, "re-count provisional sampled drill results exactly in the background")
+		cacheEntries = flag.Int("cache-entries", 0, "per-dataset answer-cache capacity in completed expansions (0 = default 256)")
+		cacheOff     = flag.Bool("cache-off", false, "disable the per-dataset answer cache and singleflight entirely")
+		warmChildren = flag.Int("warm-children", 2, "precompute the root expansion plus the top N level-1 children per dataset in the background (0 = no warming)")
 		showVersion  = flag.Bool("version", false, "print the build version and exit")
 
 		snapshotDir   = flag.String("snapshot-dir", "", "directory for durable session snapshots (empty = sessions are memory-only)")
@@ -131,6 +144,9 @@ func main() {
 		DefaultK:          *k,
 		StreamBudget:      *streamBudget,
 		BackgroundRefine:  *bgRefine,
+		CacheEntries:      *cacheEntries,
+		CacheOff:          *cacheOff,
+		WarmChildren:      *warmChildren,
 		Backend:           backend,
 		MaxConcurrent:     *maxConcurrent,
 		AdmissionWait:     *admissionWait,

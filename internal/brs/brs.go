@@ -147,6 +147,16 @@ type Stats struct {
 	// set). Sessions accumulate it so the approximate pipeline's in-memory
 	// reads stay visible next to real table I/O.
 	SampledRowsScanned int64 `json:"sampled_rows_scanned"`
+	// CacheHits, CacheMisses and SingleflightWaits are filed by the search
+	// service's answer cache, not by BRS itself: a cache-hit expansion has
+	// zero passes and zero rows scanned, and these counters are how that
+	// absence stays visible (CacheMisses counts actual BRS executions;
+	// SingleflightWaits counts requests served by adopting a concurrent
+	// identical run). They ride in Stats so one struct flows through
+	// sessions, the store, and the wire unchanged.
+	CacheHits         int `json:"cache_hits"`
+	CacheMisses       int `json:"cache_misses"`
+	SingleflightWaits int `json:"singleflight_waits"`
 }
 
 // Add accumulates o into s (CandidateCapHit ORs). Sessions use it to keep
@@ -162,6 +172,9 @@ func (s *Stats) Add(o Stats) {
 	s.IndexLevels += o.IndexLevels
 	s.CandidateCapHit = s.CandidateCapHit || o.CandidateCapHit
 	s.SampledRowsScanned += o.SampledRowsScanned
+	s.CacheHits += o.CacheHits
+	s.CacheMisses += o.CacheMisses
+	s.SingleflightWaits += o.SingleflightWaits
 }
 
 // Run executes BRS on the view v and returns up to opts.K rules ordered by

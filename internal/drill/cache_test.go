@@ -1,0 +1,269 @@
+package drill
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"smartdrill/internal/datagen"
+	"smartdrill/internal/rule"
+	"smartdrill/internal/search"
+	"smartdrill/internal/weight"
+)
+
+// TestRepeatedDrillServedFromCache is the headline acceptance check: a
+// second identical full-table drill — from another session on the same
+// dataset, or a re-expansion within one session — is answered from the
+// shared cache with zero passes and zero rows scanned.
+func TestRepeatedDrillServedFromCache(t *testing.T) {
+	tab := datagen.CensusProjected(20000, 5, 13)
+	svc := search.NewService(search.Config{})
+	newSess := func() *Session {
+		s, err := NewSession(tab, Config{K: 3, Search: svc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	s1 := newSess()
+	if err := s1.Expand(s1.Root()); err != nil {
+		t.Fatal(err)
+	}
+	if s1.LastMethod == "cache" || s1.LastStats.Passes == 0 {
+		t.Fatalf("first drill must execute: method=%q stats=%+v", s1.LastMethod, s1.LastStats)
+	}
+	if s1.LastStats.CacheMisses != 1 {
+		t.Fatalf("first drill stats = %+v; want CacheMisses=1", s1.LastStats)
+	}
+
+	// Another analyst's identical drill on the same dataset: a pure hit.
+	s2 := newSess()
+	if err := s2.Expand(s2.Root()); err != nil {
+		t.Fatal(err)
+	}
+	if s2.LastMethod != "cache" {
+		t.Fatalf("second session's drill method = %q, want cache", s2.LastMethod)
+	}
+	if st := s2.LastStats; st.Passes != 0 || st.RowsScanned != 0 || st.CacheHits != 1 {
+		t.Fatalf("cached drill stats = %+v; want Passes=0 RowsScanned=0 CacheHits=1", st)
+	}
+	// The cache counters also flow into the store's disk accounting.
+	if hits := s2.Store().Stats().SearchCacheHits; hits != 1 {
+		t.Fatalf("store cache-hit accounting = %d, want 1", hits)
+	}
+
+	// Both sessions display identical expansions.
+	if r1, r2 := s1.Render(), s2.Render(); r1 != r2 {
+		t.Fatalf("cached tree diverges:\nexecuted:\n%s\ncached:\n%s", r1, r2)
+	}
+
+	// Re-expansion within one session after a roll-up is a hit too.
+	s1.Collapse(s1.Root())
+	if err := s1.Expand(s1.Root()); err != nil {
+		t.Fatal(err)
+	}
+	if s1.LastMethod != "cache" || s1.LastStats.CacheHits != 1 {
+		t.Fatalf("re-expansion method=%q stats=%+v", s1.LastMethod, s1.LastStats)
+	}
+	if c := svc.Counters(); c.Misses != 1 || c.Hits != 2 {
+		t.Fatalf("counters = %+v; want 1 execution, 2 hits", c)
+	}
+}
+
+// TestConcurrentIdenticalDrillsExecuteOnce drives ten sessions into the
+// same expansion at once: singleflight must collapse them onto a single
+// BRS execution, with every other request either waiting on the flight or
+// hitting the cache the leader published.
+func TestConcurrentIdenticalDrillsExecuteOnce(t *testing.T) {
+	tab := datagen.CensusProjected(20000, 5, 13)
+	svc := search.NewService(search.Config{})
+
+	const goroutines = 10
+	sessions := make([]*Session, goroutines)
+	for i := range sessions {
+		s, err := NewSession(tab, Config{K: 3, Search: svc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions[i] = s
+	}
+
+	start := make(chan struct{})
+	errs := make([]error, goroutines)
+	var wg sync.WaitGroup
+	for i, s := range sessions {
+		wg.Add(1)
+		go func(i int, s *Session) {
+			defer wg.Done()
+			<-start
+			errs[i] = s.Expand(s.Root())
+		}(i, s)
+	}
+	close(start)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("session %d: %v", i, err)
+		}
+	}
+
+	c := svc.Counters()
+	if c.Misses != 1 {
+		t.Fatalf("%d BRS executions for %d identical drills; want exactly 1 (counters %+v)", c.Misses, goroutines, c)
+	}
+	if c.Hits+c.SingleflightWaits != goroutines-1 {
+		t.Fatalf("hits(%d)+waits(%d) != %d: every non-leader must be served without executing", c.Hits, c.SingleflightWaits, goroutines-1)
+	}
+	want := sessions[0].Render()
+	for i, s := range sessions[1:] {
+		if got := s.Render(); got != want {
+			t.Fatalf("session %d tree diverged:\n%s\nvs\n%s", i+1, got, want)
+		}
+	}
+}
+
+// TestNearIdenticalDrillsGetDistinctKeys: requests differing in any
+// identity field — k, weighter, seed — must never share an answer.
+func TestNearIdenticalDrillsGetDistinctKeys(t *testing.T) {
+	tab := datagen.StoreSales(42)
+	svc := search.NewService(search.Config{})
+
+	cols := tab.NumCols()
+	variants := []Config{
+		{K: 3, Search: svc},
+		{K: 4, Search: svc}, // different k
+		{K: 3, Search: svc, Weighter: weight.SizeMinusOne{}},                                   // different weighter
+		{K: 3, Search: svc, Weighter: weight.NewBits(distinct(tab.All().DistinctCount, cols))}, // and another
+		{K: 3, Search: svc, Seed: 7},                                                           // different seed (mw probe differs)
+	}
+	for i, cfg := range variants {
+		s, err := NewSession(tab, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Expand(s.Root()); err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+		if s.LastMethod == "cache" {
+			t.Fatalf("variant %d shared another variant's answer", i)
+		}
+	}
+	c := svc.Counters()
+	if c.Misses != int64(len(variants)) || c.Hits != 0 {
+		t.Fatalf("counters = %+v; want %d distinct executions, 0 hits", c, len(variants))
+	}
+}
+
+func distinct(count func(int) int, cols int) []int {
+	out := make([]int, cols)
+	for c := range out {
+		out[c] = count(c)
+	}
+	return out
+}
+
+// flatten lists a subtree's nodes depth-first with every displayed field,
+// for bit-identity comparison.
+func flatten(n *Node) []string {
+	out := []string{fmt.Sprintf("%v w=%v c=%v exact=%v ci=%v,%v,%v",
+		n.Rule, n.Weight, n.Count, n.Exact, n.HasCI, n.CILow, n.CIHigh)}
+	for _, c := range n.Children {
+		out = append(out, flatten(c)...)
+	}
+	return out
+}
+
+// TestCachedPathBitIdenticalToUncached is the correctness property behind
+// the whole cache: a session served from a warm shared cache must display
+// exactly what an identical session with the cache disabled computes —
+// across batch expansion, star drill-down, budget-free streaming, and
+// refine — for several tables and seeds.
+func TestCachedPathBitIdenticalToUncached(t *testing.T) {
+	drive := func(t *testing.T, s *Session) {
+		t.Helper()
+		// Batch expansion of the root …
+		if err := s.Expand(s.Root()); err != nil {
+			t.Fatal(err)
+		}
+		children := s.Root().Children
+		if len(children) == 0 {
+			t.Fatal("root expansion found no rules")
+		}
+		// … a nested batch expansion, a star drill-down, and a budget-free
+		// (cacheable) stream on the first children that allow them …
+		if err := s.Expand(children[0]); err != nil {
+			t.Fatal(err)
+		}
+		if len(children) > 1 {
+			if c := firstStarCol(children[1].Rule); c >= 0 {
+				if err := s.ExpandStar(children[1], c); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if len(children) > 2 {
+			if err := s.ExpandStream(children[2], 4, 0, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// … and a refine pass over whatever is provisional (a no-op for
+		// exact sessions, exercised for coverage).
+		for _, n := range s.ProvisionalNodes() {
+			s.RefineNode(n)
+		}
+	}
+
+	for _, seed := range []int64{1, 9, 23} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			tab := datagen.CensusProjected(8000, 5, seed)
+			cfg := Config{K: 3, Seed: seed}
+
+			// Reference: the cache fully disabled — the pre-service path.
+			ref, err := NewSession(tab, func() Config { c := cfg; c.DisableCache = true; return c }())
+			if err != nil {
+				t.Fatal(err)
+			}
+			drive(t, ref)
+
+			// Warm a shared service with one driven session, then drive a
+			// second identical session entirely from the cache.
+			svc := search.NewService(search.Config{})
+			warm, err := NewSession(tab, func() Config { c := cfg; c.Search = svc; return c }())
+			if err != nil {
+				t.Fatal(err)
+			}
+			drive(t, warm)
+			cached, err := NewSession(tab, func() Config { c := cfg; c.Search = svc; return c }())
+			if err != nil {
+				t.Fatal(err)
+			}
+			drive(t, cached)
+			if svc.Counters().Hits == 0 {
+				t.Fatal("second driven session never hit the cache")
+			}
+
+			refTree := flatten(ref.Root())
+			for name, s := range map[string]*Session{"warm": warm, "cached": cached} {
+				got := flatten(s.Root())
+				if len(got) != len(refTree) {
+					t.Fatalf("%s session: %d nodes vs reference %d", name, len(got), len(refTree))
+				}
+				for i := range got {
+					if got[i] != refTree[i] {
+						t.Fatalf("%s session node %d diverged:\ngot  %s\nwant %s", name, i, got[i], refTree[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+func firstStarCol(r rule.Rule) int {
+	for c, v := range r {
+		if v == rule.Star {
+			return c
+		}
+	}
+	return -1
+}

@@ -11,10 +11,12 @@ import (
 	"fmt"
 	"math"
 
+	"smartdrill/internal/baseline"
 	"smartdrill/internal/brs"
 	"smartdrill/internal/rule"
 	"smartdrill/internal/sampling"
 	"smartdrill/internal/score"
+	"smartdrill/internal/search"
 	"smartdrill/internal/storage"
 	"smartdrill/internal/table"
 	"smartdrill/internal/weight"
@@ -67,6 +69,18 @@ type Config struct {
 	// uniform distribution. drill sessions feed the model their own
 	// history automatically.
 	ProbModel sampling.ProbModel
+	// Search routes every BRS invocation of this session through a shared,
+	// dataset-scoped search service (answer cache, singleflight, warming
+	// counters). Sessions on one dataset that share a service share its
+	// cache: a repeated expansion — by this session or any other — is
+	// served as a clone of the completed result with zero counting passes.
+	// Nil gives the session a private service, so caching still works
+	// within the session.
+	Search *search.Service
+	// DisableCache bypasses the search service's answer cache and
+	// singleflight for this session — the ablation switch: every expansion
+	// executes, and results are bit-identical to the cached path.
+	DisableCache bool
 }
 
 // Node is one displayed rule. Count is the displayed aggregate (estimated
@@ -116,6 +130,7 @@ type Session struct {
 	tab     *table.Table
 	store   *storage.Store
 	handler *sampling.Handler
+	svc     *search.Service
 	cfg     Config
 	root    *Node // guardedby: mu (the owner's lock; see the type comment)
 
@@ -216,8 +231,15 @@ func NewSession(t *table.Table, cfg Config) (*Session, error) {
 	s := &Session{
 		tab:   t,
 		store: storage.NewStore(t),
+		svc:   cfg.Search,
 		cfg:   cfg,
 		byID:  make(map[uint64]*Node),
+	}
+	if s.svc == nil {
+		// No shared dataset service: give the session a private one, so
+		// every BRS invocation still flows through the single seam (and
+		// repeated expansions within the session are cached).
+		s.svc = search.NewService(search.Config{})
 	}
 	if !cfg.DisableSampling && cfg.SampleMemory > 0 && cfg.MinSampleSize > 0 && t.NumRows() > cfg.MinSampleSize {
 		h, err := sampling.NewHandler(s.store, cfg.SampleMemory, cfg.MinSampleSize, sampling.NewTestRNG(cfg.Seed))
@@ -253,6 +275,11 @@ func (s *Session) Agg() score.Aggregator { return s.cfg.Agg }
 
 // Store exposes the scan-accounting store (for experiment reporting).
 func (s *Session) Store() *storage.Store { return s.store }
+
+// Search exposes the session's search service — shared when the session
+// was configured with one, private otherwise — for cache-counter
+// inspection and warm precomputation.
+func (s *Session) Search() *search.Service { return s.svc }
 
 // Handler exposes the sample handler, or nil when expansions are direct.
 func (s *Session) Handler() *sampling.Handler { return s.handler }
@@ -298,6 +325,7 @@ func (s *Session) Collapse(n *Node) {
 	n.Children = nil
 }
 
+//sdlint:holds mu — reached only from Expand*/DrillDown paths the owner serializes
 func (s *Session) expand(ctx context.Context, n *Node, w weight.Weighter) error {
 	if n.Expanded() {
 		s.Collapse(n)
@@ -308,37 +336,37 @@ func (s *Session) expand(ctx context.Context, n *Node, w weight.Weighter) error 
 	s.observeDrill(n)
 
 	degraded := DegradedFrom(ctx)
-	view, scale, exact, err := s.coveredView(n.Rule, degraded)
-	if err != nil {
-		return err
+	var viewRows int
+	req := s.searchRequest(search.KindBatch, n.Rule, w, degraded)
+	req.Resolve = func() (*table.View, float64, bool, error) {
+		v, scale, exact, err := s.coveredView(n.Rule, degraded)
+		if v != nil {
+			viewRows = v.NumRows()
+		}
+		return v, scale, exact, err
 	}
-
-	mw := s.cfg.MaxWeight
-	if mw <= 0 {
-		mw = EstimateMaxWeight(view, w, s.cfg.K, s.cfg.Seed)
+	req.MaxWeightFor = func(v *table.View) float64 {
+		return EstimateMaxWeight(v, w, s.cfg.K, s.cfg.Seed)
 	}
-	results, stats, err := brs.RunCtx(ctx, view, w, brs.Options{
-		K:               s.cfg.K,
-		MaxWeight:       mw,
-		Base:            n.Rule,
-		BaseCovered:     true, // coveredView delivers exactly the rule's coverage
-		Agg:             s.cfg.Agg,
-		Workers:         s.cfg.Workers,
-		DisableParallel: s.cfg.DisableParallel,
-		DisableBitmap:   s.cfg.DisableBitmap,
-		SampleScale:     scale, // BRS emits table-level estimates directly
-	})
+	resp, err := s.svc.Run(ctx, req)
+	if resp.Cached {
+		// The view was never resolved: the expansion is a clone of a
+		// completed identical search.
+		s.LastMethod = "cache"
+		viewRows = s.tab.NumRows() // cached results are exact; the CI path below is never taken
+	}
 	// A canceled search still did real work; record it before bailing so
 	// the session's accounting (and the caller's SearchStats view) shows
 	// the aborted passes.
-	s.recordStats(stats)
+	s.recordStats(resp.Stats)
 	if err != nil {
 		return err
 	}
 
-	bound := scale * float64(view.NumRows()) // the enclosing view's scaled size
-	n.Children = make([]*Node, 0, len(results))
-	for _, r := range results {
+	scale, exact := resp.Scale, resp.Exact
+	bound := scale * float64(viewRows) // the enclosing view's scaled size
+	n.Children = make([]*Node, 0, len(resp.Results))
+	for _, r := range resp.Results {
 		child := &Node{
 			Rule:   r.Rule,
 			Weight: r.Weight,
@@ -359,17 +387,59 @@ func (s *Session) expand(ctx context.Context, n *Node, w weight.Weighter) error 
 	return nil
 }
 
+// searchRequest assembles the canonical request for one expansion of this
+// session: every identity field the search service keys on, plus the
+// routing flags (Sampled, Degraded, NoCache) that decide whether the
+// request may touch the shared answer cache at all. Kind-specific fields
+// (Resolve, MaxWeightFor, Yield, deadlines) are filled by the caller.
+//
+//sdlint:holds mu — reached only from expansion paths the owner serializes
+func (s *Session) searchRequest(kind search.Kind, r rule.Rule, w weight.Weighter, degraded bool) search.Request {
+	return search.Request{
+		Kind:            kind,
+		Rule:            r,
+		K:               s.cfg.K,
+		Weighter:        w,
+		Agg:             s.cfg.Agg,
+		MaxWeight:       s.cfg.MaxWeight,
+		Seed:            s.cfg.Seed,
+		Workers:         s.cfg.Workers,
+		DisableParallel: s.cfg.DisableParallel,
+		DisableBitmap:   s.cfg.DisableBitmap,
+		Sampled:         s.useSample(r, degraded),
+		Degraded:        degraded,
+		NoCache:         s.cfg.DisableCache,
+		Store:           s.store,
+	}
+}
+
 // recordStats files one expansion's BRS statistics: the latest snapshot,
-// the session running totals, and the store's search-index accounting
-// (postings read by BRS counting are I/O the disk cost model must see).
+// the session running totals, and the store's search accounting (postings
+// read by BRS counting are I/O the disk cost model must see; cache hits
+// and singleflight waits are the passes the session avoided paying).
 //
 //sdlint:holds mu — reached only from expansion paths the owner serializes
 func (s *Session) recordStats(stats brs.Stats) {
 	s.LastStats = stats
 	s.TotalStats.Add(stats)
+	s.accountStats(stats)
+}
+
+// recordAuxStats accumulates statistics of a non-expansion search (refine,
+// traditional) without overwriting LastStats, which by contract reflects
+// the most recent *expansion*.
+//
+//sdlint:holds mu — reached only from paths the owner serializes
+func (s *Session) recordAuxStats(stats brs.Stats) {
+	s.TotalStats.Add(stats)
+	s.accountStats(stats)
+}
+
+func (s *Session) accountStats(stats brs.Stats) {
 	s.store.AccountSearchIndex(stats.PostingsRead)
 	s.store.AccountSearchBitmap(stats.BitmapWordsRead)
 	s.store.AccountSampledRead(stats.SampledRowsScanned)
+	s.store.AccountSearchCache(int64(stats.CacheHits), int64(stats.CacheMisses), int64(stats.SingleflightWaits))
 }
 
 // coveredView obtains the tuples covered by r as a zero-copy view: a
@@ -463,22 +533,51 @@ func (s *Session) RefineNode(n *Node) bool {
 	if n.Exact || !s.displayed(n) {
 		return false
 	}
-	var exact float64
-	if _, isCount := s.cfg.Agg.(score.CountAgg); isCount {
-		exact = float64(s.store.CountExact(n.Rule))
-	} else {
-		s.store.Scan(func(i int) bool {
-			if s.tab.Covers(n.Rule, i) {
-				exact += s.cfg.Agg.Mass(s.tab, i)
-			}
-			return true
-		})
+	// The re-count goes through the search service: exact counts are
+	// rule-identity facts, so concurrent refiners of one popular rule
+	// (background refiners racing the on-demand endpoint, SSE refine
+	// phases across sessions) collapse to one accounted pass and later
+	// refiners of the same rule are served from the answer cache. The
+	// refine request never samples and carries no degraded mode — it is
+	// exact by definition — so only kind, rule and aggregate key it.
+	req := search.Request{
+		Kind:    search.KindRefine,
+		Rule:    n.Rule,
+		Agg:     s.cfg.Agg,
+		NoCache: s.cfg.DisableCache,
+		Store:   s.store,
 	}
-	n.Count = exact
-	n.CILow, n.CIHigh = exact, exact
+	resp, err := s.svc.Run(context.Background(), req)
+	if err != nil {
+		return false
+	}
+	s.recordAuxStats(resp.Stats)
+	n.Count = resp.Count
+	n.CILow, n.CIHigh = resp.Count, resp.Count
 	n.HasCI = false
 	n.Exact = true
 	return true
+}
+
+// Traditional runs the classic OLAP drill-down listing on column c under
+// n's rule — through the search service, so repeated listings (a
+// comparison panel every analyst opens) are served from the answer cache
+// with the group rules cloned per caller.
+func (s *Session) Traditional(n *Node, c int) ([]baseline.Group, error) {
+	req := search.Request{
+		Kind:    search.KindTraditional,
+		Rule:    n.Rule,
+		Column:  c,
+		Agg:     s.cfg.Agg,
+		NoCache: s.cfg.DisableCache,
+		Store:   s.store,
+	}
+	resp, err := s.svc.Run(context.Background(), req)
+	if err != nil {
+		return nil, err
+	}
+	s.recordAuxStats(resp.Stats)
+	return resp.Groups, nil
 }
 
 // displayed reports whether n is still part of the session's displayed

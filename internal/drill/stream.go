@@ -5,6 +5,8 @@ import (
 	"time"
 
 	"smartdrill/internal/brs"
+	"smartdrill/internal/search"
+	"smartdrill/internal/table"
 	"smartdrill/internal/weight"
 )
 
@@ -31,6 +33,7 @@ func (s *Session) ExpandStreamCtx(ctx context.Context, n *Node, maxRules int, bu
 	return s.expandStream(ctx, n, s.cfg.Weighter, maxRules, budget, onRule)
 }
 
+//sdlint:holds mu — reached only from ExpandStream* paths the owner serializes
 func (s *Session) expandStream(ctx context.Context, n *Node, w weight.Weighter, maxRules int, budget time.Duration, onRule func(*Node) bool) error {
 	if n.Expanded() {
 		s.Collapse(n)
@@ -38,12 +41,31 @@ func (s *Session) expandStream(ctx context.Context, n *Node, w weight.Weighter, 
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	view, scale, exact, err := s.coveredView(n.Rule, DegradedFrom(ctx))
-	if err != nil {
-		return err
+	degraded := DegradedFrom(ctx)
+
+	req := s.searchRequest(search.KindStream, n.Rule, w, degraded)
+	req.MaxRules = maxRules
+	req.MinGainRatio = 0.01 // drop the long tail of near-worthless rules
+	if budget > 0 {
+		// A deadline-bounded stream can truncate anywhere, so the service
+		// runs it directly — never cached, never joined by singleflight.
+		// Budget-free streams run to completion and are cached like batch
+		// expansions, replayed rule by rule through the same yield.
+		req.Deadline = time.Now().Add(budget)
 	}
-	mw := s.cfg.MaxWeight
-	if mw <= 0 {
+	// scale/exact/bound are owned by the resolve closure: on a cache hit it
+	// never runs and the replayed results are exact with scale 1 — matching
+	// the initial values below.
+	scale, exact, bound := 1.0, true, float64(s.tab.NumRows())
+	req.Resolve = func() (*table.View, float64, bool, error) {
+		v, sc, ex, err := s.coveredView(n.Rule, degraded)
+		if err == nil {
+			scale, exact = sc, ex
+			bound = sc * float64(v.NumRows()) // the enclosing view's scaled size
+		}
+		return v, sc, ex, err
+	}
+	req.MaxWeightFor = func(v *table.View) float64 {
 		// Probe with the number of rules this stream will actually request
 		// — maxRules when bounded, else the session's configured k (as
 		// batch Expand does) — so the weight cap fits the rule list being
@@ -60,24 +82,9 @@ func (s *Session) expandStream(ctx context.Context, n *Node, w weight.Weighter, 
 		if probeK > maxProbeK {
 			probeK = maxProbeK
 		}
-		mw = EstimateMaxWeight(view, w, probeK, s.cfg.Seed)
+		return EstimateMaxWeight(v, w, probeK, s.cfg.Seed)
 	}
-	var deadline time.Time
-	if budget > 0 {
-		deadline = time.Now().Add(budget)
-	}
-	bound := scale * float64(view.NumRows()) // the enclosing view's scaled size
-	stats, err := brs.RunIncrementalCtx(ctx, view, w, brs.Options{
-		MaxWeight:       mw,
-		Base:            n.Rule,
-		BaseCovered:     true, // coveredView delivers exactly the rule's coverage
-		Agg:             s.cfg.Agg,
-		Workers:         s.cfg.Workers,
-		DisableParallel: s.cfg.DisableParallel,
-		DisableBitmap:   s.cfg.DisableBitmap,
-		MinGainRatio:    0.01, // drop the long tail of near-worthless rules
-		SampleScale:     scale,
-	}, maxRules, deadline, func(r brs.Result) bool {
+	req.Yield = func(r brs.Result) bool {
 		child := &Node{
 			Rule:   r.Rule,
 			Weight: r.Weight,
@@ -92,9 +99,13 @@ func (s *Session) expandStream(ctx context.Context, n *Node, w weight.Weighter, 
 			return true
 		}
 		return onRule(child)
-	})
+	}
+	resp, err := s.svc.Run(ctx, req)
+	if resp.Cached {
+		s.LastMethod = "cache"
+	}
 	// Record even a canceled search's statistics: the aborted passes are
 	// real work the session's accounting must show.
-	s.recordStats(stats)
+	s.recordStats(resp.Stats)
 	return err
 }

@@ -1,0 +1,563 @@
+// Package search is the dataset-scoped seam every BRS invocation goes
+// through: batch and star expansions, incremental (anytime) streams,
+// provisional→exact refinement re-counts, and the traditional OLAP
+// listing all arrive here as a canonical Request and leave as a
+// Response. Owning the single entry point lets the service add what no
+// per-call-site code could share:
+//
+//   - a bounded LRU answer cache of completed exact expansions, keyed by
+//     the canonicalized request (rule identity via rule.PackedKey, k,
+//     weighter and aggregate names, mw, seed, worker shape, and a dataset
+//     version stamp), with hits served as clones so sessions can never
+//     mutate shared results;
+//   - singleflight collapsing of concurrent identical searches, so a
+//     thundering herd on one popular expansion costs one BRS run — and a
+//     canceled leader re-elects a waiter instead of poisoning the flight;
+//   - background warming hooks (MarkWarmed) and counters that flow into
+//     brs.Stats → storage.Stats → session totals → /v1/health.
+//
+// Only complete, exact, unscaled results enter the cache: sampled
+// expansions depend on per-session handler state, degraded requests must
+// stay on today's cheap path, and a budget-truncated stream must never be
+// replayed as a complete answer — all three bypass the cache entirely.
+package search
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"smartdrill/internal/baseline"
+	"smartdrill/internal/brs"
+	"smartdrill/internal/rule"
+	"smartdrill/internal/score"
+	"smartdrill/internal/storage"
+	"smartdrill/internal/table"
+	"smartdrill/internal/weight"
+)
+
+// Kind selects which BRS entry point a Request drives.
+type Kind uint8
+
+const (
+	// KindBatch is a complete k-rule expansion (brs.Run): rule drill-down,
+	// and star drill-down when the weighter is a StarConstraint (the star
+	// column rides in the weighter's name, so it needs no field of its own).
+	KindBatch Kind = iota + 1
+	// KindStream is the anytime expansion (brs.RunIncremental): rules are
+	// delivered through Yield as the greedy search finds them.
+	KindStream
+	// KindRefine re-counts one rule exactly (the provisional→exact upgrade).
+	KindRefine
+	// KindTraditional is the classic OLAP listing on one column.
+	KindTraditional
+)
+
+// Request is the canonical form of one search. Identity fields (Kind
+// through DisableBitmap) make up the cache key; the remaining fields are
+// execution inputs that either route around the cache (Sampled, Degraded,
+// NoCache, a Deadline-bounded stream) or are only consulted on a miss
+// (Resolve, MaxWeightFor, Store, Yield).
+type Request struct {
+	Kind Kind
+	// Rule is the expansion target: the drilled rule for batch/stream,
+	// the re-counted rule for refine, the base rule for traditional.
+	Rule rule.Rule
+	// K is the rules-per-expansion for batch (and the mw probe size).
+	K int
+	// MaxRules bounds a stream (0 = unbounded); it shapes the result list,
+	// so it is part of the key.
+	MaxRules int
+	// MinGainRatio is the stream's tail cutoff (see brs.Options).
+	MinGainRatio float64
+	// Weighter scores rules; its Name() canonicalizes it in the key.
+	Weighter weight.Weighter
+	// Agg is the aggregate; its Name() canonicalizes it in the key.
+	Agg score.Aggregator
+	// MaxWeight is the configured mw; <= 0 means each execution estimates
+	// it via MaxWeightFor (the estimate is deterministic in Seed, so the
+	// configured value — not the estimate — belongs in the key).
+	MaxWeight float64
+	// Seed fixes the mw probe's sampling RNG.
+	Seed int64
+	// Workers, DisableParallel and DisableBitmap shape the execution; they
+	// are keyed conservatively (results are proven bit-identical across
+	// worker counts only under the Count aggregate).
+	Workers         int
+	DisableParallel bool
+	DisableBitmap   bool
+	// Column is the traditional listing's group-by column.
+	Column int
+
+	// Deadline bounds a stream. A deadline-bounded stream can truncate
+	// anywhere, so it bypasses the cache and singleflight entirely rather
+	// than ever being replayed as a complete expansion.
+	Deadline time.Time
+	// Yield receives stream results one at a time (nil outside streams).
+	// It always runs on the requesting goroutine — on a miss live from the
+	// search, on a hit replayed from the cached result list — so callers
+	// may touch caller-locked state inside it.
+	Yield func(brs.Result) bool
+
+	// Sampled marks a request whose view would be served by the session's
+	// stateful sample handler: the answer depends on per-session sample
+	// history, so it is never shared through the cache.
+	Sampled bool
+	// Degraded marks an overload-ladder request; it bypasses the cache so
+	// degraded behavior (forced sampling, no extra work) stays exactly as
+	// without the service.
+	Degraded bool
+	// NoCache bypasses the cache for this request (the session-level
+	// DisableCache ablation).
+	NoCache bool
+
+	// Store is the caller's accounting store; refine and traditional
+	// execute their accounted passes through it on a miss.
+	Store *storage.Store
+	// Resolve lazily produces the batch/stream view: the rule's covered
+	// tuples, the estimate scale, and whether counts are exact. It runs
+	// only on a miss — a cache hit skips the filter work entirely — and
+	// always on the requesting goroutine.
+	Resolve func() (v *table.View, scale float64, exact bool, err error)
+	// MaxWeightFor estimates mw from the resolved view when MaxWeight is
+	// unset (deterministic in the key's Seed and K/MaxRules fields).
+	MaxWeightFor func(v *table.View) float64
+}
+
+// Response is the outcome of one search. Exactly one of Results (batch,
+// stream), Count (refine), or Groups (traditional) is meaningful. Cached
+// responses are always exact with Scale 1 — only such results enter the
+// cache — and their Stats carry only the cache counters: the stored
+// expansion's search work was already accounted by the request that ran
+// it.
+type Response struct {
+	Results []brs.Result
+	Count   float64
+	Groups  []baseline.Group
+	Scale   float64
+	Exact   bool
+	Stats   brs.Stats
+	// Cached reports the response was served without executing BRS — an
+	// LRU hit, or a singleflight waiter adopting the leader's run.
+	Cached bool
+}
+
+// Config tunes a Service.
+type Config struct {
+	// Entries bounds the answer cache (LRU beyond it). 0 means the default
+	// of 256 completed expansions.
+	Entries int
+	// Disabled turns the cache and singleflight off: every request
+	// executes directly, as if the service were a plain function call.
+	Disabled bool
+}
+
+// DefaultEntries is the answer-cache bound when Config.Entries is 0.
+const DefaultEntries = 256
+
+// key is the canonicalized request identity. It is a comparable struct —
+// rule identity is the fixed-size PackedKey against the empty base mask,
+// falling back to the string form for rules too wide to pack — so cache
+// and flight lookups are single map operations with no allocation.
+type key struct {
+	version  uint64
+	kind     Kind
+	packed   rule.PackedKey
+	wide     string // Rule.Key() when the rule exceeds PackedKey capacity
+	k        int
+	maxRules int
+	minGain  float64
+	weighter string
+	agg      string
+	maxW     float64
+	seed     int64
+	workers  int
+	serial   bool
+	nobitmap bool
+	column   int
+}
+
+// entry is one cached completed search: an immutable master copy whose
+// rules are cloned again on every hit.
+type entry struct {
+	results []brs.Result
+	count   float64
+	groups  []baseline.Group
+}
+
+// flight is one in-progress execution that identical requests wait on.
+// done is closed after err (and, on success, the published cache entry)
+// are written, so waiters read both race-free.
+type flight struct {
+	done  chan struct{}
+	entry *entry // nil when the run failed or produced an uncacheable result
+	err   error
+}
+
+// Service owns every BRS invocation against one dataset. The zero value
+// is not usable; construct with NewService. All methods are safe for
+// concurrent use.
+type Service struct {
+	cfg Config
+
+	mu      sync.Mutex
+	lru     *list.List            // guardedby: mu (front = most recent; values are *lruItem)
+	byKey   map[key]*list.Element // guardedby: mu
+	flights map[key]*flight       // guardedby: mu
+
+	hits   atomic.Int64
+	misses atomic.Int64
+	waits  atomic.Int64
+	warmed atomic.Int64
+	// version stamps every cache key. It is always 0 today; BumpVersion is
+	// the invalidation hook for mutable datasets (ROADMAP item 4) — one
+	// bump orphans every cached answer without touching the entries.
+	version atomic.Uint64
+
+	// onFlightWait, when non-nil, runs each time a request starts waiting
+	// on another request's in-flight execution — a deterministic
+	// synchronization point for concurrency tests. Never set in production.
+	onFlightWait func()
+}
+
+type lruItem struct {
+	k key
+	e *entry
+}
+
+// NewService builds a search service for one dataset.
+func NewService(cfg Config) *Service {
+	if cfg.Entries <= 0 {
+		cfg.Entries = DefaultEntries
+	}
+	return &Service{
+		cfg:     cfg,
+		lru:     list.New(),
+		byKey:   make(map[key]*list.Element),
+		flights: make(map[key]*flight),
+	}
+}
+
+// Counters is a point-in-time snapshot of the service's cache activity,
+// surfaced per dataset in /v1/health.
+type Counters struct {
+	Entries           int
+	Hits              int64
+	Misses            int64
+	SingleflightWaits int64
+	Warmed            int64
+}
+
+// Counters returns a snapshot of the cache counters.
+func (s *Service) Counters() Counters {
+	s.mu.Lock()
+	entries := s.lru.Len()
+	s.mu.Unlock()
+	return Counters{
+		Entries:           entries,
+		Hits:              s.hits.Load(),
+		Misses:            s.misses.Load(),
+		SingleflightWaits: s.waits.Load(),
+		Warmed:            s.warmed.Load(),
+	}
+}
+
+// MarkWarmed records one completed warm precomputation (the serving
+// layer's RegisterDataset warmers call it per expansion they land).
+func (s *Service) MarkWarmed() { s.warmed.Add(1) }
+
+// Version returns the dataset version stamped into every cache key.
+func (s *Service) Version() uint64 { return s.version.Load() }
+
+// BumpVersion advances the dataset version: every previously cached
+// answer becomes unreachable (and ages out of the LRU) without scanning
+// the cache. This is the invalidation hook for mutable datasets; nothing
+// bumps it today.
+func (s *Service) BumpVersion() { s.version.Add(1) }
+
+// keyOf canonicalizes a request.
+func (s *Service) keyOf(req Request) key {
+	k := key{
+		version:  s.version.Load(),
+		kind:     req.Kind,
+		k:        req.K,
+		maxRules: req.MaxRules,
+		minGain:  req.MinGainRatio,
+		maxW:     req.MaxWeight,
+		seed:     req.Seed,
+		workers:  req.Workers,
+		serial:   req.DisableParallel,
+		nobitmap: req.DisableBitmap,
+		column:   req.Column,
+	}
+	if req.Weighter != nil {
+		k.weighter = req.Weighter.Name()
+	}
+	if req.Agg != nil {
+		k.agg = req.Agg.Name()
+	}
+	if packed, ok := req.Rule.PackKey(rule.Mask{}); ok {
+		k.packed = packed
+	} else {
+		k.wide = req.Rule.Key()
+	}
+	return k
+}
+
+// Run executes (or serves) one search. Requests that can never be shared
+// — sampled, degraded, cache-disabled, or deadline-bounded streams —
+// execute directly with bit-identical behavior to the pre-service call
+// sites. Everything else consults the answer cache, joins an identical
+// in-flight execution, or runs as the flight leader and publishes its
+// completed result.
+func (s *Service) Run(ctx context.Context, req Request) (Response, error) {
+	if s.cfg.Disabled || req.NoCache || req.Sampled || req.Degraded ||
+		(req.Kind == KindStream && !req.Deadline.IsZero()) {
+		resp, _, err := s.execute(ctx, req, false)
+		return resp, err
+	}
+	k := s.keyOf(req)
+	for {
+		s.mu.Lock()
+		if e, ok := s.lookup(k); ok {
+			s.mu.Unlock()
+			s.hits.Add(1)
+			return replay(e, req, brs.Stats{CacheHits: 1}), nil
+		}
+		if f, ok := s.flights[k]; ok {
+			s.mu.Unlock()
+			if s.onFlightWait != nil {
+				s.onFlightWait()
+			}
+			select {
+			case <-ctx.Done():
+				return Response{}, ctx.Err()
+			case <-f.done:
+			}
+			if f.err != nil {
+				if errors.Is(f.err, context.Canceled) || errors.Is(f.err, context.DeadlineExceeded) {
+					// The leader's own context died, which says nothing
+					// about this request: loop and re-elect a leader.
+					continue
+				}
+				// A genuine search failure would hit every waiter alike.
+				return Response{}, f.err
+			}
+			if f.entry == nil {
+				// The leader finished but its result was uncacheable (a
+				// stream stopped early by its consumer); run it ourselves.
+				continue
+			}
+			s.waits.Add(1)
+			return replay(f.entry, req, brs.Stats{SingleflightWaits: 1}), nil
+		}
+		f := &flight{done: make(chan struct{})}
+		s.flights[k] = f
+		s.mu.Unlock()
+
+		resp, e, err := s.execute(ctx, req, true)
+		s.mu.Lock()
+		delete(s.flights, k)
+		if err == nil && e != nil {
+			s.insert(k, e)
+		}
+		s.mu.Unlock()
+		f.entry, f.err = e, err
+		close(f.done)
+		if err == nil {
+			s.misses.Add(1)
+			resp.Stats.CacheMisses = 1
+		}
+		return resp, err
+	}
+}
+
+// lookup finds and refreshes a cached entry.
+//
+//sdlint:holds mu — called only under Run's critical section
+func (s *Service) lookup(k key) (*entry, bool) {
+	el, ok := s.byKey[k]
+	if !ok {
+		return nil, false
+	}
+	s.lru.MoveToFront(el)
+	return el.Value.(*lruItem).e, true
+}
+
+// insert files a completed search, evicting the least recently used
+// entry beyond the configured bound.
+//
+//sdlint:holds mu — called only under Run's critical section
+func (s *Service) insert(k key, e *entry) {
+	if el, ok := s.byKey[k]; ok {
+		s.lru.MoveToFront(el)
+		el.Value.(*lruItem).e = e
+		return
+	}
+	s.byKey[k] = s.lru.PushFront(&lruItem{k: k, e: e})
+	for s.lru.Len() > s.cfg.Entries {
+		oldest := s.lru.Back()
+		s.lru.Remove(oldest)
+		delete(s.byKey, oldest.Value.(*lruItem).k)
+	}
+}
+
+// execute runs the search for real. cacheable asks it to also build the
+// publishable entry — a deep clone, so the caller's (mutable) response
+// and the shared cache never alias — when the result is complete, exact,
+// and unscaled. Partial statistics ride back even on error: an aborted
+// search did real work the session's accounting must see.
+func (s *Service) execute(ctx context.Context, req Request, cacheable bool) (Response, *entry, error) {
+	switch req.Kind {
+	case KindBatch:
+		view, scale, exact, err := req.Resolve()
+		if err != nil {
+			return Response{}, nil, err
+		}
+		mw := req.MaxWeight
+		if mw <= 0 {
+			mw = req.MaxWeightFor(view)
+		}
+		results, stats, err := brs.RunCtx(ctx, view, req.Weighter, brs.Options{
+			K:               req.K,
+			MaxWeight:       mw,
+			Base:            req.Rule,
+			BaseCovered:     true, // Resolve delivers exactly the rule's coverage
+			Agg:             req.Agg,
+			Workers:         req.Workers,
+			DisableParallel: req.DisableParallel,
+			DisableBitmap:   req.DisableBitmap,
+			SampleScale:     scale,
+		})
+		resp := Response{Results: results, Scale: scale, Exact: exact, Stats: stats}
+		if err != nil {
+			return resp, nil, err
+		}
+		var e *entry
+		if cacheable && exact && scale == 1 {
+			e = &entry{results: cloneResults(results)}
+		}
+		return resp, e, nil
+
+	case KindStream:
+		view, scale, exact, err := req.Resolve()
+		if err != nil {
+			return Response{}, nil, err
+		}
+		mw := req.MaxWeight
+		if mw <= 0 {
+			mw = req.MaxWeightFor(view)
+		}
+		var collected []brs.Result
+		stopped := false
+		stats, err := brs.RunIncrementalCtx(ctx, view, req.Weighter, brs.Options{
+			MaxWeight:       mw,
+			Base:            req.Rule,
+			BaseCovered:     true,
+			Agg:             req.Agg,
+			Workers:         req.Workers,
+			DisableParallel: req.DisableParallel,
+			DisableBitmap:   req.DisableBitmap,
+			MinGainRatio:    req.MinGainRatio,
+			SampleScale:     scale,
+		}, req.MaxRules, req.Deadline, func(r brs.Result) bool {
+			collected = append(collected, r)
+			if req.Yield != nil && !req.Yield(r) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		resp := Response{Results: collected, Scale: scale, Exact: exact, Stats: stats}
+		if err != nil {
+			return resp, nil, err
+		}
+		var e *entry
+		// A consumer-stopped stream is truncated: the search would have
+		// gone on. It must never be replayed as the complete expansion.
+		if cacheable && !stopped && exact && scale == 1 {
+			e = &entry{results: cloneResults(collected)}
+		}
+		return resp, e, nil
+
+	case KindRefine:
+		var count float64
+		if _, isCount := req.Agg.(score.CountAgg); isCount {
+			count = float64(req.Store.CountExact(req.Rule))
+		} else {
+			t := req.Store.Table()
+			req.Store.Scan(func(i int) bool {
+				if t.Covers(req.Rule, i) {
+					count += req.Agg.Mass(t, i)
+				}
+				return true
+			})
+		}
+		var e *entry
+		if cacheable {
+			e = &entry{count: count}
+		}
+		return Response{Count: count, Scale: 1, Exact: true}, e, nil
+
+	case KindTraditional:
+		groups, err := baseline.TraditionalDrillDown(req.Store.Table(), req.Rule, req.Column, req.Agg)
+		if err != nil {
+			return Response{}, nil, err
+		}
+		var e *entry
+		if cacheable {
+			e = &entry{groups: cloneGroups(groups)}
+		}
+		return Response{Groups: groups, Scale: 1, Exact: true}, e, nil
+	}
+	return Response{}, nil, errors.New("search: unknown request kind")
+}
+
+// replay serves a cached entry: every rule slice is cloned so no two
+// consumers (or the cache itself) ever share backing arrays, and stream
+// consumers see their Yield called per rule exactly as on a live search.
+func replay(e *entry, req Request, stats brs.Stats) Response {
+	resp := Response{Scale: 1, Exact: true, Stats: stats, Cached: true, Count: e.count}
+	switch req.Kind {
+	case KindBatch, KindStream:
+		resp.Results = cloneResults(e.results)
+		if req.Kind == KindStream && req.Yield != nil {
+			for i := range resp.Results {
+				if !req.Yield(resp.Results[i]) {
+					resp.Results = resp.Results[:i+1]
+					break
+				}
+			}
+		}
+	case KindTraditional:
+		resp.Groups = cloneGroups(e.groups)
+	}
+	return resp
+}
+
+func cloneResults(rs []brs.Result) []brs.Result {
+	if rs == nil {
+		return nil
+	}
+	out := make([]brs.Result, len(rs))
+	for i, r := range rs {
+		out[i] = r
+		out[i].Rule = append(rule.Rule(nil), r.Rule...)
+	}
+	return out
+}
+
+func cloneGroups(gs []baseline.Group) []baseline.Group {
+	if gs == nil {
+		return nil
+	}
+	out := make([]baseline.Group, len(gs))
+	for i, g := range gs {
+		out[i] = g
+		out[i].Rule = append(rule.Rule(nil), g.Rule...)
+	}
+	return out
+}

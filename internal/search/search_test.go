@@ -1,0 +1,480 @@
+package search
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"smartdrill/internal/brs"
+	"smartdrill/internal/rule"
+	"smartdrill/internal/score"
+	"smartdrill/internal/storage"
+	"smartdrill/internal/table"
+	"smartdrill/internal/weight"
+)
+
+// testTable builds a small deterministic two-column table with enough
+// structure for BRS to find rules.
+func testTable() *table.Table {
+	b := table.MustBuilder([]string{"A", "B"}, nil)
+	rows := [][]string{
+		{"x", "y"}, {"x", "y"}, {"x", "y"}, {"x", "z"},
+		{"w", "y"}, {"w", "y"}, {"w", "z"}, {"v", "z"},
+	}
+	for _, r := range rows {
+		b.MustAddRow(r)
+	}
+	return b.Build()
+}
+
+// batchReq builds a cacheable batch request against tab. Resolve counts
+// its invocations through resolves so tests can assert whether a request
+// executed or was served from the cache.
+func batchReq(tab *table.Table, resolves *atomic.Int32) Request {
+	return Request{
+		Kind:      KindBatch,
+		Rule:      rule.Trivial(tab.NumCols()),
+		K:         2,
+		Weighter:  weight.NewSize(tab.NumCols()),
+		Agg:       score.CountAgg{},
+		MaxWeight: 10, // fixed mw: MaxWeightFor must not be needed
+		Resolve: func() (*table.View, float64, bool, error) {
+			resolves.Add(1)
+			return tab.All(), 1, true, nil
+		},
+	}
+}
+
+func TestCacheHitSkipsExecution(t *testing.T) {
+	tab := testTable()
+	var resolves atomic.Int32
+	svc := NewService(Config{})
+
+	first, err := svc.Run(context.Background(), batchReq(tab, &resolves))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached || first.Stats.CacheMisses != 1 || len(first.Results) == 0 {
+		t.Fatalf("first run: cached=%v misses=%d results=%d", first.Cached, first.Stats.CacheMisses, len(first.Results))
+	}
+	second, err := svc.Run(context.Background(), batchReq(tab, &resolves))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Fatal("second identical run not served from cache")
+	}
+	// A hit never resolves the view or runs a pass; its stats carry only
+	// the hit marker (the stored run's work was already accounted).
+	if resolves.Load() != 1 {
+		t.Fatalf("resolve ran %d times; cache hit must skip it", resolves.Load())
+	}
+	if second.Stats.CacheHits != 1 || second.Stats.Passes != 0 || second.Stats.RowsScanned != 0 {
+		t.Fatalf("hit stats = %+v; want only CacheHits=1", second.Stats)
+	}
+	if !reflect.DeepEqual(first.Results, second.Results) {
+		t.Fatalf("cached results diverge:\nfirst:  %v\nsecond: %v", first.Results, second.Results)
+	}
+	c := svc.Counters()
+	if c.Hits != 1 || c.Misses != 1 || c.Entries != 1 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+func TestHitResultsAreClones(t *testing.T) {
+	tab := testTable()
+	var resolves atomic.Int32
+	svc := NewService(Config{})
+
+	first, err := svc.Run(context.Background(), batchReq(tab, &resolves))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]brs.Result(nil), cloneResults(first.Results)...)
+	// Corrupt the caller's copy in place: the cache's master must be
+	// unaffected, and so must every later hit.
+	for i := range first.Results {
+		for c := range first.Results[i].Rule {
+			first.Results[i].Rule[c] = 999
+		}
+		first.Results[i].Count = -1
+	}
+	second, err := svc.Run(context.Background(), batchReq(tab, &resolves))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(second.Results, want) {
+		t.Fatalf("mutating a served response corrupted the cache:\ngot  %v\nwant %v", second.Results, want)
+	}
+}
+
+func TestLRUBoundAndEviction(t *testing.T) {
+	tab := testTable()
+	var resolves atomic.Int32
+	svc := NewService(Config{Entries: 2})
+
+	reqWithSeed := func(seed int64) Request {
+		r := batchReq(tab, &resolves)
+		r.Seed = seed // distinct key per seed
+		return r
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		if _, err := svc.Run(context.Background(), reqWithSeed(seed)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c := svc.Counters(); c.Entries != 2 {
+		t.Fatalf("entries = %d, want LRU bound 2", c.Entries)
+	}
+	// Seed 1 is the least recently used and must have been evicted: its
+	// re-run executes again. Seed 3 is still resident: a hit.
+	before := resolves.Load()
+	if resp, err := svc.Run(context.Background(), reqWithSeed(1)); err != nil || resp.Cached {
+		t.Fatalf("evicted key served from cache (err=%v cached=%v)", err, resp.Cached)
+	}
+	if resolves.Load() != before+1 {
+		t.Fatal("evicted key did not re-execute")
+	}
+	if resp, err := svc.Run(context.Background(), reqWithSeed(3)); err != nil || !resp.Cached {
+		t.Fatalf("resident key not served from cache (err=%v cached=%v)", err, resp.Cached)
+	}
+}
+
+func TestBumpVersionOrphansCachedAnswers(t *testing.T) {
+	tab := testTable()
+	var resolves atomic.Int32
+	svc := NewService(Config{})
+
+	if _, err := svc.Run(context.Background(), batchReq(tab, &resolves)); err != nil {
+		t.Fatal(err)
+	}
+	svc.BumpVersion()
+	if svc.Version() != 1 {
+		t.Fatalf("version = %d after one bump", svc.Version())
+	}
+	resp, err := svc.Run(context.Background(), batchReq(tab, &resolves))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cached || resolves.Load() != 2 {
+		t.Fatalf("post-bump run served stale answer (cached=%v resolves=%d)", resp.Cached, resolves.Load())
+	}
+}
+
+func TestBypassesNeverTouchCache(t *testing.T) {
+	tab := testTable()
+	cases := []struct {
+		name string
+		cfg  Config
+		mod  func(*Request)
+	}{
+		{"disabled service", Config{Disabled: true}, func(*Request) {}},
+		{"NoCache request", Config{}, func(r *Request) { r.NoCache = true }},
+		{"Sampled request", Config{}, func(r *Request) { r.Sampled = true }},
+		{"Degraded request", Config{}, func(r *Request) { r.Degraded = true }},
+		{"deadline stream", Config{}, func(r *Request) {
+			r.Kind = KindStream
+			r.Deadline = time.Now().Add(time.Minute)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var resolves atomic.Int32
+			svc := NewService(tc.cfg)
+			for i := 0; i < 2; i++ {
+				req := batchReq(tab, &resolves)
+				tc.mod(&req)
+				resp, err := svc.Run(context.Background(), req)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if resp.Cached {
+					t.Fatal("bypass request served from cache")
+				}
+			}
+			if resolves.Load() != 2 {
+				t.Fatalf("resolve ran %d times, want 2 (no sharing)", resolves.Load())
+			}
+			if c := svc.Counters(); c.Entries != 0 || c.Hits != 0 || c.Misses != 0 {
+				t.Fatalf("bypass requests touched the cache: %+v", c)
+			}
+		})
+	}
+}
+
+func TestSingleflightCollapsesConcurrentIdentical(t *testing.T) {
+	tab := testTable()
+	svc := NewService(Config{})
+
+	var execs atomic.Int32
+	var waiting atomic.Int32
+	svc.onFlightWait = func() { waiting.Add(1) }
+	gate := make(chan struct{})
+	mkReq := func() Request {
+		var ignored atomic.Int32
+		req := batchReq(tab, &ignored)
+		req.Resolve = func() (*table.View, float64, bool, error) {
+			execs.Add(1)
+			<-gate // hold the flight open until every waiter has joined
+			return tab.All(), 1, true, nil
+		}
+		return req
+	}
+
+	const waiters = 9
+	results := make([]Response, 1+waiters)
+	errs := make([]error, 1+waiters)
+	var wg sync.WaitGroup
+
+	// Elect a deterministic leader: start one request and wait until it is
+	// inside Resolve (flight registered) before releasing the others.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		results[0], errs[0] = svc.Run(context.Background(), mkReq())
+	}()
+	waitFor(t, func() bool { return execs.Load() == 1 })
+
+	for i := 1; i <= waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = svc.Run(context.Background(), mkReq())
+		}(i)
+	}
+	waitFor(t, func() bool { return waiting.Load() == waiters })
+	close(gate)
+	wg.Wait()
+
+	if execs.Load() != 1 {
+		t.Fatalf("BRS executed %d times for %d identical requests", execs.Load(), 1+waiters)
+	}
+	c := svc.Counters()
+	if c.Misses != 1 || c.SingleflightWaits != waiters || c.Hits != 0 {
+		t.Fatalf("counters = %+v; want misses=1 waits=%d hits=0", c, waiters)
+	}
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d failed: %v", i, err)
+		}
+		if !reflect.DeepEqual(results[i].Results, results[0].Results) {
+			t.Fatalf("request %d diverged from the leader", i)
+		}
+	}
+	if results[0].Cached || results[0].Stats.CacheMisses != 1 {
+		t.Fatalf("leader stats = %+v", results[0].Stats)
+	}
+	for i := 1; i <= waiters; i++ {
+		if !results[i].Cached || results[i].Stats.SingleflightWaits != 1 {
+			t.Fatalf("waiter %d stats = %+v cached=%v", i, results[i].Stats, results[i].Cached)
+		}
+	}
+}
+
+func TestCanceledLeaderReelectsWaiter(t *testing.T) {
+	tab := testTable()
+	svc := NewService(Config{})
+
+	var waiting atomic.Int32
+	svc.onFlightWait = func() { waiting.Add(1) }
+
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	defer cancelLeader()
+	leaderIn := make(chan struct{})
+	leaderReq := Request{
+		Kind: KindBatch, Rule: rule.Trivial(2), K: 2,
+		Weighter: weight.NewSize(2), Agg: score.CountAgg{}, MaxWeight: 10,
+		Resolve: func() (*table.View, float64, bool, error) {
+			close(leaderIn)
+			<-leaderCtx.Done()
+			return nil, 0, false, leaderCtx.Err()
+		},
+	}
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, err := svc.Run(leaderCtx, leaderReq)
+		leaderErr <- err
+	}()
+	<-leaderIn
+
+	var resolves atomic.Int32
+	waiterDone := make(chan struct{})
+	var waiterResp Response
+	var waiterErr error
+	go func() {
+		defer close(waiterDone)
+		waiterResp, waiterErr = svc.Run(context.Background(), batchReq(tab, &resolves))
+	}()
+	waitFor(t, func() bool { return waiting.Load() == 1 })
+	cancelLeader()
+
+	if err := <-leaderErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("leader error = %v, want Canceled", err)
+	}
+	<-waiterDone
+	// The leader's cancellation says nothing about the waiter's request:
+	// the waiter must have re-elected itself and completed the search.
+	if waiterErr != nil {
+		t.Fatalf("waiter poisoned by canceled leader: %v", waiterErr)
+	}
+	if waiterResp.Cached || resolves.Load() != 1 || len(waiterResp.Results) == 0 {
+		t.Fatalf("waiter did not re-run: cached=%v resolves=%d results=%d",
+			waiterResp.Cached, resolves.Load(), len(waiterResp.Results))
+	}
+	// And its completed run is published for everyone after it.
+	if resp, err := svc.Run(context.Background(), batchReq(tab, &resolves)); err != nil || !resp.Cached {
+		t.Fatalf("re-elected run not cached (err=%v cached=%v)", err, resp.Cached)
+	}
+}
+
+func TestGenuineFailureSharedWithWaiters(t *testing.T) {
+	tab := testTable()
+	svc := NewService(Config{})
+	var waiting atomic.Int32
+	svc.onFlightWait = func() { waiting.Add(1) }
+
+	boom := errors.New("boom")
+	leaderIn := make(chan struct{})
+	gate := make(chan struct{})
+	leaderReq := batchReq(tab, new(atomic.Int32))
+	leaderReq.Resolve = func() (*table.View, float64, bool, error) {
+		close(leaderIn)
+		<-gate
+		return nil, 0, false, boom
+	}
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, err := svc.Run(context.Background(), leaderReq)
+		leaderErr <- err
+	}()
+	<-leaderIn
+
+	waiterErr := make(chan error, 1)
+	go func() {
+		_, err := svc.Run(context.Background(), batchReq(tab, new(atomic.Int32)))
+		waiterErr <- err
+	}()
+	waitFor(t, func() bool { return waiting.Load() == 1 })
+	close(gate)
+
+	// A genuine search failure (not a leader-local cancellation) would hit
+	// any executor alike, so the waiter fails fast with the same error.
+	if err := <-leaderErr; !errors.Is(err, boom) {
+		t.Fatalf("leader error = %v", err)
+	}
+	if err := <-waiterErr; !errors.Is(err, boom) {
+		t.Fatalf("waiter error = %v, want the leader's failure", err)
+	}
+}
+
+func streamReq(tab *table.Table, resolves *atomic.Int32) Request {
+	req := batchReq(tab, resolves)
+	req.Kind = KindStream
+	return req
+}
+
+func TestTruncatedStreamNeverCached(t *testing.T) {
+	tab := testTable()
+	var resolves atomic.Int32
+	svc := NewService(Config{})
+
+	req := streamReq(tab, &resolves)
+	req.Yield = func(brs.Result) bool { return false } // consumer stops after one rule
+	resp, err := svc.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 1 {
+		t.Fatalf("stopped stream delivered %d rules", len(resp.Results))
+	}
+	if c := svc.Counters(); c.Entries != 0 {
+		t.Fatal("a consumer-truncated stream entered the cache")
+	}
+	// A later unbounded identical stream must run for real and see the
+	// full rule list, not the truncation.
+	full, err := svc.Run(context.Background(), streamReq(tab, &resolves))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Cached || len(full.Results) <= 1 || resolves.Load() != 2 {
+		t.Fatalf("truncated result replayed as complete: cached=%v rules=%d resolves=%d",
+			full.Cached, len(full.Results), resolves.Load())
+	}
+}
+
+func TestStreamReplayDrivesYield(t *testing.T) {
+	tab := testTable()
+	var resolves atomic.Int32
+	svc := NewService(Config{})
+
+	var live []rule.Rule
+	req := streamReq(tab, &resolves)
+	req.Yield = func(r brs.Result) bool { live = append(live, r.Rule); return true }
+	if _, err := svc.Run(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+
+	var replayed []rule.Rule
+	req2 := streamReq(tab, &resolves)
+	req2.Yield = func(r brs.Result) bool { replayed = append(replayed, r.Rule); return true }
+	resp, err := svc.Run(context.Background(), req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Cached || resolves.Load() != 1 {
+		t.Fatalf("second stream not replayed (cached=%v resolves=%d)", resp.Cached, resolves.Load())
+	}
+	if !reflect.DeepEqual(live, replayed) {
+		t.Fatalf("replay diverged:\nlive:     %v\nreplayed: %v", live, replayed)
+	}
+}
+
+func TestRefineAndTraditionalCached(t *testing.T) {
+	tab := testTable()
+	st := storage.NewStore(tab)
+	svc := NewService(Config{})
+
+	r := rule.Trivial(2)
+	r[0] = tab.All().Value(0, 0) // A = "x"
+	refine := Request{Kind: KindRefine, Rule: r, Agg: score.CountAgg{}, Store: st}
+	first, err := svc.Run(context.Background(), refine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := svc.Run(context.Background(), refine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached || second.Count != first.Count || first.Count != 4 {
+		t.Fatalf("refine: first=%v second=%v cached=%v", first.Count, second.Count, second.Cached)
+	}
+
+	trad := Request{Kind: KindTraditional, Rule: rule.Trivial(2), Column: 0, Agg: score.CountAgg{}, Store: st}
+	g1, err := svc.Run(context.Background(), trad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := svc.Run(context.Background(), trad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g2.Cached || !reflect.DeepEqual(g1.Groups, g2.Groups) || len(g1.Groups) == 0 {
+		t.Fatalf("traditional: groups=%v cached=%v", g2.Groups, g2.Cached)
+	}
+}
+
+// waitFor polls cond until it holds or the test times out.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

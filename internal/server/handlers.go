@@ -15,14 +15,26 @@ import (
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	h := api.Health{
-		Status:   "ok",
-		Version:  smartdrill.Version,
-		Sessions: s.store.len(),
-		Datasets: []api.DatasetHealth{},
+		Status:          "ok",
+		Version:         smartdrill.Version,
+		Sessions:        s.store.len(),
+		PersistFailures: s.PersistFailures(),
+		Datasets:        []api.DatasetHealth{},
 	}
 	for _, name := range s.datasetNames() {
 		d, _ := s.dataset(name)
-		h.Datasets = append(h.Datasets, api.DatasetHealth{Name: name, Rows: d.table.NumRows()})
+		dh := api.DatasetHealth{Name: name, Rows: d.table.NumRows()}
+		if d.svc != nil {
+			c := d.svc.Counters()
+			dh.Cache = &api.CacheHealth{
+				Entries:           c.Entries,
+				Hits:              c.Hits,
+				Misses:            c.Misses,
+				SingleflightWaits: c.SingleflightWaits,
+				Warmed:            c.Warmed,
+			}
+		}
+		h.Datasets = append(h.Datasets, dh)
 	}
 	writeJSON(w, http.StatusOK, h)
 }
@@ -105,6 +117,13 @@ func (s *Server) buildEngine(d dataset, req api.CreateSessionRequest) (*smartdri
 		smartdrill.WithK(k),
 		smartdrill.WithWeighter(weighter),
 		smartdrill.WithWorkers(workers),
+	}
+	if d.svc != nil {
+		// Every session on a dataset shares its search service, so repeated
+		// identical expansions — across sessions, or re-drills within one —
+		// are answered from the dataset's cache and concurrent identical
+		// searches collapse onto one execution.
+		opts = append(opts, smartdrill.WithSearchService(d.svc))
 	}
 	if req.SampleMemory > 0 && req.MinSampleSize > 0 {
 		opts = append(opts, smartdrill.WithSampling(req.SampleMemory, req.MinSampleSize))

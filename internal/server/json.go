@@ -76,6 +76,9 @@ func encodeStats(s smartdrill.SearchStats) *api.SearchStats {
 		IndexLevels:        s.IndexLevels,
 		CandidateCapHit:    s.CandidateCapHit,
 		SampledRowsScanned: s.SampledRowsScanned,
+		CacheHits:          s.CacheHits,
+		CacheMisses:        s.CacheMisses,
+		SingleflightWaits:  s.SingleflightWaits,
 	}
 }
 

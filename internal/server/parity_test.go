@@ -109,6 +109,12 @@ func TestRouteParityMutations(t *testing.T) {
 		return out
 	}
 
+	// The two sessions share the dataset's answer cache, so whichever run
+	// goes first executes the searches and the second replays them from the
+	// cache (different access method and zeroed search counters — correct,
+	// but not byte-identical). A discarded priming run warms the cache so
+	// both compared runs are served identically from it.
+	run("/v1")
 	v1 := run("/v1")
 	legacy := run("")
 	if len(v1) != len(legacy) {

@@ -51,6 +51,7 @@ import (
 	"time"
 
 	"smartdrill"
+	"smartdrill/api"
 )
 
 // Config tunes a Server. Zero values get serving defaults.
@@ -114,6 +115,20 @@ type Config struct {
 	// hold response writers open for their whole budget.
 	ReadHeaderTimeout time.Duration
 	IdleTimeout       time.Duration
+	// CacheEntries bounds each dataset's shared answer cache of completed
+	// expansions (LRU beyond it). 0 means the service default (256).
+	CacheEntries int
+	// CacheOff disables the dataset answer cache and singleflight
+	// entirely: every request executes its own search, as before PR 9.
+	CacheOff bool
+	// WarmChildren enables background warming on RegisterDataset: the root
+	// expansion plus the top-N level-1 children are precomputed with the
+	// server's default session parameters into the dataset's answer cache,
+	// so the first analyst's default drills cost cached latency. 0 (the
+	// default) disables warming — tests and embedders get untouched
+	// caches; cmd/smartdrilld turns it on. Warmers are drained on shutdown
+	// like the background refiners.
+	WarmChildren int
 	// BackgroundRefine re-counts provisional (sample-estimated) drill
 	// results exactly in a background goroutine after each /drill response,
 	// so a later /tree fetch shows authoritative counts without the analyst
@@ -173,10 +188,13 @@ func (c *Config) fill() {
 	}
 }
 
-// dataset is an immutable registered table plus its load-time metadata.
+// dataset is an immutable registered table plus its load-time metadata
+// and the search service every session on it shares (one answer cache
+// and singleflight domain per dataset).
 type dataset struct {
 	table    *smartdrill.Table
 	measures []string
+	svc      *smartdrill.SearchService
 }
 
 // Server is the smart drill-down HTTP service. Construct with New, register
@@ -202,6 +220,12 @@ type Server struct {
 	// and embedders can await quiescence (WaitRefiners) and graceful
 	// shutdown can drain them.
 	refiners sync.WaitGroup
+	// warmers tracks in-flight dataset warming goroutines (WarmChildren),
+	// drained on shutdown like the refiners; warmCancel aborts their
+	// searches at the next counting-pass boundary.
+	warmers    sync.WaitGroup
+	warmCtx    context.Context
+	warmCancel context.CancelFunc
 
 	handler http.Handler
 }
@@ -215,6 +239,7 @@ func New(cfg Config) *Server {
 		backend:  cfg.Backend,
 		datasets: make(map[string]dataset),
 	}
+	s.warmCtx, s.warmCancel = context.WithCancel(context.Background())
 	if cfg.MaxConcurrent > 0 {
 		s.adm = newAdmission(cfg.MaxConcurrent, cfg.AdmissionWait, cfg.DegradeFraction, cfg.RetryAfter)
 	}
@@ -230,11 +255,64 @@ func New(cfg Config) *Server {
 // on the dataset shares one set of posting lists — rule filters are
 // answered by posting-list intersection instead of per-request scans, and
 // no analyst's first drill-down pays the build.
+// Registration also creates the dataset's search service — the answer
+// cache and singleflight domain shared by every session's engine — and,
+// when Config.WarmChildren is set, spawns a background warmer that
+// precomputes the root expansion plus the top-N level-1 children with
+// the server's default session parameters, so the first analyst's
+// default drills are cache hits.
 func (s *Server) RegisterDataset(name string, t *smartdrill.Table) {
 	t.Index().Warm()
+	d := dataset{
+		table:    t,
+		measures: t.MeasureNames(),
+		svc: smartdrill.NewSearchService(smartdrill.SearchServiceConfig{
+			Entries:  s.cfg.CacheEntries,
+			Disabled: s.cfg.CacheOff,
+		}),
+	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.datasets[name] = dataset{table: t, measures: t.MeasureNames()}
+	s.datasets[name] = d
+	s.mu.Unlock()
+	if s.cfg.WarmChildren > 0 && !s.cfg.CacheOff {
+		s.warmers.Add(1)
+		go s.warmDataset(name, d)
+	}
+}
+
+// warmDataset precomputes the root expansion and the top WarmChildren
+// level-1 children into the dataset's answer cache, using a throwaway
+// engine built from an empty create request so the cache keys match the
+// ones default sessions will ask for. Warming is best-effort: failures
+// (including shutdown cancellation) are logged and abandoned, never
+// surfaced — the cache just stays cold.
+func (s *Server) warmDataset(name string, d dataset) {
+	defer s.warmers.Done()
+	eng, err := s.buildEngine(d, api.CreateSessionRequest{Dataset: name})
+	if err != nil {
+		s.cfg.Logger.Printf("dataset %s: warming skipped: %v", name, err)
+		return
+	}
+	start := time.Now()
+	if err := eng.DrillDownCtx(s.warmCtx, eng.Root()); err != nil {
+		s.cfg.Logger.Printf("dataset %s: warming root expansion failed: %v", name, err)
+		return
+	}
+	d.svc.MarkWarmed()
+	warmed := 1
+	children := eng.Root().Children
+	for i := 0; i < len(children) && i < s.cfg.WarmChildren; i++ {
+		if err := s.warmCtx.Err(); err != nil {
+			break
+		}
+		if err := eng.DrillDownCtx(s.warmCtx, children[i]); err != nil {
+			s.cfg.Logger.Printf("dataset %s: warming child %d failed: %v", name, i, err)
+			continue
+		}
+		d.svc.MarkWarmed()
+		warmed++
+	}
+	s.cfg.Logger.Printf("dataset %s: warmed %d expansions in %s", name, warmed, time.Since(start).Round(time.Millisecond))
 }
 
 // dataset looks up a registered dataset.
@@ -269,6 +347,11 @@ func (s *Server) SessionCount() int { return s.store.len() }
 // goroutine has finished — for tests and embedders that need the
 // provisional→exact lifecycle settled before inspecting session trees.
 func (s *Server) WaitRefiners() { s.refiners.Wait() }
+
+// WaitWarmers blocks until every in-flight dataset warming goroutine has
+// finished — for tests and embedders that need warm caches (or quiescent
+// counters) before measuring.
+func (s *Server) WaitWarmers() { s.warmers.Wait() }
 
 // refineNodes is the background refiner: it re-counts each provisional
 // node exactly (one accounted pass per node), taking the session lock per
@@ -348,6 +431,10 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 		return err
 	case <-ctx.Done():
 		s.cfg.Logger.Printf("shutting down (grace %s)", s.cfg.ShutdownGrace)
+		// Cancel in-flight dataset warmers first: warming is best-effort
+		// precomputation, not work worth spending shutdown grace on. Their
+		// searches abort at the next counting-pass boundary.
+		s.warmCancel()
 		shutCtx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownGrace)
 		defer cancel()
 		if err := srv.Shutdown(shutCtx); err != nil {
@@ -356,8 +443,10 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 		}
 		// Requests have drained; spend the remaining grace draining the
 		// background refiners so their exact counts (and write-through
-		// snapshots) land instead of being abandoned mid-count.
+		// snapshots) land instead of being abandoned mid-count — and the
+		// cancelled warmers, which exit at their next pass boundary.
 		s.drainRefiners(shutCtx)
+		s.drainWarmers(shutCtx)
 		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
 			return err
 		}
@@ -377,6 +466,21 @@ func (s *Server) drainRefiners(ctx context.Context) {
 	case <-done:
 	case <-ctx.Done():
 		s.cfg.Logger.Printf("shutdown grace expired with background refiners still in flight; abandoning them")
+	}
+}
+
+// drainWarmers waits for cancelled dataset warmers to notice the
+// cancellation and exit, within ctx.
+func (s *Server) drainWarmers(ctx context.Context) {
+	done := make(chan struct{})
+	go func() {
+		s.warmers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.cfg.Logger.Printf("shutdown grace expired with dataset warmers still in flight; abandoning them")
 	}
 }
 

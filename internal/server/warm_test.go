@@ -1,0 +1,81 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+
+	"smartdrill/api"
+)
+
+// TestWarmingPrecomputesDefaultDrills: with WarmChildren set, dataset
+// registration precomputes the root expansion (plus top children) in the
+// background, so the first analyst's default drill is served from the
+// cache — zero passes, zero rows scanned — and the health report shows
+// the warmed expansions.
+func TestWarmingPrecomputesDefaultDrills(t *testing.T) {
+	s, ts := newTestServer(t, Config{WarmChildren: 2})
+	s.WaitWarmers()
+
+	var h api.Health
+	if code := doJSON(t, "GET", ts.URL+"/v1/health", nil, &h); code != http.StatusOK {
+		t.Fatalf("health: status %d", code)
+	}
+	if len(h.Datasets) != 1 || h.Datasets[0].Cache == nil {
+		t.Fatalf("health missing cache block: %+v", h.Datasets)
+	}
+	c := h.Datasets[0].Cache
+	if c.Warmed != 3 { // root + 2 children
+		t.Fatalf("warmed = %d, want 3 (root + 2 children)", c.Warmed)
+	}
+	if c.Entries < 3 || c.Misses < 3 {
+		t.Fatalf("warming left cache cold: %+v", c)
+	}
+
+	// A default session's first drill replays the warmed expansion.
+	tree := createSession(t, ts.URL, api.CreateSessionRequest{Dataset: "store"})
+	var dr api.DrillResponse
+	if code := doJSON(t, "POST", ts.URL+"/v1/sessions/"+tree.ID+"/drill", api.DrillRequest{}, &dr); code != http.StatusOK {
+		t.Fatalf("drill: status %d", code)
+	}
+	if dr.Access != "cache" {
+		t.Fatalf("warmed drill access = %q, want cache", dr.Access)
+	}
+	if dr.Search == nil || dr.Search.CacheHits != 1 || dr.Search.Passes != 0 || dr.Search.RowsScanned != 0 {
+		t.Fatalf("warmed drill search stats = %+v; want CacheHits=1 Passes=0 RowsScanned=0", dr.Search)
+	}
+}
+
+// TestHealthReportsCacheAndPersistFailures: the health body carries the
+// persist-failure counter and a per-dataset cache block even with warming
+// off.
+func TestHealthReportsCacheAndPersistFailures(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var h api.Health
+	if code := doJSON(t, "GET", ts.URL+"/v1/health", nil, &h); code != http.StatusOK {
+		t.Fatalf("health: status %d", code)
+	}
+	if h.PersistFailures != 0 {
+		t.Fatalf("persist_failures = %d on a fresh memory-only server", h.PersistFailures)
+	}
+	if len(h.Datasets) != 1 || h.Datasets[0].Cache == nil {
+		t.Fatalf("health missing cache block: %+v", h.Datasets)
+	}
+	if c := h.Datasets[0].Cache; c.Entries != 0 || c.Hits != 0 || c.Warmed != 0 {
+		t.Fatalf("fresh cache counters = %+v", c)
+	}
+}
+
+// TestCacheOffDisablesSharing: with CacheOff every drill executes.
+func TestCacheOffDisablesSharing(t *testing.T) {
+	_, ts := newTestServer(t, Config{CacheOff: true, WarmChildren: 2})
+	for i := 0; i < 2; i++ {
+		tree := createSession(t, ts.URL, api.CreateSessionRequest{Dataset: "store"})
+		var dr api.DrillResponse
+		if code := doJSON(t, "POST", ts.URL+"/v1/sessions/"+tree.ID+"/drill", api.DrillRequest{}, &dr); code != http.StatusOK {
+			t.Fatalf("drill: status %d", code)
+		}
+		if dr.Access == "cache" || dr.Search == nil || dr.Search.CacheHits != 0 || dr.Search.Passes == 0 {
+			t.Fatalf("drill %d served from cache despite CacheOff: access=%q stats=%+v", i, dr.Access, dr.Search)
+		}
+	}
+}

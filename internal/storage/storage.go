@@ -47,6 +47,14 @@ type Stats struct {
 	// but experiments need them visible to report how much work the
 	// samples absorbed.
 	SampledRowsRead int64
+	// SearchCacheHits, SearchCacheMisses and SearchSingleflightWaits count
+	// expansions the dataset's answer cache served, executed, and collapsed
+	// onto a concurrent identical run (reported via AccountSearchCache).
+	// Hits and waits are the passes the session never paid for — the
+	// counterpart, on the avoided side, of the scan and index counters.
+	SearchCacheHits         int64
+	SearchCacheMisses       int64
+	SearchSingleflightWaits int64
 }
 
 // Store wraps the authoritative full table behind a scan interface with
@@ -66,6 +74,9 @@ type Store struct {
 	searchIndexRead  int64
 	searchBitmapRead int64
 	sampledRowsRead  int64
+	cacheHits        int64
+	cacheMisses      int64
+	cacheWaits       int64
 }
 
 // NewStore wraps t.
@@ -156,18 +167,37 @@ func (s *Store) AccountSampledRead(rows int64) {
 	s.mu.Unlock()
 }
 
+// AccountSearchCache charges answer-cache activity: expansions served
+// from the dataset cache (hits), executed on its behalf (misses), and
+// collapsed onto a concurrent identical execution (waits). The drill
+// session reports its search service's per-request counters here so
+// avoided passes appear in the same I/O report as performed ones.
+func (s *Store) AccountSearchCache(hits, misses, waits int64) {
+	if hits == 0 && misses == 0 && waits == 0 {
+		return
+	}
+	s.mu.Lock()
+	s.cacheHits += hits
+	s.cacheMisses += misses
+	s.cacheWaits += waits
+	s.mu.Unlock()
+}
+
 // Stats returns a snapshot of accumulated I/O counters.
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Stats{
-		FullScans:        s.fullScans,
-		RowsRead:         s.rowsRead,
-		IndexLookups:     s.indexLookups,
-		IndexRowsRead:    s.indexRowsRead,
-		SearchIndexRead:  s.searchIndexRead,
-		SearchBitmapRead: s.searchBitmapRead,
-		SampledRowsRead:  s.sampledRowsRead,
+		FullScans:               s.fullScans,
+		RowsRead:                s.rowsRead,
+		IndexLookups:            s.indexLookups,
+		IndexRowsRead:           s.indexRowsRead,
+		SearchIndexRead:         s.searchIndexRead,
+		SearchBitmapRead:        s.searchBitmapRead,
+		SampledRowsRead:         s.sampledRowsRead,
+		SearchCacheHits:         s.cacheHits,
+		SearchCacheMisses:       s.cacheMisses,
+		SearchSingleflightWaits: s.cacheWaits,
 	}
 }
 
@@ -178,6 +208,7 @@ func (s *Store) ResetStats() {
 	s.indexLookups, s.indexRowsRead = 0, 0
 	s.searchIndexRead, s.searchBitmapRead = 0, 0
 	s.sampledRowsRead = 0
+	s.cacheHits, s.cacheMisses, s.cacheWaits = 0, 0, 0
 	s.mu.Unlock()
 }
 

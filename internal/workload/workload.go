@@ -62,7 +62,7 @@ func (c Config) withDefaults() Config {
 // Report aggregates one simulated session.
 type Report struct {
 	Steps      int
-	ByMethod   map[string]int // "direct" / "Find" / "Combine" / "Create"
+	ByMethod   map[string]int // "direct" / "Find" / "Combine" / "Create" / "cache"
 	FullScans  int64
 	TotalTime  time.Duration
 	MaxLatency time.Duration
@@ -81,9 +81,9 @@ func (r Report) HitRate() float64 {
 
 // String summarizes the report in one line.
 func (r Report) String() string {
-	return fmt.Sprintf("steps=%d direct=%d find=%d combine=%d create=%d scans=%d hit=%.0f%% max=%s",
+	return fmt.Sprintf("steps=%d direct=%d find=%d combine=%d create=%d cache=%d scans=%d hit=%.0f%% max=%s",
 		r.Steps, r.ByMethod["direct"], r.ByMethod["Find"], r.ByMethod["Combine"],
-		r.ByMethod["Create"], r.FullScans, 100*r.HitRate(), r.MaxLatency.Round(time.Millisecond))
+		r.ByMethod["Create"], r.ByMethod["cache"], r.FullScans, 100*r.HitRate(), r.MaxLatency.Round(time.Millisecond))
 }
 
 // Run simulates an analyst on the session. The session should be freshly

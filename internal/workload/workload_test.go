@@ -18,7 +18,10 @@ func TestRunDirectSession(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Steps == 0 || rep.ByMethod["direct"] != rep.Steps {
+	// Every expansion of an exact session is either a direct search or —
+	// when the analyst re-expands a node after a roll-up — a hit in the
+	// session's answer cache.
+	if rep.Steps == 0 || rep.ByMethod["direct"]+rep.ByMethod["cache"] != rep.Steps {
 		t.Fatalf("direct session report: %s", rep)
 	}
 	if rep.MaxLatency <= 0 {
@@ -87,7 +90,7 @@ func TestConfigDefaults(t *testing.T) {
 
 func TestDeterministicGivenSeeds(t *testing.T) {
 	tab := datagen.StoreSales(42)
-	runOnce := func() [5]int {
+	runOnce := func() [6]int {
 		s, err := drill.NewSession(tab, drill.Config{K: 3, MaxWeight: 3})
 		if err != nil {
 			t.Fatal(err)
@@ -96,8 +99,8 @@ func TestDeterministicGivenSeeds(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return [5]int{rep.Steps, rep.ByMethod["direct"], rep.ByMethod["Find"],
-			rep.ByMethod["Combine"], rep.ByMethod["Create"]}
+		return [6]int{rep.Steps, rep.ByMethod["direct"], rep.ByMethod["Find"],
+			rep.ByMethod["Combine"], rep.ByMethod["Create"], rep.ByMethod["cache"]}
 	}
 	if runOnce() != runOnce() {
 		t.Fatal("simulation not deterministic (wall time excluded)")

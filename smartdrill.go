@@ -27,11 +27,11 @@ import (
 	"math/rand"
 	"time"
 
-	"smartdrill/internal/baseline"
 	"smartdrill/internal/brs"
 	"smartdrill/internal/drill"
 	"smartdrill/internal/rule"
 	"smartdrill/internal/score"
+	"smartdrill/internal/search"
 	"smartdrill/internal/table"
 	"smartdrill/internal/weight"
 )
@@ -216,6 +216,39 @@ func WithParallelDisabled() Option { return func(c *drill.Config) { c.DisablePar
 // bit-identical on every aggregate).
 func WithBitmapDisabled() Option { return func(c *drill.Config) { c.DisableBitmap = true } }
 
+// SearchService is the dataset-scoped seam every BRS invocation goes
+// through: one answer cache of completed expansions, singleflight
+// collapsing of concurrent identical searches, and cache counters.
+// Engines on the same table that share a service share its cache; an
+// engine built without one gets a private service, so repeated
+// expansions within a single session are still served from cache.
+type SearchService = search.Service
+
+// SearchServiceConfig tunes a SearchService (cache bound, off switch).
+type SearchServiceConfig = search.Config
+
+// SearchServiceCounters is a snapshot of a service's cache activity.
+type SearchServiceCounters = search.Counters
+
+// NewSearchService builds a search service to share across engines on
+// one dataset (see WithSearchService).
+func NewSearchService(cfg SearchServiceConfig) *SearchService { return search.NewService(cfg) }
+
+// WithSearchService routes the engine's searches through a shared
+// dataset-scoped service: sessions sharing one service share its answer
+// cache, and concurrent identical expansions collapse to one BRS run.
+// The service must belong to the engine's table — cache keys carry rule
+// identity, not table identity.
+func WithSearchService(svc *SearchService) Option {
+	return func(c *drill.Config) { c.Search = svc }
+}
+
+// WithCacheDisabled bypasses the search service's answer cache and
+// singleflight for this engine — the ablation switch mirroring
+// WithSamplingDisabled: every expansion executes, and results are
+// bit-identical to the cached path.
+func WithCacheDisabled() Option { return func(c *drill.Config) { c.DisableCache = true } }
+
 // New starts a drill-down session on t.
 func New(t *Table, opts ...Option) (*Engine, error) {
 	var cfg drill.Config
@@ -376,7 +409,7 @@ func (e *Engine) TraditionalDrillDown(n *Node, column string) ([]TraditionalGrou
 	if err != nil {
 		return nil, err
 	}
-	groups, err := baseline.TraditionalDrillDown(e.tab, n.Rule, c, e.agg())
+	groups, err := e.s.Traditional(n, c)
 	if err != nil {
 		return nil, err
 	}
@@ -386,6 +419,10 @@ func (e *Engine) TraditionalDrillDown(n *Node, column string) ([]TraditionalGrou
 	}
 	return out, nil
 }
+
+// SearchService returns the engine's search service — the shared one it
+// was configured with, or its private one — for cache-counter inspection.
+func (e *Engine) SearchService() *SearchService { return e.s.Search() }
 
 func (e *Engine) agg() score.Aggregator { return e.s.Agg() }
 

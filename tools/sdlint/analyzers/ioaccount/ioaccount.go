@@ -7,8 +7,8 @@
 // that returns the amount read for the caller to book) or book the
 // matching Stats field in the same function.
 //
-// ioaccount flags, in internal/brs, internal/table and internal/drill,
-// any function that invokes a raw I/O operation without a matching
+// ioaccount flags, in internal/brs, internal/table, internal/drill and
+// internal/search, any function that invokes a raw I/O operation without a matching
 // Stats increment in its body. Sites whose accounting genuinely happens
 // elsewhere (e.g. gatherers that only collect list headers for a kernel
 // to consume) carry //sdlint:allow ioaccount <reason>.
@@ -31,7 +31,7 @@ var Analyzer = &analysis.Analyzer{
 	Run: run,
 }
 
-var scope = []string{"internal/brs", "internal/table", "internal/drill"}
+var scope = []string{"internal/brs", "internal/table", "internal/drill", "internal/search"}
 
 // class partitions raw operations by the Stats field that must book them.
 type class int
