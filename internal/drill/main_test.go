@@ -1,0 +1,11 @@
+package drill
+
+import (
+	"testing"
+
+	"smartdrill/internal/leakcheck"
+)
+
+// TestMain fails the binary if any test leaks a goroutine — prefetchers
+// and sampled-pipeline workers must drain with their sessions.
+func TestMain(m *testing.M) { leakcheck.VerifyTestMain(m) }

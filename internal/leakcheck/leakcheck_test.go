@@ -1,0 +1,45 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCheckCleanState(t *testing.T) {
+	if err := Check(DefaultGrace); err != nil {
+		t.Fatalf("Check on a quiet test binary: %v", err)
+	}
+}
+
+func TestCheckCatchesBlockedGoroutine(t *testing.T) {
+	release := make(chan struct{})
+	go func() { <-release }()
+
+	err := Check(200 * time.Millisecond)
+	if err == nil {
+		close(release)
+		t.Fatal("Check missed a goroutine blocked on a channel receive")
+	}
+	if !strings.Contains(err.Error(), "leaked past the test run") {
+		t.Errorf("leak error does not name the invariant: %v", err)
+	}
+	if !strings.Contains(err.Error(), "TestCheckCatchesBlockedGoroutine") {
+		t.Errorf("leak error does not include the leaking stack: %v", err)
+	}
+
+	close(release)
+	if err := Check(DefaultGrace); err != nil {
+		t.Fatalf("Check still failing after the goroutine was released: %v", err)
+	}
+}
+
+func TestCheckWaitsOutFinishingGoroutine(t *testing.T) {
+	go func() { time.Sleep(50 * time.Millisecond) }()
+	if err := Check(DefaultGrace); err != nil {
+		t.Fatalf("Check flagged a goroutine that finishes within the grace: %v", err)
+	}
+}
+
+// TestMain: the leak verifier guards its own package too.
+func TestMain(m *testing.M) { VerifyTestMain(m) }

@@ -1,0 +1,11 @@
+package search
+
+import (
+	"testing"
+
+	"smartdrill/internal/leakcheck"
+)
+
+// TestMain fails the binary if any test leaks a goroutine — singleflight
+// waiters and parallel search workers must not outlive their requests.
+func TestMain(m *testing.M) { leakcheck.VerifyTestMain(m) }

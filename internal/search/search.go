@@ -95,35 +95,51 @@ type Request struct {
 	// Deadline bounds a stream. A deadline-bounded stream can truncate
 	// anywhere, so it bypasses the cache and singleflight entirely rather
 	// than ever being replayed as a complete expansion.
+	//
+	//sdlint:nonidentity deadline-bounded streams never enter the cache (Run routes them around it)
 	Deadline time.Time
 	// Yield receives stream results one at a time (nil outside streams).
 	// It always runs on the requesting goroutine — on a miss live from the
 	// search, on a hit replayed from the cached result list — so callers
 	// may touch caller-locked state inside it.
+	//
+	//sdlint:nonidentity delivery callback: hits replay the cached list through it, so it cannot change the answer
 	Yield func(brs.Result) bool
 
 	// Sampled marks a request whose view would be served by the session's
 	// stateful sample handler: the answer depends on per-session sample
 	// history, so it is never shared through the cache.
+	//
+	//sdlint:nonidentity cache-routing flag: sampled requests bypass the cache entirely
 	Sampled bool
 	// Degraded marks an overload-ladder request; it bypasses the cache so
 	// degraded behavior (forced sampling, no extra work) stays exactly as
 	// without the service.
+	//
+	//sdlint:nonidentity cache-routing flag: degraded requests bypass the cache entirely
 	Degraded bool
 	// NoCache bypasses the cache for this request (the session-level
 	// DisableCache ablation).
+	//
+	//sdlint:nonidentity cache-routing flag: NoCache requests bypass the cache entirely
 	NoCache bool
 
 	// Store is the caller's accounting store; refine and traditional
 	// execute their accounted passes through it on a miss.
+	//
+	//sdlint:nonidentity accounting plumbing consulted only on a miss; every store sees the same table
 	Store *storage.Store
 	// Resolve lazily produces the batch/stream view: the rule's covered
 	// tuples, the estimate scale, and whether counts are exact. It runs
 	// only on a miss — a cache hit skips the filter work entirely — and
 	// always on the requesting goroutine.
+	//
+	//sdlint:nonidentity view resolution is a pure function of the keyed Rule against the dataset
 	Resolve func() (v *table.View, scale float64, exact bool, err error)
 	// MaxWeightFor estimates mw from the resolved view when MaxWeight is
 	// unset (deterministic in the key's Seed and K/MaxRules fields).
+	//
+	//sdlint:nonidentity mw estimation is deterministic in the keyed Seed/K/MaxRules fields
 	MaxWeightFor func(v *table.View) float64
 }
 

@@ -1,0 +1,13 @@
+package server
+
+import (
+	"testing"
+
+	"smartdrill/internal/leakcheck"
+)
+
+// TestMain fails the binary if any test leaks a goroutine — refiners,
+// warmers, SSE writers, and rehydration must all drain. goflow proves
+// statically that every spawn is tracked or declared detached; this
+// proves at runtime that the tracking actually drains.
+func TestMain(m *testing.M) { leakcheck.VerifyTestMain(m) }

@@ -286,6 +286,8 @@ func (s *Server) RegisterDataset(name string, t *smartdrill.Table) {
 // ones default sessions will ask for. Warming is best-effort: failures
 // (including shutdown cancellation) are logged and abandoned, never
 // surfaced — the cache just stays cold.
+//
+//sdlint:allow persistguard warming drives a throwaway engine that never backs a stored session
 func (s *Server) warmDataset(name string, d dataset) {
 	defer s.warmers.Done()
 	eng, err := s.buildEngine(d, api.CreateSessionRequest{Dataset: name})
@@ -425,7 +427,7 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 	}
 	s.logLimits(addr)
 	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
+	go func() { errc <- srv.ListenAndServe() }() //sdlint:detached listener goroutine; the select below consumes errc and Shutdown/Close unblocks it, so it ends with Serve
 	select {
 	case err := <-errc:
 		return err
@@ -458,6 +460,7 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 // expires, logging whether they drained or were abandoned.
 func (s *Server) drainRefiners(ctx context.Context) {
 	done := make(chan struct{})
+	//sdlint:detached drain waiter: exits when the refiners WaitGroup drains; abandoned by design if the grace period expires first
 	go func() {
 		s.refiners.Wait()
 		close(done)
@@ -473,6 +476,7 @@ func (s *Server) drainRefiners(ctx context.Context) {
 // cancellation and exit, within ctx.
 func (s *Server) drainWarmers(ctx context.Context) {
 	done := make(chan struct{})
+	//sdlint:detached drain waiter: exits when the warmers WaitGroup drains; abandoned by design if the grace period expires first
 	go func() {
 		s.warmers.Wait()
 		close(done)

@@ -7,11 +7,15 @@
 // main module stays dependency-free and x/tools may be unavailable. The
 // API deliberately mirrors x/tools (same field and method names), so each
 // analyzer would port to the real framework by changing one import path.
-// Two features of the real framework are intentionally absent: analyzer
-// facts (cross-package state) and Requires chaining — every sdlint
-// analyzer is self-contained within one package, and the docs of the
-// analyzers that would benefit from facts (lockguard's cross-package
-// guarded-field accesses) state the resulting limitation.
+//
+// Analyzer facts are supported in the x/tools shape — an analyzer lists
+// its Fact types in FactTypes and calls Pass.ExportObjectFact /
+// Pass.ImportObjectFact — with one deliberate narrowing: facts attach
+// only to package-level functions and methods (*types.Func), because
+// every cross-package contract sdlint checks (accounted I/O helpers,
+// session mutators, goroutine drains) is a property of a function. See
+// facts.go for the encoding and FactKey for the object identity.
+// Requires chaining remains absent: each analyzer is self-contained.
 package analysis
 
 import (
@@ -19,6 +23,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"reflect"
 )
 
 // Analyzer describes one static check.
@@ -36,6 +41,19 @@ type Analyzer struct {
 	// this analyzer's diagnostics, beyond Name itself (detwalk, for
 	// example, is suppressed by the more readable key "nondeterminism").
 	AllowKeys []string
+	// FactTypes lists the fact types this analyzer exports and imports,
+	// one zero value per type (e.g. new(AccountedFact)). An analyzer
+	// with an empty FactTypes runs only on the packages being vetted;
+	// one that declares facts additionally runs over module-internal
+	// dependency packages so its exports are available downstream.
+	FactTypes []Fact
+}
+
+// A Fact is cross-package analyzer state attached to a function. Fact
+// types are pointers to JSON-serializable structs and identify
+// themselves with the marker method.
+type Fact interface {
+	AFact()
 }
 
 // Pass presents one package to an Analyzer.Run.
@@ -49,6 +67,16 @@ type Pass struct {
 	// suppression directives are applied by the driver after Run
 	// returns, so analyzers report unconditionally.
 	Report func(Diagnostic)
+	// ExportObjectFact associates fact with obj for downstream
+	// packages. obj must be a function or method; facts on other
+	// objects are silently dropped (see FactKey). Populated by the
+	// driver.
+	ExportObjectFact func(obj types.Object, fact Fact)
+	// ImportObjectFact copies into fact the fact of that type
+	// previously exported for obj (by a dependency package, or earlier
+	// in this pass) and reports whether one existed. Populated by the
+	// driver.
+	ImportObjectFact func(obj types.Object, fact Fact) bool
 }
 
 // Reportf reports a formatted diagnostic at pos.
@@ -73,6 +101,18 @@ func Validate(analyzers []*Analyzer) error {
 			return fmt.Errorf("analysis: duplicate analyzer name %q", a.Name)
 		}
 		seen[a.Name] = true
+		factNames := make(map[string]bool)
+		for _, f := range a.FactTypes {
+			t := reflect.TypeOf(f)
+			if t == nil || t.Kind() != reflect.Ptr || t.Elem().Kind() != reflect.Struct {
+				return fmt.Errorf("analysis: analyzer %q fact type %T is not a pointer to struct", a.Name, f)
+			}
+			name := t.Elem().Name()
+			if factNames[name] {
+				return fmt.Errorf("analysis: analyzer %q declares fact type %s twice", a.Name, name)
+			}
+			factNames[name] = true
+		}
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"strings"
@@ -32,22 +33,29 @@ type allowDirective struct {
 	pos      token.Pos
 }
 
-const allowPrefix = "//sdlint:allow"
-
-// parseAllow parses one comment, reporting ok=false for non-directives.
-func parseAllow(c *ast.Comment) (key, reason string, ok bool) {
-	text := c.Text
-	if !strings.HasPrefix(text, allowPrefix) {
-		return "", "", false
-	}
-	rest := strings.TrimSpace(text[len(allowPrefix):])
-	key, reason, _ = strings.Cut(rest, " ")
-	return key, strings.TrimSpace(reason), key != ""
+// LineDirective is one "//sdlint:<name> <args>" comment with its line
+// coverage resolved against the AST: the line it is written on
+// (end-of-line comment), additionally the line below (last line of a
+// standalone comment group), or the whole declaration (func doc
+// comment). Args is the trimmed text after the directive name, empty
+// for a bare directive.
+type LineDirective struct {
+	Args     string
+	FromLine int
+	ToLine   int
+	Pos      token.Pos
 }
 
-// collectAllows gathers every allow directive in the file with its line
-// coverage resolved against the AST.
-func collectAllows(fset *token.FileSet, file *ast.File) []allowDirective {
+// Covers reports whether the directive's line range includes line.
+func (d LineDirective) Covers(line int) bool {
+	return d.FromLine <= line && line <= d.ToLine
+}
+
+// CollectLineDirectives gathers every "//sdlint:<name>" directive in the
+// file with its line coverage resolved. It is the shared machinery
+// behind //sdlint:allow and the statement-scoped directives (detached).
+func CollectLineDirectives(fset *token.FileSet, file *ast.File, name string) []LineDirective {
+	prefix := "//sdlint:" + name
 	// Doc-comment directives cover their whole declaration.
 	docRange := make(map[*ast.CommentGroup][2]int)
 	ast.Inspect(file, func(n ast.Node) bool {
@@ -63,28 +71,48 @@ func collectAllows(fset *token.FileSet, file *ast.File) []allowDirective {
 	})
 	code := codeLines(fset, file)
 
-	var out []allowDirective
+	var out []LineDirective
 	for _, cg := range file.Comments {
 		for _, c := range cg.List {
-			key, reason, ok := parseAllow(c)
-			if !ok {
+			rest, ok := strings.CutPrefix(c.Text, prefix)
+			if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
 				continue
 			}
-			d := allowDirective{key: key, reason: reason, pos: c.Pos()}
+			d := LineDirective{Args: strings.TrimSpace(rest), Pos: c.Pos()}
 			if r, isDoc := docRange[cg]; isDoc {
-				d.fromLine, d.toLine = r[0], r[1]
+				d.FromLine, d.ToLine = r[0], r[1]
 			} else {
 				// An end-of-line comment (code precedes it on the line)
 				// covers its own line only; the last line of a standalone
 				// group also covers the line below it.
 				line := fset.Position(c.Pos()).Line
-				d.fromLine, d.toLine = line, line
+				d.FromLine, d.ToLine = line, line
 				if !code[line] && line == fset.Position(cg.End()).Line {
-					d.toLine = line + 1
+					d.ToLine = line + 1
 				}
 			}
 			out = append(out, d)
 		}
+	}
+	return out
+}
+
+// collectAllows gathers every allow directive in the file, splitting the
+// args into the analyzer key and the mandatory reason.
+func collectAllows(fset *token.FileSet, file *ast.File) []allowDirective {
+	var out []allowDirective
+	for _, d := range CollectLineDirectives(fset, file, "allow") {
+		key, reason, _ := strings.Cut(d.Args, " ")
+		if key == "" {
+			continue
+		}
+		out = append(out, allowDirective{
+			key:      key,
+			reason:   strings.TrimSpace(reason),
+			fromLine: d.FromLine,
+			toLine:   d.ToLine,
+			pos:      d.Pos,
+		})
 	}
 	return out
 }
@@ -108,9 +136,11 @@ func codeLines(fset *token.FileSet, file *ast.File) map[int]bool {
 }
 
 // ApplySuppression filters diags through the files' //sdlint:allow
-// directives for the given analyzer. Directives carrying no reason do not
-// suppress; the surviving diagnostic gains a note instead, so the linter
-// itself enforces that every suppression is written down.
+// directives for the given analyzer. Directives carrying no reason do
+// not suppress: the original diagnostic survives, and the bare directive
+// earns its own diagnostic at the directive's position — a first-class
+// finding rather than a note buried in another message — so "because I
+// said so" suppressions cannot land silently.
 func ApplySuppression(fset *token.FileSet, files []*ast.File, a *Analyzer, diags []Diagnostic) []Diagnostic {
 	keys := map[string]bool{a.Name: true}
 	for _, k := range a.AllowKeys {
@@ -122,6 +152,7 @@ func ApplySuppression(fset *token.FileSet, files []*ast.File, a *Analyzer, diags
 		byFile[name] = collectAllows(fset, f)
 	}
 	var out []Diagnostic
+	bare := make(map[token.Pos]bool) // bare directives already reported, by position
 	for _, d := range diags {
 		pos := fset.Position(d.Pos)
 		suppressed := false
@@ -130,7 +161,13 @@ func ApplySuppression(fset *token.FileSet, files []*ast.File, a *Analyzer, diags
 				continue
 			}
 			if dir.reason == "" {
-				d.Message += " (sdlint:allow directive ignored: missing reason)"
+				if !bare[dir.pos] {
+					bare[dir.pos] = true
+					out = append(out, Diagnostic{
+						Pos:     dir.pos,
+						Message: fmt.Sprintf("sdlint:allow %s ignored: missing reason (write //sdlint:allow %s <reason>)", dir.key, dir.key),
+					})
+				}
 				continue
 			}
 			suppressed = true
@@ -139,6 +176,26 @@ func ApplySuppression(fset *token.FileSet, files []*ast.File, a *Analyzer, diags
 		if !suppressed {
 			out = append(out, d)
 		}
+	}
+	return out
+}
+
+// FuncDirectives returns the trimmed argument text of every
+// "//sdlint:<name> <args>" line in fn's doc comment, in order. It is the
+// shared parser behind the declaration-scoped directives (io, mutator,
+// holds): one entry per occurrence, empty string for a bare directive.
+func FuncDirectives(fn *ast.FuncDecl, name string) []string {
+	if fn == nil || fn.Doc == nil {
+		return nil
+	}
+	prefix := "//sdlint:" + name
+	var out []string
+	for _, c := range fn.Doc.List {
+		rest, ok := strings.CutPrefix(c.Text, prefix)
+		if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+			continue
+		}
+		out = append(out, strings.TrimSpace(rest))
 	}
 	return out
 }
@@ -161,6 +218,26 @@ func Holds(fn *ast.FuncDecl, guard string) bool {
 		}
 	}
 	return false
+}
+
+// FieldDirective returns the trimmed argument text of the first
+// "//sdlint:<name> <args>" comment attached to a struct field (doc or
+// trailing comment), reporting ok=false when no such directive exists.
+func FieldDirective(field *ast.Field, name string) (args string, ok bool) {
+	prefix := "//sdlint:" + name
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			rest, found := strings.CutPrefix(c.Text, prefix)
+			if !found || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+				continue
+			}
+			return strings.TrimSpace(rest), true
+		}
+	}
+	return "", false
 }
 
 // GuardedBy extracts the "guardedby: <mutex>" annotation from a struct

@@ -1,0 +1,148 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/types"
+	"reflect"
+	"sort"
+)
+
+// Fact serialization. The unitchecker driver persists each package's
+// facts to the .vetx file cmd/go asks for (VetxOutput) and feeds the
+// .vetx files of dependencies (PackageVetx) back in, so facts flow in
+// dependency order exactly like export data. The wire format is a JSON
+// array of SerializedFact, one element per (analyzer, function, fact
+// type) triple; a package's output is the union of what it imported and
+// what its analyzers exported, which makes facts transitive without a
+// reachability analysis.
+
+// SerializedFact is the wire form of one exported fact.
+type SerializedFact struct {
+	Analyzer string          // Analyzer.Name that owns the fact
+	Object   string          // FactKey of the function it attaches to
+	Type     string          // struct name of the fact type
+	Data     json.RawMessage // the fact's JSON encoding
+}
+
+// FactKey renders the cross-package identity facts are stored under:
+// "<pkgpath>.<recvtype>.<name>", with an empty <recvtype> for plain
+// functions. Only package-level functions and methods have such an
+// identity; ok is false for every other object (and for builtins with
+// no package), which callers treat as "carries no facts".
+func FactKey(obj types.Object) (string, bool) {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", false
+	}
+	recv := ""
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, isPtr := t.(*types.Pointer); isPtr {
+			t = p.Elem()
+		}
+		if n, isNamed := t.(*types.Named); isNamed {
+			recv = n.Obj().Name()
+		}
+	}
+	return fn.Pkg().Path() + "." + recv + "." + fn.Name(), true
+}
+
+// factID distinguishes facts within a set.
+type factID struct {
+	analyzer string
+	object   string
+	typ      string
+}
+
+// A FactSet accumulates the facts visible to one driver invocation:
+// everything decoded from dependency .vetx files plus everything the
+// analyzers export while running here.
+type FactSet struct {
+	facts map[factID]json.RawMessage
+}
+
+func NewFactSet() *FactSet {
+	return &FactSet{facts: make(map[factID]json.RawMessage)}
+}
+
+// Decode merges one .vetx payload into the set. Empty payloads (the
+// answer for fact-free packages) are valid and add nothing.
+func (s *FactSet) Decode(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	var sfs []SerializedFact
+	if err := json.Unmarshal(data, &sfs); err != nil {
+		return fmt.Errorf("decoding facts: %w", err)
+	}
+	for _, sf := range sfs {
+		s.facts[factID{sf.Analyzer, sf.Object, sf.Type}] = sf.Data
+	}
+	return nil
+}
+
+// Encode renders the whole set — imported and exported alike — in a
+// deterministic order, for writing to this package's .vetx file.
+func (s *FactSet) Encode() ([]byte, error) {
+	if len(s.facts) == 0 {
+		return nil, nil
+	}
+	sfs := make([]SerializedFact, 0, len(s.facts))
+	for id, data := range s.facts {
+		sfs = append(sfs, SerializedFact{Analyzer: id.analyzer, Object: id.object, Type: id.typ, Data: data})
+	}
+	sort.Slice(sfs, func(i, j int) bool {
+		a, b := sfs[i], sfs[j]
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		if a.Object != b.Object {
+			return a.Object < b.Object
+		}
+		return a.Type < b.Type
+	})
+	return json.Marshal(sfs)
+}
+
+// factTypeName names a fact by its struct type, the Type field of its
+// wire form.
+func factTypeName(f Fact) string {
+	return reflect.TypeOf(f).Elem().Name()
+}
+
+// ExportFunc builds the Pass.ExportObjectFact implementation for one
+// analyzer: facts land in s keyed by the analyzer's name, so two
+// analyzers' facts never collide even on the same function.
+func (s *FactSet) ExportFunc(a *Analyzer) func(types.Object, Fact) {
+	return func(obj types.Object, fact Fact) {
+		key, ok := FactKey(obj)
+		if !ok {
+			return
+		}
+		data, err := json.Marshal(fact)
+		if err != nil {
+			panic(fmt.Sprintf("analysis: marshaling %s fact %T: %v", a.Name, fact, err))
+		}
+		s.facts[factID{a.Name, key, factTypeName(fact)}] = data
+	}
+}
+
+// ImportFunc builds the Pass.ImportObjectFact implementation for one
+// analyzer.
+func (s *FactSet) ImportFunc(a *Analyzer) func(types.Object, Fact) bool {
+	return func(obj types.Object, fact Fact) bool {
+		key, ok := FactKey(obj)
+		if !ok {
+			return false
+		}
+		data, ok := s.facts[factID{a.Name, key, factTypeName(fact)}]
+		if !ok {
+			return false
+		}
+		if err := json.Unmarshal(data, fact); err != nil {
+			panic(fmt.Sprintf("analysis: unmarshaling %s fact %T for %s: %v", a.Name, fact, key, err))
+		}
+		return true
+	}
+}

@@ -1,0 +1,128 @@
+// Package cachekey checks that the answer cache's key stays complete.
+//
+// The dataset-scoped search service deduplicates expansions by a
+// comparable key struct canonicalized from search.Request by
+// Service.keyOf. The cache's whole correctness contract is that two
+// requests mapping to the same key are interchangeable: every field of
+// Request that can affect the answer must therefore be consumed by
+// keyOf (and land in the key struct), and every field that deliberately
+// is not — execution plumbing like Yield, or cache-routing flags like
+// NoCache — must say so in source:
+//
+//	//sdlint:nonidentity <reason>
+//
+// Adding a Request field without either keying it or annotating it
+// fails make lint, so the cache can never silently serve answers across
+// requests that differ in a new dimension. The analyzer also verifies
+// the key struct itself remains comparable (usable as a map key), and
+// flags contradictory annotations (a nonidentity field keyOf consumes).
+package cachekey
+
+import (
+	"go/ast"
+	"go/types"
+
+	"smartdrill/tools/sdlint/analysis"
+	"smartdrill/tools/sdlint/internal/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "cachekey",
+	Doc: "flag search.Request fields neither consumed by Service.keyOf nor marked //sdlint:nonidentity\n\n" +
+		"The answer cache treats requests with equal keys as interchangeable; an\n" +
+		"identity-bearing field missing from the key lets distinct requests collide.\n" +
+		"Mark deliberate non-identity fields with //sdlint:nonidentity <reason>.",
+	Run: run,
+}
+
+var scope = []string{"internal/search"}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !lintutil.PathIn(pass.Pkg.Path(), scope...) {
+		return nil, nil
+	}
+
+	var request *ast.StructType
+	var requestSpec, keySpec *ast.TypeSpec
+	var keyOf *ast.FuncDecl
+	for _, file := range pass.Files {
+		if lintutil.IsTestFile(pass.Fset, file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.TypeSpec:
+				st, isStruct := n.Type.(*ast.StructType)
+				if !isStruct {
+					return true
+				}
+				switch n.Name.Name {
+				case "Request":
+					request, requestSpec = st, n
+				case "key":
+					keySpec = n
+				}
+			case *ast.FuncDecl:
+				if fn := funcObj(pass, n); fn != nil && n.Name.Name == "keyOf" && lintutil.RecvTypeName(fn) == "Service" {
+					keyOf = n
+				}
+			}
+			return true
+		})
+	}
+	if request == nil {
+		return nil, nil // not the service package (e.g. a helper subpackage)
+	}
+	if keyOf == nil || keyOf.Body == nil {
+		pass.Reportf(requestSpec.Pos(), "Request has no Service.keyOf canonicalizer: the answer cache cannot key requests")
+		return nil, nil
+	}
+	if keySpec != nil {
+		if tn, ok := pass.TypesInfo.Defs[keySpec.Name].(*types.TypeName); ok && !types.Comparable(tn.Type()) {
+			pass.Reportf(keySpec.Pos(), "cache key struct %s is not comparable: it cannot index the answer cache's maps", keySpec.Name.Name)
+		}
+	}
+
+	used := fieldsUsed(pass, keyOf)
+	for _, f := range request.Fields.List {
+		reason, hasDir := analysis.FieldDirective(f, "nonidentity")
+		for _, name := range f.Names {
+			obj := pass.TypesInfo.Defs[name]
+			switch {
+			case hasDir && reason == "":
+				pass.Reportf(f.Pos(), "//sdlint:nonidentity on Request.%s ignored: missing reason (write //sdlint:nonidentity <reason>)", name.Name)
+			case hasDir && used[obj]:
+				pass.Reportf(f.Pos(), "Request.%s is marked //sdlint:nonidentity but Service.keyOf consumes it: drop the directive or stop keying the field", name.Name)
+			case !hasDir && !used[obj]:
+				pass.Reportf(f.Pos(), "Request.%s is not captured by the cache key: consume it in Service.keyOf or mark it //sdlint:nonidentity <reason> — an unkeyed identity field lets distinct requests collide in the answer cache", name.Name)
+			}
+		}
+		if len(f.Names) == 0 && !hasDir {
+			pass.Reportf(f.Pos(), "embedded Request field is not captured by the cache key: name it and key it, or mark it //sdlint:nonidentity <reason>")
+		}
+	}
+	return nil, nil
+}
+
+// fieldsUsed collects every struct field object referenced anywhere in
+// fn's body (req.Kind, req.Rule.PackKey(...), ...).
+func fieldsUsed(pass *analysis.Pass, fn *ast.FuncDecl) map[types.Object]bool {
+	used := make(map[types.Object]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var); ok && obj.IsField() {
+			used[obj] = true
+		}
+		return true
+	})
+	return used
+}
+
+// funcObj returns fd's *types.Func, or nil.
+func funcObj(pass *analysis.Pass, fd *ast.FuncDecl) *types.Func {
+	fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	return fn
+}

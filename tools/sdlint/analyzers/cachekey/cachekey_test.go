@@ -1,0 +1,13 @@
+package cachekey_test
+
+import (
+	"testing"
+
+	"smartdrill/tools/sdlint/analysis/analysistest"
+	"smartdrill/tools/sdlint/analyzers/cachekey"
+)
+
+func TestCachekey(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), cachekey.Analyzer,
+		"internal/search", "internal/search/badkey", "internal/search/nokey")
+}

@@ -1,0 +1,17 @@
+// Package badkey plants a cache key struct that cannot index a map.
+package badkey
+
+type key struct { // want "cache key struct key is not comparable"
+	rules []int
+}
+
+type Service struct{}
+
+type Request struct {
+	K int
+}
+
+func (s *Service) keyOf(req Request) key {
+	_ = req.K
+	return key{}
+}

@@ -1,0 +1,6 @@
+// Package nokey plants a Request with no canonicalizer at all.
+package nokey
+
+type Request struct { // want "Request has no Service.keyOf canonicalizer"
+	K int
+}

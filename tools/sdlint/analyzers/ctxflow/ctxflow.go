@@ -2,7 +2,7 @@
 // instead of being dropped at an internal boundary — the cancellation
 // contract the streaming API depends on.
 //
-// Three rules:
+// Four rules:
 //
 //  1. A function that has a context.Context (or *net/http.Request) in
 //     scope must not call the context-free form of a function that has a
@@ -14,6 +14,12 @@
 //     cancellation between passes (rn.canceled(), run.ctxErr, ctx.Err(),
 //     or ctx.Done()): passes are the unit of interruption, so a loop
 //     that never polls can outlive its caller by an entire search.
+//  4. A goroutine closure that captures a context — a ctx-typed local or
+//     field declared outside the closure — has that context in scope
+//     exactly as a parameter would be: non-Ctx calls inside the spawned
+//     body are flagged even when the enclosing function declares no ctx
+//     parameter. Spawned work is where a dropped context hurts most,
+//     because nothing upstream can cancel it once it detaches.
 //
 // _test.go files are exempt. Suppress deliberate exceptions (e.g. an
 // interface implementation that genuinely cannot honor cancellation)
@@ -31,7 +37,7 @@ import (
 
 var Analyzer = &analysis.Analyzer{
 	Name: "ctxflow",
-	Doc: "flag dropped contexts: non-Ctx calls with a ctx in scope, unused ctx params, unpolled counting loops\n\n" +
+	Doc: "flag dropped contexts: non-Ctx calls with a ctx in scope (including goroutine closures capturing one), unused ctx params, unpolled counting loops\n\n" +
 		"Cancellation flows through Ctx variants and per-pass polling; a single dropped\n" +
 		"context breaks the whole chain. Suppress deliberate exceptions with\n" +
 		"//sdlint:allow ctxflow <reason>.",
@@ -63,6 +69,7 @@ func run(pass *analysis.Pass) (interface{}, error) {
 				continue
 			}
 			checkCtxCalls(pass, fd)
+			checkGoClosures(pass, fd)
 			checkUnusedCtx(pass, fd)
 			if brs {
 				checkLoopPolling(pass, fd)
@@ -92,6 +99,60 @@ func checkCtxCalls(pass *analysis.Pass, fd *ast.FuncDecl) {
 		}
 		return true
 	})
+}
+
+// checkGoClosures implements rule 4: a goroutine closure capturing a
+// context from its enclosing scope has that context in scope just as a
+// parameter would be. Skipped when the enclosing function declares a ctx
+// parameter — rule 1 already walks the whole body, nested closures
+// included, and would double-report.
+func checkGoClosures(pass *analysis.Pass, fd *ast.FuncDecl) {
+	if hasCtxParam(pass.TypesInfo, fd) {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := g.Call.Fun.(*ast.FuncLit)
+		if !ok || !capturesContext(pass.TypesInfo, lit) {
+			return true
+		}
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := lintutil.Callee(pass.TypesInfo, call)
+			if fn == nil {
+				return true
+			}
+			if sib := ctxSibling(fn); sib != nil {
+				pass.Reportf(call.Pos(), "call to %s inside a goroutine that captures a context: use %s so the spawned work honors cancellation", fn.Name(), sib.Name())
+			}
+			return true
+		})
+		return true
+	})
+}
+
+// capturesContext reports whether lit references a context-typed
+// variable declared outside the literal (a captured local or a struct
+// field), as opposed to one of its own parameters.
+func capturesContext(info *types.Info, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj, isVar := info.Uses[id].(*types.Var); isVar &&
+				lintutil.IsContextType(obj.Type()) &&
+				(obj.Pos() < lit.Pos() || obj.Pos() > lit.End()) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
 }
 
 // checkUnusedCtx implements rule 2: a named context.Context parameter

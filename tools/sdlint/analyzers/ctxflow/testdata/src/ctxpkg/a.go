@@ -34,3 +34,24 @@ func anonymous(_ context.Context, e *Engine) error { // blank ctx: deliberate, n
 func legacy(ctx context.Context, e *Engine) error {
 	return e.Expand(1)
 }
+
+// spawnCaptured has no ctx parameter, but the goroutine closure captures
+// a ctx-typed local: rule 4 treats the closure body like a function with
+// ctx in scope.
+func spawnCaptured(e *Engine) {
+	ctx := context.Background()
+	go func() {
+		_ = searchCtx(ctx, 1)
+		_ = search(2)   // want "call to search inside a goroutine that captures a context: use searchCtx"
+		_ = e.Expand(1) // want "call to Expand inside a goroutine that captures a context: use ExpandCtx"
+	}()
+}
+
+// spawnPlain's closure captures no context: there is nothing to thread,
+// so its non-Ctx calls are legitimate.
+func spawnPlain(e *Engine) {
+	go func() {
+		_ = search(2)
+		_ = e.Expand(1)
+	}()
+}

@@ -1,0 +1,208 @@
+// Package goflow checks that every goroutine spawned in the serving
+// layers has a declared lifecycle: tied to a sync.WaitGroup so shutdown
+// can drain it, or explicitly marked detached with a reason. An
+// untracked goroutine outlives graceful shutdown silently — its table
+// passes keep running after Serve returns, its persistSession calls race
+// the backend teardown, and the leak is invisible until a test or an
+// operator counts goroutines.
+//
+// A go statement is tracked when both halves of the WaitGroup protocol
+// are present:
+//
+//   - an Add call on a sync.WaitGroup precedes the spawn in the same
+//     function (Add must happen-before the go statement, or a concurrent
+//     Wait can return while the goroutine runs), and
+//   - the spawned function calls Done on a sync.WaitGroup — directly in
+//     the goroutine's closure body, or anywhere in the named function or
+//     method being spawned. Done-calling functions are recorded as a
+//     DoneFact, so a helper in another package (or another file) counts.
+//
+// The check is deliberately presence-level: it does not prove the Add
+// and the Done hit the same WaitGroup, only that the spawn participates
+// in the protocol at all — the failure mode being guarded is the
+// goroutine nobody thought about draining, not a miswired pair.
+//
+// Goroutines that are detached by design carry a statement directive:
+//
+//	go func() { ... }() //sdlint:detached <reason>
+//
+// (or the directive on the line above, or in the enclosing function's
+// doc comment). A bare //sdlint:detached does not excuse the spawn: the
+// missing reason is reported as its own diagnostic, and the untracked
+// goroutine still fires — same contract as //sdlint:allow.
+package goflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"smartdrill/tools/sdlint/analysis"
+	"smartdrill/tools/sdlint/internal/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "goflow",
+	Doc: "flag go statements in the serving layers not tied to a WaitGroup drain\n\n" +
+		"Shutdown drains background work through WaitGroups; a goroutine outside that\n" +
+		"protocol outlives Serve silently. Deliberately detached spawns carry\n" +
+		"//sdlint:detached <reason>.",
+	Run:       run,
+	FactTypes: []analysis.Fact{new(DoneFact)},
+}
+
+// DoneFact marks a function that calls Done on a sync.WaitGroup:
+// spawning it with `go` closes the tracked-goroutine protocol, provided
+// an Add precedes the spawn.
+type DoneFact struct{}
+
+func (*DoneFact) AFact() {}
+
+var scope = []string{"internal/server", "internal/search", "internal/drill"}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	// Collection phase, every package: export which functions call
+	// WaitGroup.Done, so cross-package spawn targets resolve.
+	local := make(map[*types.Func]bool)
+	for _, file := range pass.Files {
+		if lintutil.IsTestFile(pass.Fset, file) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !callsWaitGroupMethod(pass.TypesInfo, fd.Body, "Done") {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				local[fn] = true
+				pass.ExportObjectFact(fn, &DoneFact{})
+			}
+		}
+	}
+
+	// Check phase, the layers shutdown is responsible for draining.
+	if !lintutil.PathIn(pass.Pkg.Path(), scope...) {
+		return nil, nil
+	}
+	callsDone := func(fn *types.Func) bool {
+		if local[fn] {
+			return true
+		}
+		return pass.ImportObjectFact(fn, &DoneFact{})
+	}
+	for _, file := range pass.Files {
+		if lintutil.IsTestFile(pass.Fset, file) {
+			continue
+		}
+		detached := analysis.CollectLineDirectives(pass.Fset, file, "detached")
+		bareReported := make(map[token.Pos]bool)
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd, detached, bareReported, callsDone)
+		}
+	}
+	return nil, nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, detached []analysis.LineDirective, bareReported map[token.Pos]bool, callsDone func(*types.Func) bool) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		// Spawned side of the protocol: Done in the closure body, or a
+		// DoneFact on the named spawn target.
+		done := false
+		if lit, isLit := g.Call.Fun.(*ast.FuncLit); isLit {
+			done = callsWaitGroupMethod(pass.TypesInfo, lit.Body, "Done")
+		} else if fn := lintutil.Callee(pass.TypesInfo, g.Call); fn != nil {
+			done = callsDone(fn)
+		}
+		// Spawning side: an Add that happens-before the go statement.
+		addBefore := addPrecedes(pass.TypesInfo, fd.Body, g.Pos())
+		if done && addBefore {
+			return true
+		}
+
+		line := pass.Fset.Position(g.Pos()).Line
+		for _, d := range detached {
+			if !d.Covers(line) {
+				continue
+			}
+			if d.Args != "" {
+				return true // detached by declared design
+			}
+			if !bareReported[d.Pos] {
+				bareReported[d.Pos] = true
+				pass.Reportf(d.Pos, "sdlint:detached ignored: missing reason (write //sdlint:detached <reason>)")
+			}
+		}
+		if done {
+			pass.Reportf(g.Pos(), "goroutine calls WaitGroup.Done but no Add precedes the spawn: Add must happen-before the go statement, or a concurrent Wait can return while this goroutine still runs")
+		} else {
+			pass.Reportf(g.Pos(), "untracked goroutine: tie it to a WaitGroup (Add before the spawn, Done in the spawned function) so shutdown can drain it, or mark it //sdlint:detached <reason>")
+		}
+		return true
+	})
+}
+
+// addPrecedes reports whether a sync.WaitGroup Add call appears in body
+// at a position before pos.
+func addPrecedes(info *types.Info, body *ast.BlockStmt, pos token.Pos) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil || found {
+			return false
+		}
+		if n.Pos() >= pos {
+			// Everything under this node starts at or after the spawn.
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && isWaitGroupCall(info, call, "Add") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// callsWaitGroupMethod reports whether node contains a call to the named
+// method on a sync.WaitGroup value.
+func callsWaitGroupMethod(info *types.Info, node ast.Node, method string) bool {
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isWaitGroupCall(info, call, method) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isWaitGroupCall reports whether call is wg.<method>() on a
+// sync.WaitGroup receiver.
+func isWaitGroupCall(info *types.Info, call *ast.CallExpr, method string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return false
+	}
+	t := info.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}

@@ -1,0 +1,12 @@
+package goflow_test
+
+import (
+	"testing"
+
+	"smartdrill/tools/sdlint/analysis/analysistest"
+	"smartdrill/tools/sdlint/analyzers/goflow"
+)
+
+func TestGoflow(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), goflow.Analyzer, "internal/server")
+}

@@ -1,0 +1,77 @@
+// Package server exercises goroutine-lifecycle tracking: WaitGroup-tied
+// spawns (closure Done, local helper, cross-package fact-imported
+// helper), untracked spawns, each half of the protocol missing, and the
+// detached escape hatch with and without its mandatory reason.
+package server
+
+import (
+	"sync"
+
+	"jobs"
+)
+
+type Server struct {
+	workers sync.WaitGroup
+}
+
+// worker signals s.workers when it finishes.
+func (s *Server) worker() { defer s.workers.Done() }
+
+// noSignal does work with no lifecycle signal.
+func (s *Server) noSignal() {}
+
+func (s *Server) trackedClosure() {
+	s.workers.Add(1)
+	go func() {
+		defer s.workers.Done()
+	}()
+}
+
+func (s *Server) trackedHelper() {
+	s.workers.Add(1)
+	go s.worker()
+}
+
+func (s *Server) trackedCrossPackage(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go jobs.Run(wg, func() {})
+}
+
+func (s *Server) untrackedHelper() {
+	go s.noSignal() // want "untracked goroutine"
+}
+
+func (s *Server) untrackedClosure(c chan int) {
+	go func() { c <- 1 }() // want "untracked goroutine"
+}
+
+func (s *Server) untrackedCrossPackage() {
+	go jobs.Fire(func() {}) // want "untracked goroutine"
+}
+
+func (s *Server) doneWithoutAdd() {
+	go func() { // want "no Add precedes the spawn"
+		defer s.workers.Done()
+	}()
+}
+
+func (s *Server) addWithoutDone() {
+	s.workers.Add(1)
+	go s.noSignal() // want "untracked goroutine"
+}
+
+func (s *Server) detachedReasoned(errc chan error) {
+	go func() { errc <- nil }() //sdlint:detached listener goroutine, consumed by the caller's select for the server's whole life
+}
+
+func (s *Server) detachedStandalone(done chan struct{}) {
+	//sdlint:detached drain waiter, exits when the WaitGroup drains
+	go func() {
+		s.workers.Wait()
+		close(done)
+	}()
+}
+
+func (s *Server) detachedBare(c chan int) {
+	go func() { c <- 1 }() /* want "missing reason" "untracked goroutine" */ //sdlint:detached
+}

@@ -1,0 +1,14 @@
+// Package jobs holds a cross-package spawn target: Run calls Done on
+// the caller's WaitGroup, which reaches importers as a DoneFact.
+package jobs
+
+import "sync"
+
+// Run executes fn and signals wg when it finishes.
+func Run(wg *sync.WaitGroup, fn func()) {
+	defer wg.Done()
+	fn()
+}
+
+// Fire executes fn with no lifecycle signal.
+func Fire(fn func()) { fn() }

@@ -1,0 +1,30 @@
+// Package drill exercises cross-package fact import: the storage
+// sibling's //sdlint:io surfaces arrive here as RawFact/AccountedFact,
+// so self-accounted helpers cost callers nothing while unaccounted raw
+// surfaces demand a local booking.
+package drill
+
+import "internal/storage"
+
+type Stats struct{ RowsScanned int64 }
+
+type Session struct {
+	store *storage.Store
+	stats Stats
+}
+
+// viaAccountedHelper leans on the imported AccountedFact: Scan and
+// CountExact book their own I/O, so no booking is owed here.
+func (s *Session) viaAccountedHelper() int {
+	s.store.Scan(func(i int) bool { return true })
+	return s.store.CountExact()
+}
+
+func (s *Session) rawBooked() {
+	rows := s.store.RawRows()
+	s.stats.RowsScanned += int64(len(rows))
+}
+
+func (s *Session) rawUnbooked() int {
+	return len(s.store.RawRows()) // want "storage.Store.RawRows reads rows but this function never adds to Stats.RowsScanned"
+}

@@ -1,0 +1,125 @@
+// Package persistguard machine-checks the server's write-through
+// persistence contract: any internal/server function that mutates a
+// session — by calling a method from the declared mutator set — must
+// write the session through to the persistence backend by calling
+// persistSession before it responds, or crash recovery replays a stale
+// tree.
+//
+// The mutator set is declared in source with a doc-comment directive:
+//
+//	//sdlint:mutator
+//
+// on the mutating method (the Engine's drill/collapse/refine entry
+// points in the root package, the server's own putSession). The
+// directive travels as a MutatorFact, so the set is maintained next to
+// the methods themselves and new mutators are guarded the moment they
+// are annotated, wherever they are called from.
+//
+// The check is a path-insensitive presence check ("calls persistSession
+// somewhere in the same function"), which matches how the handlers are
+// written: mutate under the session lock, persist after unlocking,
+// respond. Functions whose mutations genuinely need no write-through (a
+// throwaway warming engine, rehydration of a snapshot just read) carry
+// //sdlint:allow persistguard <reason>.
+package persistguard
+
+import (
+	"go/ast"
+	"go/types"
+
+	"smartdrill/tools/sdlint/analysis"
+	"smartdrill/tools/sdlint/internal/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "persistguard",
+	Doc: "flag internal/server functions that call a session mutator but never persistSession\n\n" +
+		"PR 8's write-through contract: every session mutation is persisted before the\n" +
+		"response, so crash recovery never replays a stale tree. Mutators are declared\n" +
+		"with //sdlint:mutator; exempt sites carry //sdlint:allow persistguard <reason>.",
+	Run:       run,
+	FactTypes: []analysis.Fact{new(MutatorFact)},
+}
+
+// MutatorFact marks a function as session-mutating: internal/server
+// callers owe a persistSession call in the same function.
+type MutatorFact struct{}
+
+func (*MutatorFact) AFact() {}
+
+var scope = []string{"internal/server"}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	// Collection phase, every package: export the declared mutator set.
+	local := make(map[*types.Func]bool)
+	for _, file := range pass.Files {
+		if lintutil.IsTestFile(pass.Fset, file) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if len(analysis.FuncDirectives(fd, "mutator")) == 0 {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				local[fn] = true
+				pass.ExportObjectFact(fn, &MutatorFact{})
+			}
+		}
+	}
+
+	// Check phase, the serving layer only.
+	if !lintutil.PathIn(pass.Pkg.Path(), scope...) {
+		return nil, nil
+	}
+	isMutator := func(fn *types.Func) bool {
+		if local[fn] {
+			return true
+		}
+		return pass.ImportObjectFact(fn, &MutatorFact{})
+	}
+	for _, file := range pass.Files {
+		if lintutil.IsTestFile(pass.Fset, file) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Name.Name == "persistSession" {
+				continue
+			}
+			checkFunc(pass, fd, isMutator)
+		}
+	}
+	return nil, nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, isMutator func(*types.Func) bool) {
+	var firstMutator *ast.CallExpr
+	var mutatorName string
+	persists := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := lintutil.Callee(pass.TypesInfo, call)
+		if fn == nil {
+			return true
+		}
+		if fn.Name() == "persistSession" {
+			persists = true
+		}
+		if firstMutator == nil && isMutator(fn) {
+			firstMutator = call
+			mutatorName = lintutil.RecvTypeName(fn) + "." + fn.Name()
+		}
+		return true
+	})
+	if firstMutator != nil && !persists {
+		pass.Reportf(firstMutator.Pos(), "%s mutates the session (via %s) without calling persistSession: the write-through contract requires every mutation persisted before responding, or crash recovery replays a stale tree",
+			fd.Name.Name, mutatorName)
+	}
+}

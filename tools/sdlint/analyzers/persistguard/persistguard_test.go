@@ -1,0 +1,12 @@
+package persistguard_test
+
+import (
+	"testing"
+
+	"smartdrill/tools/sdlint/analysis/analysistest"
+	"smartdrill/tools/sdlint/analyzers/persistguard"
+)
+
+func TestPersistguard(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), persistguard.Analyzer, "internal/server")
+}

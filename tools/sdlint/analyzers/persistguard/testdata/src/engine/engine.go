@@ -1,0 +1,19 @@
+// Package engine mirrors the root smartdrill Engine surface: mutating
+// entry points declared //sdlint:mutator, whose status reaches the
+// server package as a MutatorFact.
+package engine
+
+type Engine struct{ nodes int }
+
+// DrillDown expands the tree in place.
+//
+//sdlint:mutator
+func (e *Engine) DrillDown() { e.nodes++ }
+
+// RefineNode upgrades provisional counts in place.
+//
+//sdlint:mutator
+func (e *Engine) RefineNode() bool { e.nodes++; return true }
+
+// Stats is read-only: no directive, no fact.
+func (e *Engine) Stats() int { return e.nodes }

@@ -1,0 +1,50 @@
+// Package server exercises the write-through check: handlers calling
+// cross-package (fact-imported) and local mutators, with and without
+// the owed persistSession call.
+package server
+
+import "engine"
+
+type session struct{ eng *engine.Engine }
+
+type Server struct{ sessions map[string]*session }
+
+func (s *Server) persistSession(sess *session) {}
+
+// putSession stores the session in memory; the store itself must be
+// written through by callers.
+//
+//sdlint:mutator
+func (s *Server) putSession(sess *session) {}
+
+func (s *Server) handlePersisted(sess *session) {
+	sess.eng.DrillDown()
+	s.persistSession(sess)
+}
+
+func (s *Server) handleDropped(sess *session) {
+	sess.eng.DrillDown() // want "handleDropped mutates the session .via Engine.DrillDown. without calling persistSession"
+}
+
+func (s *Server) handleLocalDropped(sess *session) {
+	s.putSession(sess) // want "handleLocalDropped mutates the session .via Server.putSession. without calling persistSession"
+}
+
+// conditional persistence still satisfies the presence check: the
+// handler persists on the mutated path.
+func (s *Server) handleConditional(sess *session) {
+	if sess.eng.RefineNode() {
+		s.persistSession(sess)
+	}
+}
+
+func (s *Server) readOnly(sess *session) int {
+	return sess.eng.Stats()
+}
+
+// warm drives a throwaway engine that never backs a stored session.
+//
+//sdlint:allow persistguard throwaway warming engine, never stored in a session
+func (s *Server) warm(e *engine.Engine) {
+	e.DrillDown()
+}

@@ -19,10 +19,13 @@ package main
 import (
 	"smartdrill/tools/sdlint/analysis/unitchecker"
 	"smartdrill/tools/sdlint/analyzers/apicodes"
+	"smartdrill/tools/sdlint/analyzers/cachekey"
 	"smartdrill/tools/sdlint/analyzers/ctxflow"
 	"smartdrill/tools/sdlint/analyzers/detwalk"
+	"smartdrill/tools/sdlint/analyzers/goflow"
 	"smartdrill/tools/sdlint/analyzers/ioaccount"
 	"smartdrill/tools/sdlint/analyzers/lockguard"
+	"smartdrill/tools/sdlint/analyzers/persistguard"
 )
 
 func main() {
@@ -32,5 +35,8 @@ func main() {
 		ctxflow.Analyzer,
 		detwalk.Analyzer,
 		apicodes.Analyzer,
+		cachekey.Analyzer,
+		persistguard.Analyzer,
+		goflow.Analyzer,
 	)
 }

@@ -35,10 +35,11 @@ func TestLintCleanOnTree(t *testing.T) {
 	}
 }
 
-// TestLintCatchesViolations plants the two acceptance scenarios — a
-// counting pass whose Stats increment was removed, and a guarded field
-// accessed without its lock — in a scratch module and checks that the
-// suite fails on both.
+// TestLintCatchesViolations plants the acceptance scenarios — a counting
+// pass whose Stats increment was removed, a guarded field accessed
+// without its lock, a Request field missing from the cache key, a
+// session mutation that skips persistSession, and an untracked goroutine
+// — in a scratch module and checks that the suite fails on every one.
 func TestLintCatchesViolations(t *testing.T) {
 	bin := buildSdlint(t)
 	dir := t.TempDir()
@@ -79,13 +80,52 @@ type session struct {
 
 func peek(s *session) int { return s.eng }
 `)
+	// cachekey: a Request field neither consumed by keyOf nor annotated
+	// //sdlint:nonidentity.
+	write("internal/search/bad.go", `package search
+
+type key struct{ kind int }
+
+type Service struct{}
+
+type Request struct {
+	Kind    int
+	Planted int
+}
+
+func (s *Service) keyOf(req Request) key { return key{kind: req.Kind} }
+`)
+	// persistguard: a declared mutator called without the owed
+	// persistSession write-through.
+	write("internal/server/badpersist.go", `package server
+
+type engine struct{ n int }
+
+//sdlint:mutator
+func (e *engine) drill() { e.n++ }
+
+func handleDrill(e *engine) { e.drill() }
+`)
+	// goflow: a goroutine with no WaitGroup tie and no detached reason.
+	write("internal/server/badspawn.go", `package server
+
+func spawn(c chan int) {
+	go func() { c <- 1 }()
+}
+`)
 	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
 	cmd.Dir = dir
 	out, err := cmd.CombinedOutput()
 	if err == nil {
 		t.Fatalf("sdlint passed a tree with planted violations:\n%s", out)
 	}
-	for _, wantFrag := range []string{"[ioaccount]", "Stats.RowsScanned", "[lockguard]", "session.eng"} {
+	for _, wantFrag := range []string{
+		"[ioaccount]", "Stats.RowsScanned",
+		"[lockguard]", "session.eng",
+		"[cachekey]", "Request.Planted",
+		"[persistguard]", "handleDrill",
+		"[goflow]", "untracked goroutine",
+	} {
 		if !strings.Contains(string(out), wantFrag) {
 			t.Errorf("vet output missing %q:\n%s", wantFrag, out)
 		}
